@@ -1,0 +1,60 @@
+//! Criterion microbenchmark: the §IV-B allocators — lock-free block pool
+//! and size-class allocator vs the system heap, single- and multi-threaded.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uintah::mem::{BlockPool, PageArena, SizeClassAllocator};
+
+fn bench_alloc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocators");
+    group.sample_size(20);
+
+    group.bench_function("block_pool/alloc_free", |b| {
+        let pool = BlockPool::new(256, PageArena::new());
+        // Warm the pool so we measure the steady-state lock-free path.
+        drop((0..64).map(|_| pool.allocate()).collect::<Vec<_>>());
+        b.iter(|| {
+            let x = pool.allocate();
+            std::hint::black_box(&x);
+        });
+    });
+
+    group.bench_function("system_heap/alloc_free", |b| {
+        b.iter(|| {
+            let x = vec![0u8; 256];
+            std::hint::black_box(&x);
+        });
+    });
+
+    group.bench_function("size_class/mixed_sizes", |b| {
+        let alloc = SizeClassAllocator::new(PageArena::new());
+        let mut i = 0usize;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let size = 16 + (i * 97) % 4000;
+            let x = alloc.allocate(size);
+            std::hint::black_box(&x);
+        });
+    });
+
+    group.bench_function("block_pool/contended_4threads", |b| {
+        let pool = BlockPool::new(128, PageArena::new());
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let pool = pool.clone();
+                    s.spawn(move || {
+                        for _ in 0..200 {
+                            let x = pool.allocate();
+                            std::hint::black_box(&x);
+                        }
+                    });
+                }
+            });
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_alloc);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E8 — Criterion benchmark: RMCRT patch solve throughput vs patch size
+//! (the paper's §V observation that bigger patches give the GPU more work
+//! per kernel; on the host the analogous effect is cache/locality).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use uintah::prelude::*;
+
+fn bench_patches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("patch_throughput");
+    group.sample_size(10);
+    let n = 32;
+    let grid = BurnsChriston::small_grid(n, 8);
+    let props = BurnsChriston::default().props_for_level(grid.fine_level());
+    let stack = [TraceLevel {
+        props: &props,
+        roi: props.region,
+    }];
+    let params = RmcrtParams {
+        nrays: 8,
+        threshold: 1e-3,
+        ..Default::default()
+    };
+    for &p in &[4i32, 8, 16] {
+        let region = Region::cube(p);
+        group.throughput(Throughput::Elements((region.volume() * params.nrays as usize) as u64));
+        group.bench_with_input(BenchmarkId::new("solve_patch", p * p * p), &region, |b, &r| {
+            b.iter(|| std::hint::black_box(solve_region(&stack, r, &params)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_patches);
+criterion_main!(benches);

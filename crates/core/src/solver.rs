@@ -1,0 +1,259 @@
+//! ∇·q solvers: per cell, per region, per patch; serial and threaded.
+
+use crate::props::LevelProps;
+use crate::rng::CellRng;
+use crate::sampling::{DirectionSampler, RaySampling};
+use crate::trace::{trace_ray, TraceLevel};
+use std::f64::consts::PI;
+use uintah_grid::{CcVariable, IntVector, Region};
+
+/// Monte Carlo parameters of an RMCRT solve.
+#[derive(Clone, Copy, Debug)]
+pub struct RmcrtParams {
+    /// Rays per cell (the paper's benchmarks use 100).
+    pub nrays: u32,
+    /// Intensity threshold below which a ray is extinguished.
+    pub threshold: f64,
+    /// Global seed (combined with cell/ray/timestep for determinism).
+    pub seed: u64,
+    /// Timestep index, so successive radiation solves decorrelate.
+    pub timestep: u32,
+    /// Direction sampling strategy (independent or Latin-hypercube).
+    pub sampling: RaySampling,
+}
+
+impl Default for RmcrtParams {
+    fn default() -> Self {
+        Self {
+            nrays: 100,
+            threshold: 0.05,
+            seed: 0x5EED,
+            timestep: 0,
+            sampling: RaySampling::Independent,
+        }
+    }
+}
+
+/// Compute `∇·q` for one fine-level cell by tracing `nrays` rays.
+///
+/// Sign convention: positive = net emission (hot medium between cold
+/// walls loses energy). Uintah's `divQ` variable stores the negated value;
+/// see EXPERIMENTS.md.
+pub fn div_q_for_cell(levels: &[TraceLevel<'_>], cell: IntVector, params: &RmcrtParams) -> f64 {
+    let fine = levels.last().expect("empty level stack").props;
+    let kappa = fine.abskg[cell];
+    if kappa == 0.0 {
+        return 0.0; // transparent cells exchange no energy
+    }
+    // The sampler's stratification permutation draws from a dedicated
+    // stream (ray index u32::MAX) so per-ray streams stay untouched.
+    let mut perm_rng = CellRng::new(params.seed, cell, u32::MAX, params.timestep);
+    let sampler = DirectionSampler::new(params.sampling, params.nrays, &mut perm_rng);
+    let mut sum_i = 0.0;
+    for r in 0..params.nrays {
+        let mut rng = CellRng::new(params.seed, cell, r, params.timestep);
+        let dir = sampler.direction(r, &mut rng);
+        let origin = rng.point_in_cell(fine.cell_lo(cell), fine.dx);
+        sum_i += trace_ray(levels, origin, dir, params.threshold);
+    }
+    let mean_i = sum_i / params.nrays as f64;
+    4.0 * PI * kappa * (fine.sigma_t4_over_pi[cell] - mean_i)
+}
+
+/// Solve `∇·q` over `region` of the finest level in the stack (serially).
+pub fn solve_region(levels: &[TraceLevel<'_>], region: Region, params: &RmcrtParams) -> CcVariable<f64> {
+    let mut out = CcVariable::new(region);
+    for c in region.cells() {
+        out[c] = div_q_for_cell(levels, c, params);
+    }
+    out
+}
+
+/// Solve `∇·q` over `region` on a Kokkos-style execution space.
+/// Deterministic: bit-identical to [`solve_region`] on any space.
+pub fn solve_region_exec(
+    levels: &[TraceLevel<'_>],
+    region: Region,
+    params: &RmcrtParams,
+    space: uintah_exec::ExecSpace,
+) -> CcVariable<f64> {
+    uintah_exec::parallel_fill(space, region, |c| div_q_for_cell(levels, c, params))
+}
+
+/// Solve `∇·q` over `region` using `nthreads` host threads (z-slab
+/// decomposition). Deterministic: identical to [`solve_region`].
+pub fn solve_region_threaded(
+    levels: &[TraceLevel<'_>],
+    region: Region,
+    params: &RmcrtParams,
+    nthreads: usize,
+) -> CcVariable<f64> {
+    let space = if nthreads <= 1 {
+        uintah_exec::ExecSpace::Serial
+    } else {
+        uintah_exec::ExecSpace::Threads(nthreads)
+    };
+    solve_region_exec(levels, region, params, space)
+}
+
+/// Build the standard 2-level trace stack for a fine patch: coarse
+/// whole-domain replica below, fine ROI (patch + halo) on top.
+pub fn two_level_stack<'a>(
+    coarse: &'a LevelProps,
+    fine: &'a LevelProps,
+    fine_roi: Region,
+) -> [TraceLevel<'a>; 2] {
+    [
+        TraceLevel {
+            props: coarse,
+            roi: coarse.region,
+        },
+        TraceLevel {
+            props: fine,
+            roi: fine_roi,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uintah_grid::Vector;
+
+    fn single(props: &LevelProps) -> [TraceLevel<'_>; 1] {
+        [TraceLevel {
+            props,
+            roi: props.region,
+        }]
+    }
+
+    /// Isothermal medium in an isothermal *hot-wall* enclosure is in
+    /// radiative equilibrium: ∇·q ≈ 0 (every ray eventually sees either
+    /// medium or wall at the same σT⁴/π).
+    #[test]
+    fn equilibrium_enclosure_has_zero_div_q() {
+        let n = 16;
+        let s = 0.8;
+        let mut props = LevelProps::uniform(Region::cube(n), Vector::splat(1.0 / n as f64), 1.0, s);
+        // Black hot walls on all faces.
+        for c in props.region.cells() {
+            let e = props.region.extent();
+            if c.x == 0 || c.y == 0 || c.z == 0 || c.x == e.x - 1 || c.y == e.y - 1 || c.z == e.z - 1 {
+                props.cell_type[c] = crate::props::WALL_CELL;
+                props.abskg[c] = 1.0;
+            }
+        }
+        let params = RmcrtParams {
+            nrays: 64,
+            threshold: 1e-6,
+            ..Default::default()
+        };
+        let c = IntVector::splat(n / 2);
+        let dq = div_q_for_cell(&single(&props), c, &params);
+        // Emission 4πκs exactly cancels absorption in equilibrium.
+        let scale = 4.0 * PI * s;
+        assert!(dq.abs() / scale < 1e-9, "divQ {dq}");
+    }
+
+    /// Hot medium, cold walls: net emission, ∇·q > 0, bounded by 4πκσT⁴/π.
+    #[test]
+    fn cold_wall_enclosure_emits() {
+        let n = 16;
+        let props = LevelProps::uniform(Region::cube(n), Vector::splat(1.0 / n as f64), 1.0, 1.0);
+        let params = RmcrtParams {
+            nrays: 128,
+            threshold: 1e-6,
+            ..Default::default()
+        };
+        let dq = div_q_for_cell(&single(&props), IntVector::splat(n / 2), &params);
+        assert!(dq > 0.0);
+        assert!(dq < 4.0 * PI * 1.0);
+    }
+
+    /// Transparent cells have exactly zero divergence.
+    #[test]
+    fn transparent_cell_zero() {
+        let mut props = LevelProps::uniform(Region::cube(8), Vector::splat(0.125), 1.0, 1.0);
+        props.abskg[IntVector::splat(4)] = 0.0;
+        let dq = div_q_for_cell(&single(&props), IntVector::splat(4), &RmcrtParams::default());
+        assert_eq!(dq, 0.0);
+    }
+
+    /// Results are a pure function of the cell identity, not the region
+    /// decomposition: solving two half-regions equals solving the whole.
+    #[test]
+    fn decomposition_invariance() {
+        let n = 8;
+        let props = LevelProps::uniform(Region::cube(n), Vector::splat(1.0 / n as f64), 1.5, 0.9);
+        let params = RmcrtParams {
+            nrays: 16,
+            ..Default::default()
+        };
+        let stack = single(&props);
+        let whole = solve_region(&stack, Region::cube(n), &params);
+        let left = solve_region(
+            &stack,
+            Region::new(IntVector::ZERO, IntVector::new(4, n, n)),
+            &params,
+        );
+        let right = solve_region(
+            &stack,
+            Region::new(IntVector::new(4, 0, 0), IntVector::new(n, n, n)),
+            &params,
+        );
+        for c in left.region().cells() {
+            assert_eq!(whole[c], left[c]);
+        }
+        for c in right.region().cells() {
+            assert_eq!(whole[c], right[c]);
+        }
+    }
+
+    #[test]
+    fn threaded_solve_is_bitwise_identical() {
+        let n = 8;
+        let props = LevelProps::uniform(Region::cube(n), Vector::splat(1.0 / n as f64), 1.5, 0.9);
+        let params = RmcrtParams {
+            nrays: 8,
+            ..Default::default()
+        };
+        let stack = single(&props);
+        let serial = solve_region(&stack, Region::cube(n), &params);
+        let threaded = solve_region_threaded(&stack, Region::cube(n), &params, 4);
+        assert_eq!(serial, threaded);
+        // And through the Kokkos-style execution-space API.
+        for space in [uintah_exec::ExecSpace::Serial, uintah_exec::ExecSpace::Threads(3)] {
+            assert_eq!(serial, solve_region_exec(&stack, Region::cube(n), &params, space));
+        }
+    }
+
+    /// Different timesteps decorrelate the Monte Carlo noise.
+    #[test]
+    fn timesteps_change_noise_not_mean() {
+        let n = 8;
+        let props = LevelProps::uniform(Region::cube(n), Vector::splat(1.0 / n as f64), 1.0, 1.0);
+        let stack = single(&props);
+        let c = IntVector::splat(4);
+        let a = div_q_for_cell(
+            &stack,
+            c,
+            &RmcrtParams {
+                nrays: 32,
+                timestep: 0,
+                sampling: crate::sampling::RaySampling::Independent,
+                ..Default::default()
+            },
+        );
+        let b = div_q_for_cell(
+            &stack,
+            c,
+            &RmcrtParams {
+                nrays: 32,
+                timestep: 1,
+                ..Default::default()
+            },
+        );
+        assert_ne!(a, b, "different timesteps must resample");
+        assert!((a - b).abs() < 0.5 * a.abs().max(b.abs()), "means wildly apart");
+    }
+}

@@ -1,0 +1,268 @@
+//! Kokkos-style execution spaces — the paper's last future-work item.
+//!
+//! §VII: "Work is currently underway to address coprocessor architectures
+//! … This work will leverage the Kokkos library to achieve performance
+//! portability, requiring the extension of the Uintah runtime system to
+//! support multi-threaded task execution."
+//!
+//! Kokkos' core idea is that a kernel is written once against an abstract
+//! *execution space* and dispatched to serial, multi-threaded or device
+//! back-ends. This crate provides that shape for cell-region kernels:
+//!
+//! * [`ExecSpace`] — `Serial` or `Threads(n)` (the device back-end of the
+//!   simulated GPU is byte-accounting, so kernels "on device" also run
+//!   through these host spaces);
+//! * [`parallel_for`] — apply a kernel to every cell of a region;
+//! * [`parallel_reduce`] — map-reduce over a region with a deterministic
+//!   combination order (slab-ordered, so floating-point results are
+//!   identical for any thread count);
+//! * [`parallel_fill`] — produce a [`CcVariable`] by evaluating a kernel
+//!   per cell (the common "compute a field" pattern).
+//!
+//! Determinism is a hard requirement inherited from the RMCRT solvers:
+//! every entry point yields results that are bit-identical across
+//! execution spaces.
+
+use uintah_grid::{CcVariable, IntVector, Region};
+
+/// Where a kernel runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ExecSpace {
+    /// The calling thread.
+    #[default]
+    Serial,
+    /// A scoped pool of `n` host threads (z-slab decomposition).
+    Threads(usize),
+}
+
+impl ExecSpace {
+    /// Effective worker count.
+    pub fn concurrency(self) -> usize {
+        match self {
+            ExecSpace::Serial => 1,
+            ExecSpace::Threads(n) => n.max(1),
+        }
+    }
+}
+
+/// Split `region` into at most `n` contiguous z-slabs.
+fn slabs(region: Region, n: usize) -> Vec<Region> {
+    let nz = region.extent().z.max(0) as usize;
+    let n = n.clamp(1, nz.max(1));
+    (0..n)
+        .map(|i| {
+            let z0 = region.lo().z + (nz * i / n) as i32;
+            let z1 = region.lo().z + (nz * (i + 1) / n) as i32;
+            Region::new(
+                IntVector::new(region.lo().x, region.lo().y, z0),
+                IntVector::new(region.hi().x, region.hi().y, z1),
+            )
+        })
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Run `kernel` for every cell of `region`.
+///
+/// ```
+/// use uintah_exec::{parallel_reduce, ExecSpace};
+/// use uintah_grid::Region;
+///
+/// let region = Region::cube(8);
+/// let serial = parallel_reduce(ExecSpace::Serial, region, 0.0f64,
+///     |c| (c.x + c.y + c.z) as f64 * 0.1, |a, b| a + b);
+/// let threaded = parallel_reduce(ExecSpace::Threads(4), region, 0.0f64,
+///     |c| (c.x + c.y + c.z) as f64 * 0.1, |a, b| a + b);
+/// assert_eq!(serial.to_bits(), threaded.to_bits()); // bit-identical
+/// ```
+pub fn parallel_for<F>(space: ExecSpace, region: Region, kernel: F)
+where
+    F: Fn(IntVector) + Sync,
+{
+    match space {
+        ExecSpace::Serial => {
+            for c in region.cells() {
+                kernel(c);
+            }
+        }
+        ExecSpace::Threads(n) => {
+            let kernel = &kernel;
+            std::thread::scope(|s| {
+                for slab in slabs(region, n.max(1)) {
+                    s.spawn(move || {
+                        for c in slab.cells() {
+                            kernel(c);
+                        }
+                    });
+                }
+            });
+        }
+    }
+}
+
+/// Map-reduce over `region` with a *canonical fold structure*: a partial
+/// accumulator is computed per z-plane (cell order within a plane is fixed)
+/// and the plane partials are folded left-to-right. Because the structure
+/// does not depend on the execution space, results are **bit-identical**
+/// for any thread count even for non-associative combines (floating-point
+/// sums) — the property the RMCRT solvers require.
+pub fn parallel_reduce<T, M, C>(space: ExecSpace, region: Region, identity: T, map: M, combine: C) -> T
+where
+    T: Send + Sync + Clone,
+    M: Fn(IntVector) -> T + Sync,
+    C: Fn(T, T) -> T + Sync,
+{
+    if region.is_empty() {
+        return identity;
+    }
+    let planes: Vec<Region> = (region.lo().z..region.hi().z)
+        .map(|z| {
+            Region::new(
+                IntVector::new(region.lo().x, region.lo().y, z),
+                IntVector::new(region.hi().x, region.hi().y, z + 1),
+            )
+        })
+        .collect();
+    let plane_partial = |plane: &Region| -> T {
+        let mut acc = identity.clone();
+        for c in plane.cells() {
+            acc = combine(acc, map(c));
+        }
+        acc
+    };
+    let partials: Vec<T> = match space {
+        ExecSpace::Serial => planes.iter().map(plane_partial).collect(),
+        ExecSpace::Threads(n) => {
+            let mut out: Vec<Option<T>> = (0..planes.len()).map(|_| None).collect();
+            let chunk = planes.len().div_ceil(n.max(1));
+            let plane_partial = &plane_partial;
+            std::thread::scope(|s| {
+                for (planes_chunk, out_chunk) in planes.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                    s.spawn(move || {
+                        for (p, slot) in planes_chunk.iter().zip(out_chunk.iter_mut()) {
+                            *slot = Some(plane_partial(p));
+                        }
+                    });
+                }
+            });
+            out.into_iter().map(|p| p.expect("plane computed")).collect()
+        }
+    };
+    // Canonical left-to-right fold over plane partials.
+    let mut acc = identity;
+    for p in partials {
+        acc = combine(acc, p);
+    }
+    acc
+}
+
+/// Evaluate `kernel` at every cell of `region` into a new variable.
+pub fn parallel_fill<T, F>(space: ExecSpace, region: Region, kernel: F) -> CcVariable<T>
+where
+    T: Copy + Default + Send + Sync,
+    F: Fn(IntVector) -> T + Sync,
+{
+    match space {
+        ExecSpace::Serial => {
+            let mut out = CcVariable::new(region);
+            out.fill_with(kernel);
+            out
+        }
+        ExecSpace::Threads(n) => {
+            let chunks = slabs(region, n.max(1));
+            let mut parts: Vec<Option<CcVariable<T>>> = (0..chunks.len()).map(|_| None).collect();
+            let kernel = &kernel;
+            std::thread::scope(|s| {
+                for (slab, slot) in chunks.iter().zip(parts.iter_mut()) {
+                    let slab = *slab;
+                    s.spawn(move || {
+                        let mut v = CcVariable::new(slab);
+                        v.fill_with(kernel);
+                        *slot = Some(v);
+                    });
+                }
+            });
+            let mut out = CcVariable::new(region);
+            for p in parts.into_iter().flatten() {
+                out.copy_window(&p, &p.region());
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parallel_for_visits_every_cell_once() {
+        for space in [ExecSpace::Serial, ExecSpace::Threads(4), ExecSpace::Threads(64)] {
+            let region = Region::cube(8);
+            let counts: Vec<AtomicUsize> = (0..region.volume()).map(|_| AtomicUsize::new(0)).collect();
+            parallel_for(space, region, |c| {
+                counts[region.linear_index(c)].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                "{space:?} missed or duplicated cells"
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_is_bit_identical_across_spaces() {
+        let region = Region::new(IntVector::new(-3, 0, 2), IntVector::new(5, 7, 11));
+        // A float map whose sum depends on association order if slabs were
+        // combined nondeterministically.
+        let map = |c: IntVector| ((c.x * 37 + c.y * 11 + c.z) as f64).sin() * 1e3;
+        let serial = parallel_reduce(ExecSpace::Serial, region, 0.0f64, map, |a, b| a + b);
+        for n in [2usize, 3, 8, 32] {
+            let par = parallel_reduce(ExecSpace::Threads(n), region, 0.0f64, map, |a, b| a + b);
+            assert_eq!(serial.to_bits(), par.to_bits(), "Threads({n}) diverged");
+        }
+    }
+
+    #[test]
+    fn fill_matches_serial_fill() {
+        let region = Region::cube(9);
+        let f = |c: IntVector| (c.x + 100 * c.y + 10_000 * c.z) as f64 * 0.1;
+        let serial = parallel_fill(ExecSpace::Serial, region, f);
+        let par = parallel_fill(ExecSpace::Threads(5), region, f);
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn max_reduce() {
+        let region = Region::cube(6);
+        let m = parallel_reduce(
+            ExecSpace::Threads(3),
+            region,
+            i64::MIN,
+            |c| (c.x * c.y * c.z) as i64,
+            i64::max,
+        );
+        assert_eq!(m, 5 * 5 * 5);
+    }
+
+    #[test]
+    fn degenerate_and_thin_regions() {
+        // Fewer z-planes than threads, and a single-plane region.
+        let thin = Region::new(IntVector::ZERO, IntVector::new(4, 4, 1));
+        let sum = parallel_reduce(ExecSpace::Threads(16), thin, 0usize, |_| 1usize, |a, b| a + b);
+        assert_eq!(sum, 16);
+        let count = std::sync::atomic::AtomicUsize::new(0);
+        parallel_for(ExecSpace::Threads(9), thin, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn concurrency_reporting() {
+        assert_eq!(ExecSpace::Serial.concurrency(), 1);
+        assert_eq!(ExecSpace::Threads(8).concurrency(), 8);
+        assert_eq!(ExecSpace::Threads(0).concurrency(), 1);
+    }
+}

@@ -1,0 +1,270 @@
+//! The simulated GPU device: memory capacity, copy engines, streams.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Errors from device operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuError {
+    /// Allocation would exceed device global memory (the K20X 6 GB wall the
+    /// level database exists to avoid).
+    OutOfMemory {
+        requested: usize,
+        used: usize,
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::OutOfMemory {
+                requested,
+                used,
+                capacity,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} B with {used}/{capacity} B in use"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+/// Counters for one copy engine (the K20X has two: one per direction, which
+/// is what lets transfers for some patches overlap kernels of others).
+#[derive(Debug, Default)]
+pub struct CopyEngineStats {
+    pub transfers: AtomicU64,
+    pub bytes: AtomicU64,
+}
+
+/// A CUDA-stream-like handle. Operations issued on different streams may
+/// interleave; the Uintah infrastructure assigns each GPU patch task its own
+/// stream (round-robin here via [`GpuDevice::next_stream`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Stream(pub u32);
+
+#[derive(Debug)]
+struct DeviceInner {
+    name: &'static str,
+    capacity: usize,
+    used: AtomicUsize,
+    peak: AtomicUsize,
+    h2d: CopyEngineStats,
+    d2h: CopyEngineStats,
+    kernels: AtomicU64,
+    num_streams: u32,
+    next_stream: AtomicU64,
+    alloc_failures: AtomicU64,
+}
+
+/// A simulated GPU. Cheap to clone (shared accounting).
+#[derive(Clone, Debug)]
+pub struct GpuDevice {
+    inner: Arc<DeviceInner>,
+}
+
+impl GpuDevice {
+    /// A Titan-node K20X: 6 GB GDDR5, two copy engines, 16 streams.
+    pub fn k20x() -> Self {
+        Self::with_capacity("Tesla K20X", 6 * 1024 * 1024 * 1024)
+    }
+
+    pub fn with_capacity(name: &'static str, capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(DeviceInner {
+                name,
+                capacity,
+                used: AtomicUsize::new(0),
+                peak: AtomicUsize::new(0),
+                h2d: CopyEngineStats::default(),
+                d2h: CopyEngineStats::default(),
+                kernels: AtomicU64::new(0),
+                num_streams: 16,
+                next_stream: AtomicU64::new(0),
+                alloc_failures: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        self.inner.name
+    }
+
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Bytes currently allocated on the device.
+    pub fn used(&self) -> usize {
+        self.inner.used.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of device memory.
+    pub fn peak(&self) -> usize {
+        self.inner.peak.load(Ordering::Relaxed)
+    }
+
+    /// Reserve `bytes` of device memory (atomic; fails cleanly at capacity).
+    pub(crate) fn try_reserve(&self, bytes: usize) -> Result<(), GpuError> {
+        let mut used = self.inner.used.load(Ordering::Relaxed);
+        loop {
+            let new = used + bytes;
+            if new > self.inner.capacity {
+                self.inner.alloc_failures.fetch_add(1, Ordering::Relaxed);
+                return Err(GpuError::OutOfMemory {
+                    requested: bytes,
+                    used,
+                    capacity: self.inner.capacity,
+                });
+            }
+            match self.inner.used.compare_exchange_weak(
+                used,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.inner.peak.fetch_max(new, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(u) => used = u,
+            }
+        }
+    }
+
+    pub(crate) fn release(&self, bytes: usize) {
+        self.inner.used.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Meter a host→device transfer on copy engine 0.
+    pub fn record_h2d(&self, bytes: usize) {
+        self.inner.h2d.transfers.fetch_add(1, Ordering::Relaxed);
+        self.inner.h2d.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Meter a device→host transfer on copy engine 1.
+    pub fn record_d2h(&self, bytes: usize) {
+        self.inner.d2h.transfers.fetch_add(1, Ordering::Relaxed);
+        self.inner.d2h.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Record a kernel launch and return its stream. The actual work runs on
+    /// the calling host thread (concurrent kernels = concurrent patch tasks).
+    pub fn launch_kernel(&self) -> Stream {
+        self.inner.kernels.fetch_add(1, Ordering::Relaxed);
+        self.next_stream()
+    }
+
+    /// Round-robin stream assignment (one stream per in-flight patch task).
+    pub fn next_stream(&self) -> Stream {
+        let s = self.inner.next_stream.fetch_add(1, Ordering::Relaxed);
+        Stream((s % self.inner.num_streams as u64) as u32)
+    }
+
+    pub fn h2d_bytes(&self) -> u64 {
+        self.inner.h2d.bytes.load(Ordering::Relaxed)
+    }
+
+    pub fn h2d_transfers(&self) -> u64 {
+        self.inner.h2d.transfers.load(Ordering::Relaxed)
+    }
+
+    pub fn d2h_bytes(&self) -> u64 {
+        self.inner.d2h.bytes.load(Ordering::Relaxed)
+    }
+
+    pub fn d2h_transfers(&self) -> u64 {
+        self.inner.d2h.transfers.load(Ordering::Relaxed)
+    }
+
+    pub fn kernels_launched(&self) -> u64 {
+        self.inner.kernels.load(Ordering::Relaxed)
+    }
+
+    pub fn alloc_failures(&self) -> u64 {
+        self.inner.alloc_failures.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k20x_has_6gb() {
+        let d = GpuDevice::k20x();
+        assert_eq!(d.capacity(), 6 * 1024 * 1024 * 1024);
+        assert_eq!(d.used(), 0);
+    }
+
+    #[test]
+    fn reserve_release_accounting() {
+        let d = GpuDevice::with_capacity("test", 1000);
+        d.try_reserve(600).unwrap();
+        assert_eq!(d.used(), 600);
+        let err = d.try_reserve(500).unwrap_err();
+        assert_eq!(
+            err,
+            GpuError::OutOfMemory {
+                requested: 500,
+                used: 600,
+                capacity: 1000
+            }
+        );
+        d.release(600);
+        assert_eq!(d.used(), 0);
+        assert_eq!(d.peak(), 600);
+        assert_eq!(d.alloc_failures(), 1);
+    }
+
+    #[test]
+    fn copy_engines_are_per_direction() {
+        let d = GpuDevice::k20x();
+        d.record_h2d(100);
+        d.record_h2d(50);
+        d.record_d2h(7);
+        assert_eq!(d.h2d_transfers(), 2);
+        assert_eq!(d.h2d_bytes(), 150);
+        assert_eq!(d.d2h_transfers(), 1);
+        assert_eq!(d.d2h_bytes(), 7);
+    }
+
+    #[test]
+    fn streams_round_robin() {
+        let d = GpuDevice::k20x();
+        let s0 = d.next_stream();
+        let s1 = d.next_stream();
+        assert_ne!(s0, s1);
+        // 16 streams wrap around.
+        for _ in 0..14 {
+            d.next_stream();
+        }
+        assert_eq!(d.next_stream(), s0);
+    }
+
+    #[test]
+    fn concurrent_reserve_never_exceeds_capacity() {
+        let d = GpuDevice::with_capacity("test", 10_000);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let d = d.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        if d.try_reserve(100).is_ok() {
+                            assert!(d.used() <= d.capacity());
+                            d.release(100);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(d.used(), 0);
+        assert!(d.peak() <= d.capacity());
+    }
+}

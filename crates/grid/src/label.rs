@@ -1,0 +1,58 @@
+//! Variable labels.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a simulation variable ("abskg", "sigmaT4", "divQ", ...).
+///
+/// The numeric id is used when composing message tags, so it must be unique
+/// among the variables of one simulation (applications define their labels
+/// as constants; the RMCRT labels live in `rmcrt-core`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+pub struct VarLabel {
+    name: &'static str,
+    id: u8,
+}
+
+impl VarLabel {
+    pub const fn new(name: &'static str, id: u8) -> Self {
+        Self { name, id }
+    }
+
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    #[inline]
+    pub fn id(&self) -> u8 {
+        self.id
+    }
+}
+
+impl fmt::Debug for VarLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.name, self.id)
+    }
+}
+
+impl fmt::Display for VarLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_compare_by_name_and_id() {
+        const A: VarLabel = VarLabel::new("abskg", 0);
+        const B: VarLabel = VarLabel::new("sigmaT4", 1);
+        assert_ne!(A, B);
+        assert_eq!(A, VarLabel::new("abskg", 0));
+        assert_eq!(A.name(), "abskg");
+        assert_eq!(B.id(), 1);
+    }
+}

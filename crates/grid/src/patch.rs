@@ -1,0 +1,136 @@
+//! Cartesian mesh patches — the unit of work distribution.
+
+use crate::index::IntVector;
+use crate::region::Region;
+use serde::{Deserialize, Serialize};
+
+/// Globally unique patch identifier.
+///
+/// Uintah numbers patches consecutively across levels; we do the same:
+/// patch ids are dense `0..grid.num_patches()`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PatchId(pub u32);
+
+impl PatchId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A rectangular patch of cells on one level.
+///
+/// The *interior* region is exclusive: patches on a level tile the level's
+/// cell space without overlap. Ghost data for stencils/ray origins comes from
+/// neighbouring patches (or boundary conditions) via the data warehouse.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Patch {
+    id: PatchId,
+    level: u8,
+    interior: Region,
+    /// Position of this patch in the level's patch lattice.
+    lattice_pos: IntVector,
+}
+
+impl Patch {
+    pub fn new(id: PatchId, level: u8, interior: Region, lattice_pos: IntVector) -> Self {
+        assert!(!interior.is_empty(), "patch {id:?} with empty interior");
+        Self {
+            id,
+            level,
+            interior,
+            lattice_pos,
+        }
+    }
+
+    #[inline]
+    pub fn id(&self) -> PatchId {
+        self.id
+    }
+
+    /// Index of the level this patch lives on (0 = coarsest).
+    #[inline]
+    pub fn level_index(&self) -> u8 {
+        self.level
+    }
+
+    /// Cells owned by this patch.
+    #[inline]
+    pub fn interior(&self) -> Region {
+        self.interior
+    }
+
+    /// Interior grown by `g` ghost cells per face.
+    #[inline]
+    pub fn with_ghosts(&self, g: i32) -> Region {
+        self.interior.grown(g)
+    }
+
+    /// Position in the level's patch lattice (patch-granular coordinates).
+    #[inline]
+    pub fn lattice_pos(&self) -> IntVector {
+        self.lattice_pos
+    }
+
+    /// Number of interior cells.
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.interior.volume()
+    }
+
+    /// True if `other`'s interior intersects our ghost halo of width `g` —
+    /// i.e. `other` must send us data for a `g`-ghost requirement.
+    pub fn needs_from(&self, other: &Patch, g: i32) -> bool {
+        other.id != self.id && self.with_ghosts(g).overlaps(&other.interior)
+    }
+
+    /// The footprint `other` must send for our `g`-ghost requirement.
+    pub fn ghost_footprint_from(&self, other: &Patch, g: i32) -> Region {
+        self.with_ghosts(g).intersect(&other.interior)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patch(id: u32, lo: i32, n: i32) -> Patch {
+        Patch::new(
+            PatchId(id),
+            0,
+            Region::new(IntVector::splat(lo), IntVector::splat(lo + n)),
+            IntVector::ZERO,
+        )
+    }
+
+    #[test]
+    fn ghost_halo_neighbour_detection() {
+        let a = patch(0, 0, 16);
+        let b = patch(1, 16, 16); // face neighbour in every axis (corner)
+        assert!(a.needs_from(&b, 1));
+        assert!(!a.needs_from(&b, 0));
+        assert!(!a.needs_from(&a, 1), "patch never needs from itself");
+        let fp = a.ghost_footprint_from(&b, 1);
+        assert_eq!(fp.volume(), 1); // single corner cell
+    }
+
+    #[test]
+    fn footprint_volume_face_neighbour() {
+        let a = patch(0, 0, 16);
+        let b = Patch::new(
+            PatchId(1),
+            0,
+            Region::new(IntVector::new(16, 0, 0), IntVector::new(32, 16, 16)),
+            IntVector::new(1, 0, 0),
+        );
+        let fp = a.ghost_footprint_from(&b, 2);
+        assert_eq!(fp.extent(), IntVector::new(2, 16, 16));
+        assert_eq!(fp.volume(), 2 * 16 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interior")]
+    fn empty_patch_rejected() {
+        Patch::new(PatchId(0), 0, Region::EMPTY, IntVector::ZERO);
+    }
+}

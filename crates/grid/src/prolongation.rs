@@ -1,0 +1,141 @@
+//! Coarse→fine interpolation (prolongation).
+//!
+//! The inverse of [`crate::restriction`]: AMR frameworks use prolongation
+//! to initialize newly refined patches and to fill fine-level boundary
+//! conditions from coarse data. Two operators are provided: piecewise-
+//! constant injection (exact inverse of averaging for constant fields) and
+//! trilinear interpolation from coarse cell centres.
+
+use crate::index::IntVector;
+use crate::region::Region;
+use crate::variable::CcVariable;
+
+/// Piecewise-constant prolongation: every fine child copies its coarse
+/// parent's value. `coarse` must cover `fine_window.coarsened(rr)`.
+pub fn prolong_constant(
+    coarse: &CcVariable<f64>,
+    rr: IntVector,
+    fine_window: Region,
+) -> CcVariable<f64> {
+    let mut out = CcVariable::new(fine_window);
+    for fc in fine_window.cells() {
+        out[fc] = coarse[fc.div_floor(rr)];
+    }
+    out
+}
+
+/// Trilinear prolongation from coarse cell centres, clamped at the coarse
+/// data's boundary (no extrapolation past the outermost centres).
+pub fn prolong_linear(coarse: &CcVariable<f64>, rr: IntVector, fine_window: Region) -> CcVariable<f64> {
+    let cr = coarse.region();
+    let mut out = CcVariable::new(fine_window);
+    for fc in fine_window.cells() {
+        // Fine cell centre in coarse index space (coarse cell centres sit
+        // at integer + 0.5).
+        let mut w = [0.0f64; 3];
+        let mut base = IntVector::ZERO;
+        for a in 0..3 {
+            let x = (fc[a] as f64 + 0.5) / rr[a] as f64 - 0.5;
+            let lo = x.floor();
+            let mut b = lo as i32;
+            let mut t = x - lo;
+            // Clamp to the coarse region so interpolation never reads
+            // outside the data.
+            if b < cr.lo()[a] {
+                b = cr.lo()[a];
+                t = 0.0;
+            }
+            if b >= cr.hi()[a] - 1 {
+                b = cr.hi()[a] - 1;
+                t = if cr.extent()[a] > 1 { 1.0 } else { 0.0 };
+                if t == 1.0 {
+                    b = cr.hi()[a] - 2;
+                }
+            }
+            base[a] = b;
+            w[a] = t;
+        }
+        let mut v = 0.0;
+        for dz in 0..2 {
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    let c = base + IntVector::new(dx, dy, dz);
+                    let c = IntVector::new(
+                        c.x.clamp(cr.lo().x, cr.hi().x - 1),
+                        c.y.clamp(cr.lo().y, cr.hi().y - 1),
+                        c.z.clamp(cr.lo().z, cr.hi().z - 1),
+                    );
+                    let weight = (if dx == 1 { w[0] } else { 1.0 - w[0] })
+                        * (if dy == 1 { w[1] } else { 1.0 - w[1] })
+                        * (if dz == 1 { w[2] } else { 1.0 - w[2] });
+                    v += weight * coarse[c];
+                }
+            }
+        }
+        out[fc] = v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::restriction::restrict_average;
+
+    #[test]
+    fn constant_prolongation_copies_parent() {
+        let rr = IntVector::splat(4);
+        let mut coarse = CcVariable::<f64>::new(Region::cube(2));
+        coarse.fill_with(|c| (c.x + 10 * c.y + 100 * c.z) as f64);
+        let fine = prolong_constant(&coarse, rr, Region::cube(8));
+        for fc in Region::cube(8).cells() {
+            assert_eq!(fine[fc], coarse[fc.div_floor(rr)]);
+        }
+    }
+
+    #[test]
+    fn restriction_of_constant_prolongation_is_identity() {
+        let rr = IntVector::splat(2);
+        let mut coarse = CcVariable::<f64>::new(Region::cube(4));
+        coarse.fill_with(|c| 1.0 + c.x as f64 * 0.3 - c.y as f64 * 0.1 + c.z as f64);
+        let fine = prolong_constant(&coarse, rr, Region::cube(8));
+        let back = restrict_average(&fine, rr, Region::cube(4));
+        for c in Region::cube(4).cells() {
+            assert!((back[c] - coarse[c]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn linear_prolongation_reproduces_linear_fields_in_interior() {
+        // A linear field is interpolated exactly away from the clamped
+        // boundary.
+        let rr = IntVector::splat(2);
+        let mut coarse = CcVariable::<f64>::new(Region::cube(6));
+        let f = |x: f64, y: f64, z: f64| 2.0 * x + 3.0 * y - z + 0.5;
+        coarse.fill_with(|c| f(c.x as f64 + 0.5, c.y as f64 + 0.5, c.z as f64 + 0.5));
+        let fine = prolong_linear(&coarse, rr, Region::cube(12));
+        // Interior fine cells (children of coarse cells 1..5).
+        for fc in Region::new(IntVector::splat(3), IntVector::splat(9)).cells() {
+            let expect = f(
+                (fc.x as f64 + 0.5) / 2.0,
+                (fc.y as f64 + 0.5) / 2.0,
+                (fc.z as f64 + 0.5) / 2.0,
+            );
+            assert!(
+                (fine[fc] - expect).abs() < 1e-12,
+                "cell {fc:?}: {} vs {expect}",
+                fine[fc]
+            );
+        }
+    }
+
+    #[test]
+    fn linear_prolongation_clamps_at_boundary() {
+        let rr = IntVector::splat(4);
+        let coarse = CcVariable::<f64>::filled(Region::cube(2), 7.0);
+        let fine = prolong_linear(&coarse, rr, Region::cube(8));
+        for (_, &v) in fine.iter() {
+            assert!((v - 7.0).abs() < 1e-12, "constant field must prolong exactly");
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Fine→coarse projection (restriction) operators.
+//!
+//! The multi-level RMCRT algorithm projects the fine CFD mesh's radiative
+//! properties (`abskg`, `sigmaT4`, `cellType`) onto every coarser level
+//! (paper §III-B/C). Continuous fields use volume-weighted averaging; the
+//! integer `cellType` uses a majority/any-boundary rule so coarse cells never
+//! lose wall information.
+
+use crate::index::IntVector;
+use crate::level::Level;
+use crate::region::Region;
+use crate::variable::CcVariable;
+
+/// Volume-weighted average of the fine cells under each coarse cell.
+///
+/// `fine` must cover `coarse_window.refined(rr)`; the output variable covers
+/// `coarse_window`. For a regular refinement ratio every fine child has equal
+/// volume, so this is the arithmetic mean of the `rr³` children.
+pub fn restrict_average(
+    fine: &CcVariable<f64>,
+    rr: IntVector,
+    coarse_window: Region,
+) -> CcVariable<f64> {
+    let mut out = CcVariable::new(coarse_window);
+    let inv = 1.0 / rr.volume() as f64;
+    for cc in coarse_window.cells() {
+        let child_lo = cc.comp_mul(rr);
+        let child = Region::new(child_lo, child_lo + rr);
+        let mut sum = 0.0;
+        for fc in child.cells() {
+            sum += fine[fc];
+        }
+        out[cc] = sum * inv;
+    }
+    out
+}
+
+/// Restriction for integer cell types: a coarse cell is a boundary
+/// (non-zero) if *any* of its fine children is, reproducing Uintah's
+/// conservative treatment of walls on the coarse radiation mesh.
+pub fn restrict_cell_type(
+    fine: &CcVariable<u8>,
+    rr: IntVector,
+    coarse_window: Region,
+) -> CcVariable<u8> {
+    let mut out = CcVariable::new(coarse_window);
+    for cc in coarse_window.cells() {
+        let child_lo = cc.comp_mul(rr);
+        let child = Region::new(child_lo, child_lo + rr);
+        let mut ty = 0u8;
+        for fc in child.cells() {
+            let t = fine[fc];
+            if t != 0 {
+                ty = t;
+                break;
+            }
+        }
+        out[cc] = ty;
+    }
+    out
+}
+
+/// Restrict a whole fine level onto a whole coarse level.
+///
+/// Convenience for the benchmark setup where the coarse radiation mesh is a
+/// full-domain replica of the fine data.
+pub fn restrict_level(fine_level: &Level, coarse_level: &Level, fine: &CcVariable<f64>) -> CcVariable<f64> {
+    let rr = fine_level.ratio_to_coarser().as_ivec();
+    debug_assert_eq!(
+        coarse_level.cell_region().refined(rr),
+        fine_level.cell_region(),
+        "levels are not related by the refinement ratio"
+    );
+    restrict_average(fine, rr, coarse_level.cell_region())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::{Point, Vector};
+    use crate::level::RefinementRatio;
+
+    #[test]
+    fn average_conserves_integral() {
+        let rr = IntVector::splat(4);
+        let fine_r = Region::cube(8);
+        let mut fine = CcVariable::<f64>::new(fine_r);
+        fine.fill_with(|c| (c.x + c.y * 2 + c.z * 3) as f64 + 0.25);
+        let coarse = restrict_average(&fine, rr, Region::cube(2));
+        // Each coarse cell is 64x the fine volume: integral must match.
+        let fine_sum: f64 = fine.as_slice().iter().sum();
+        let coarse_sum: f64 = coarse.as_slice().iter().sum::<f64>() * rr.volume() as f64;
+        assert!((fine_sum - coarse_sum).abs() < 1e-9 * fine_sum.abs());
+    }
+
+    #[test]
+    fn constant_field_restricts_to_constant() {
+        let rr = IntVector::splat(2);
+        let fine = CcVariable::filled(Region::cube(4), 7.5f64);
+        let coarse = restrict_average(&fine, rr, Region::cube(2));
+        for (_, &v) in coarse.iter() {
+            assert_eq!(v, 7.5);
+        }
+    }
+
+    #[test]
+    fn cell_type_any_boundary_wins() {
+        let rr = IntVector::splat(2);
+        let mut fine = CcVariable::<u8>::new(Region::cube(4));
+        fine[IntVector::new(3, 3, 3)] = 1; // one wall cell in the corner octant
+        let coarse = restrict_cell_type(&fine, rr, Region::cube(2));
+        assert_eq!(coarse[IntVector::splat(1)], 1);
+        assert_eq!(coarse[IntVector::ZERO], 0);
+    }
+
+    #[test]
+    fn level_restriction() {
+        let coarse_level = Level::new(
+            0,
+            Region::cube(4),
+            Point::ORIGIN,
+            Vector::splat(0.25),
+            RefinementRatio::isotropic(1),
+            IntVector::splat(4),
+            0,
+        );
+        let fine_level = Level::new(
+            1,
+            Region::cube(16),
+            Point::ORIGIN,
+            Vector::splat(0.0625),
+            RefinementRatio::isotropic(4),
+            IntVector::splat(8),
+            1,
+        );
+        let mut fine = CcVariable::<f64>::new(fine_level.cell_region());
+        fine.fill_with(|c| c.x as f64);
+        let coarse = restrict_level(&fine_level, &coarse_level, &fine);
+        // Children along x of coarse cell 0 have x in 0..4 -> mean 1.5.
+        assert!((coarse[IntVector::ZERO] - 1.5).abs() < 1e-12);
+        assert!((coarse[IntVector::new(3, 0, 0)] - 13.5).abs() < 1e-12);
+    }
+}

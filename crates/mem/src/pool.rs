@@ -1,0 +1,384 @@
+//! Lock-free fixed-size block pool for small transient objects.
+//!
+//! "To manage our small transient objects, i.e. objects that are frequently
+//! created and destroyed, we developed a lock-free memory pool on top of our
+//! mmap allocator to avoid the heap and to maximize throughput" (§IV-B.1).
+//!
+//! The free list is a Treiber stack whose head packs a 32-bit ABA tag with a
+//! 32-bit block index (`0` = empty, else `index + 1`); `next` links live in a
+//! side table of atomics rather than inside the blocks so that a stale read
+//! during a contended pop never touches user data. Pop and push are lock-free
+//! (a failed CAS means another thread made progress). Growing the pool when
+//! the free list is empty takes a mutex, but growth is rare and never blocks
+//! pop/push of existing blocks.
+
+use crate::arena::{PageAllocation, PageArena};
+use parking_lot::Mutex;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Maximum number of chunks a pool can grow to.
+const MAX_CHUNKS: usize = 4096;
+
+struct Chunk {
+    /// Backing storage, kept alive until the pool drops.
+    _alloc: PageAllocation,
+    base: NonNull<u8>,
+    /// One `next` link per block (stored as `index + 1`, 0 = end of list).
+    next: Box<[AtomicU32]>,
+}
+
+// SAFETY: `base` points into `_alloc`, which is Send + Sync; blocks are only
+// handed out exclusively (one PoolBlock per block index at a time).
+unsafe impl Send for Chunk {}
+unsafe impl Sync for Chunk {}
+
+struct PoolInner {
+    block_size: usize,
+    blocks_per_chunk: usize,
+    /// Published chunk pointers for lock-free lookup; index < num_chunks is
+    /// guaranteed initialized (Release on publish / Acquire on read).
+    chunks: Box<[AtomicPtr<Chunk>]>,
+    num_chunks: AtomicUsize,
+    /// Owning storage for chunk structs (push-only under the mutex).
+    #[allow(clippy::vec_box)] // Box gives chunks stable addresses for the published pointers
+    chunk_owner: Mutex<Vec<Box<Chunk>>>,
+    /// Treiber head: high 32 bits ABA tag, low 32 bits `index + 1` (0 empty).
+    free_head: AtomicU64,
+    arena: PageArena,
+    live_blocks: AtomicUsize,
+    total_pops: AtomicUsize,
+    total_pushes: AtomicUsize,
+}
+
+/// A thread-safe, cheaply-cloneable lock-free pool of fixed-size blocks.
+#[derive(Clone)]
+pub struct BlockPool {
+    inner: Arc<PoolInner>,
+}
+
+impl BlockPool {
+    /// Create a pool of `block_size`-byte blocks backed by `arena`.
+    ///
+    /// `block_size` is rounded up to 16 bytes. Each growth step allocates at
+    /// least one page worth of blocks.
+    pub fn new(block_size: usize, arena: PageArena) -> Self {
+        assert!(block_size > 0, "zero block size");
+        let block_size = block_size.max(16).next_multiple_of(16);
+        let blocks_per_chunk = (crate::arena::PAGE_SIZE * 16 / block_size).max(8);
+        let chunks: Vec<AtomicPtr<Chunk>> = (0..MAX_CHUNKS)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect();
+        Self {
+            inner: Arc::new(PoolInner {
+                block_size,
+                blocks_per_chunk,
+                chunks: chunks.into_boxed_slice(),
+                num_chunks: AtomicUsize::new(0),
+                chunk_owner: Mutex::new(Vec::new()),
+                free_head: AtomicU64::new(0),
+                arena,
+                live_blocks: AtomicUsize::new(0),
+                total_pops: AtomicUsize::new(0),
+                total_pushes: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Usable bytes per block.
+    #[inline]
+    pub fn block_size(&self) -> usize {
+        self.inner.block_size
+    }
+
+    /// Blocks currently handed out.
+    pub fn live_blocks(&self) -> usize {
+        self.inner.live_blocks.load(Ordering::Relaxed)
+    }
+
+    /// Total blocks the pool has capacity for.
+    pub fn capacity_blocks(&self) -> usize {
+        self.inner.num_chunks.load(Ordering::Acquire) * self.inner.blocks_per_chunk
+    }
+
+    /// Number of successful free-list pops (allocation fast path hits).
+    pub fn total_pops(&self) -> usize {
+        self.inner.total_pops.load(Ordering::Relaxed)
+    }
+
+    /// Allocate a block, growing the pool if the free list is empty.
+    pub fn allocate(&self) -> PoolBlock {
+        loop {
+            if let Some(idx) = self.inner.pop() {
+                self.inner.live_blocks.fetch_add(1, Ordering::Relaxed);
+                let ptr = self.inner.block_ptr(idx);
+                return PoolBlock {
+                    inner: Arc::clone(&self.inner),
+                    index: idx,
+                    ptr,
+                };
+            }
+            self.inner.grow();
+        }
+    }
+}
+
+impl PoolInner {
+    fn pop(&self) -> Option<u32> {
+        let mut head = self.free_head.load(Ordering::Acquire);
+        loop {
+            let idx_plus1 = (head & 0xffff_ffff) as u32;
+            if idx_plus1 == 0 {
+                return None;
+            }
+            let idx = idx_plus1 - 1;
+            let next = self.next_slot(idx).load(Ordering::Relaxed);
+            let tag = (head >> 32).wrapping_add(1);
+            let new = (tag << 32) | next as u64;
+            match self
+                .free_head
+                .compare_exchange_weak(head, new, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    self.total_pops.fetch_add(1, Ordering::Relaxed);
+                    return Some(idx);
+                }
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    fn push(&self, idx: u32) {
+        let mut head = self.free_head.load(Ordering::Acquire);
+        loop {
+            self.next_slot(idx)
+                .store((head & 0xffff_ffff) as u32, Ordering::Relaxed);
+            let tag = (head >> 32).wrapping_add(1);
+            let new = (tag << 32) | (idx + 1) as u64;
+            match self
+                .free_head
+                .compare_exchange_weak(head, new, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    self.total_pushes.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    #[inline]
+    fn chunk(&self, ci: usize) -> &Chunk {
+        let p = self.chunks[ci].load(Ordering::Acquire);
+        debug_assert!(!p.is_null(), "chunk {ci} not published");
+        // SAFETY: non-null chunk pointers are published once with Release and
+        // stay valid until the pool drops (owned by chunk_owner).
+        unsafe { &*p }
+    }
+
+    #[inline]
+    fn next_slot(&self, idx: u32) -> &AtomicU32 {
+        let ci = idx as usize / self.blocks_per_chunk;
+        let off = idx as usize % self.blocks_per_chunk;
+        &self.chunk(ci).next[off]
+    }
+
+    #[inline]
+    fn block_ptr(&self, idx: u32) -> NonNull<u8> {
+        let ci = idx as usize / self.blocks_per_chunk;
+        let off = idx as usize % self.blocks_per_chunk;
+        let c = self.chunk(ci);
+        // SAFETY: off < blocks_per_chunk, and the chunk allocation holds
+        // blocks_per_chunk * block_size bytes.
+        unsafe { NonNull::new_unchecked(c.base.as_ptr().add(off * self.block_size)) }
+    }
+
+    /// Allocate one more chunk and push its blocks onto the free list.
+    fn grow(&self) {
+        let mut owner = self.chunk_owner.lock();
+        // Another thread may have grown while we waited; if blocks are now
+        // available, let the caller retry the pop.
+        let head = self.free_head.load(Ordering::Acquire);
+        if (head & 0xffff_ffff) != 0 {
+            return;
+        }
+        let ci = self.num_chunks.load(Ordering::Acquire);
+        assert!(ci < MAX_CHUNKS, "BlockPool exhausted ({MAX_CHUNKS} chunks)");
+        let bytes = self.blocks_per_chunk * self.block_size;
+        let alloc = self.arena.allocate(bytes);
+        let base = NonNull::new(alloc.as_ptr()).unwrap();
+        let next: Vec<AtomicU32> = (0..self.blocks_per_chunk).map(|_| AtomicU32::new(0)).collect();
+        let chunk = Box::new(Chunk {
+            _alloc: alloc,
+            base,
+            next: next.into_boxed_slice(),
+        });
+        let chunk_ptr = &*chunk as *const Chunk as *mut Chunk;
+        owner.push(chunk);
+        self.chunks[ci].store(chunk_ptr, Ordering::Release);
+        self.num_chunks.store(ci + 1, Ordering::Release);
+        drop(owner);
+        // Make the new blocks visible.
+        let first = (ci * self.blocks_per_chunk) as u32;
+        for i in 0..self.blocks_per_chunk as u32 {
+            self.push(first + i);
+            // grow() pushes are bookkeeping, not frees.
+            self.total_pushes.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// An RAII block handed out by [`BlockPool::allocate`]; returned to the free
+/// list on drop. Move-only (no Clone): exactly one owner per block.
+pub struct PoolBlock {
+    inner: Arc<PoolInner>,
+    index: u32,
+    ptr: NonNull<u8>,
+}
+
+// SAFETY: the block is exclusively owned; the pool's storage is Send + Sync.
+unsafe impl Send for PoolBlock {}
+unsafe impl Sync for PoolBlock {}
+
+impl PoolBlock {
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.inner.block_size
+    }
+
+    /// Stable index of this block within the pool (useful for tests).
+    #[inline]
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: ptr valid for block_size bytes while self lives.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.inner.block_size) }
+    }
+
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        // SAFETY: as above, plus &mut exclusivity.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.inner.block_size) }
+    }
+}
+
+impl Drop for PoolBlock {
+    fn drop(&mut self) {
+        self.inner.live_blocks.fetch_sub(1, Ordering::Relaxed);
+        self.inner.push(self.index);
+    }
+}
+
+impl std::fmt::Debug for PoolBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolBlock").field("index", &self.index).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn allocate_reuse_lifo() {
+        let pool = BlockPool::new(64, PageArena::new());
+        let a = pool.allocate();
+        let ai = a.index();
+        drop(a);
+        let b = pool.allocate();
+        // LIFO reuse: the just-freed block comes back first.
+        assert_eq!(b.index(), ai);
+        assert_eq!(pool.live_blocks(), 1);
+    }
+
+    #[test]
+    fn block_size_rounded() {
+        let pool = BlockPool::new(1, PageArena::new());
+        assert_eq!(pool.block_size(), 16);
+        let pool = BlockPool::new(17, PageArena::new());
+        assert_eq!(pool.block_size(), 32);
+    }
+
+    #[test]
+    fn distinct_live_blocks_never_alias() {
+        let pool = BlockPool::new(48, PageArena::new());
+        let blocks: Vec<_> = (0..500).map(|_| pool.allocate()).collect();
+        let mut ptrs = HashSet::new();
+        for b in &blocks {
+            assert!(ptrs.insert(b.as_slice().as_ptr() as usize), "aliased block");
+        }
+        assert_eq!(pool.live_blocks(), 500);
+        drop(blocks);
+        assert_eq!(pool.live_blocks(), 0);
+    }
+
+    #[test]
+    fn writes_are_contained() {
+        let pool = BlockPool::new(32, PageArena::new());
+        let mut a = pool.allocate();
+        let mut b = pool.allocate();
+        a.as_mut_slice().fill(0xAA);
+        b.as_mut_slice().fill(0xBB);
+        assert!(a.as_slice().iter().all(|&x| x == 0xAA));
+        assert!(b.as_slice().iter().all(|&x| x == 0xBB));
+    }
+
+    #[test]
+    fn pool_uses_arena_not_heap_for_blocks() {
+        let arena = PageArena::new();
+        let pool = BlockPool::new(128, arena.clone());
+        let _b = pool.allocate();
+        assert!(arena.live_bytes() > 0, "pool must draw from the arena");
+    }
+
+    #[test]
+    fn concurrent_hammer_no_duplicate_handout() {
+        // 8 threads allocate/free in a loop; at every instant each live index
+        // is owned by exactly one thread. We verify by writing a thread tag
+        // into the block and checking it is unchanged before free.
+        let pool = BlockPool::new(64, PageArena::new());
+        std::thread::scope(|s| {
+            for t in 0..8u8 {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    let mut held: Vec<PoolBlock> = Vec::new();
+                    for i in 0..2000usize {
+                        let mut b = pool.allocate();
+                        b.as_mut_slice().fill(t);
+                        held.push(b);
+                        if i % 3 != 0 {
+                            let b = held.swap_remove(i % held.len());
+                            assert!(
+                                b.as_slice().iter().all(|&x| x == t),
+                                "block mutated by another thread"
+                            );
+                        }
+                    }
+                    for b in held {
+                        assert!(b.as_slice().iter().all(|&x| x == t));
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.live_blocks(), 0);
+    }
+
+    #[test]
+    fn capacity_grows_on_demand() {
+        let pool = BlockPool::new(1024, PageArena::new());
+        assert_eq!(pool.capacity_blocks(), 0);
+        let per_chunk = {
+            let _b = pool.allocate();
+            pool.capacity_blocks()
+        };
+        assert!(per_chunk >= 8);
+        let _blocks: Vec<_> = (0..per_chunk + 1).map(|_| pool.allocate()).collect();
+        assert!(pool.capacity_blocks() >= per_chunk * 2);
+    }
+}

@@ -1,0 +1,157 @@
+//! Size-class front end over the lock-free block pools.
+//!
+//! Frequent small allocations from many threads were a throughput problem in
+//! the paper (§IV-B); the fix routes them to per-size-class lock-free pools.
+//! Allocations above the largest class fall through to the page arena —
+//! exactly the paper's split: small/transient → pool, large → mmap arena,
+//! "all other infrequent allocations are still managed using the heap."
+
+use crate::arena::{PageAllocation, PageArena};
+use crate::pool::{BlockPool, PoolBlock};
+
+/// Power-of-two size classes from 16 B to 4 KiB.
+const CLASSES: [usize; 9] = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+
+/// A small-object allocator with lock-free per-class pools and an arena
+/// fallback for large requests.
+#[derive(Clone)]
+pub struct SizeClassAllocator {
+    pools: Vec<BlockPool>,
+    arena: PageArena,
+}
+
+/// A buffer from [`SizeClassAllocator::allocate`]: either a pooled block or a
+/// whole-page arena allocation.
+pub enum SizedAlloc {
+    Pooled(PoolBlock),
+    Paged(PageAllocation),
+}
+
+impl SizedAlloc {
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        match self {
+            SizedAlloc::Pooled(b) => b.capacity(),
+            SizedAlloc::Paged(p) => p.capacity(),
+        }
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            SizedAlloc::Pooled(b) => b.as_slice(),
+            SizedAlloc::Paged(p) => p.as_slice(),
+        }
+    }
+
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        match self {
+            SizedAlloc::Pooled(b) => b.as_mut_slice(),
+            SizedAlloc::Paged(p) => p.as_mut_slice(),
+        }
+    }
+
+    /// True if served from a lock-free pool (small-object fast path).
+    #[inline]
+    pub fn is_pooled(&self) -> bool {
+        matches!(self, SizedAlloc::Pooled(_))
+    }
+}
+
+impl SizeClassAllocator {
+    pub fn new(arena: PageArena) -> Self {
+        let pools = CLASSES
+            .iter()
+            .map(|&c| BlockPool::new(c, arena.clone()))
+            .collect();
+        Self { pools, arena }
+    }
+
+    /// The size class a request maps to, or `None` for arena-sized requests.
+    pub fn class_of(size: usize) -> Option<usize> {
+        CLASSES.iter().position(|&c| size <= c)
+    }
+
+    /// Allocate at least `size` bytes.
+    pub fn allocate(&self, size: usize) -> SizedAlloc {
+        match Self::class_of(size.max(1)) {
+            Some(ci) => SizedAlloc::Pooled(self.pools[ci].allocate()),
+            None => SizedAlloc::Paged(self.arena.allocate(size)),
+        }
+    }
+
+    /// Blocks currently live across all classes.
+    pub fn live_small_blocks(&self) -> usize {
+        self.pools.iter().map(BlockPool::live_blocks).sum()
+    }
+
+    /// The shared backing arena.
+    pub fn arena(&self) -> &PageArena {
+        &self.arena
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_mapping() {
+        assert_eq!(SizeClassAllocator::class_of(1), Some(0));
+        assert_eq!(SizeClassAllocator::class_of(16), Some(0));
+        assert_eq!(SizeClassAllocator::class_of(17), Some(1));
+        assert_eq!(SizeClassAllocator::class_of(4096), Some(8));
+        assert_eq!(SizeClassAllocator::class_of(4097), None);
+    }
+
+    #[test]
+    fn small_goes_to_pool_large_to_arena() {
+        let a = SizeClassAllocator::new(PageArena::new());
+        assert!(a.allocate(100).is_pooled());
+        assert!(!a.allocate(100_000).is_pooled());
+    }
+
+    #[test]
+    fn capacity_covers_request() {
+        let a = SizeClassAllocator::new(PageArena::new());
+        for size in [1, 15, 16, 100, 1000, 4096, 5000, 1 << 20] {
+            let b = a.allocate(size);
+            assert!(b.capacity() >= size, "capacity {} < {}", b.capacity(), size);
+        }
+    }
+
+    #[test]
+    fn live_accounting() {
+        let a = SizeClassAllocator::new(PageArena::new());
+        let x = a.allocate(64);
+        let y = a.allocate(64);
+        assert_eq!(a.live_small_blocks(), 2);
+        drop((x, y));
+        assert_eq!(a.live_small_blocks(), 0);
+    }
+
+    #[test]
+    fn concurrent_mixed_sizes() {
+        let a = SizeClassAllocator::new(PageArena::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let a = a.clone();
+                s.spawn(move || {
+                    let mut held = Vec::new();
+                    for i in 0..500 {
+                        let size = 1 + (i * 37 + t * 101) % 8000;
+                        let mut b = a.allocate(size);
+                        b.as_mut_slice()[0] = t as u8;
+                        held.push(b);
+                        if i % 2 == 0 {
+                            held.remove(0);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(a.live_small_blocks(), 0);
+        assert_eq!(a.arena().live_bytes(), a.arena().live_bytes() / crate::PAGE_SIZE * crate::PAGE_SIZE);
+    }
+}

@@ -1,0 +1,766 @@
+//! Task-graph compilation: declarations + grid + distribution → a per-rank
+//! executable graph with dependency edges, send specs and expected receives.
+//!
+//! Every rank compiles the same global knowledge (grid, patch distribution,
+//! task list) deterministically, so matching send/receive pairs agree on
+//! tags without negotiation — exactly how Uintah generates its MPI messages
+//! from task declarations.
+
+use crate::task::{Computes, Requirement, TaskDecl};
+use std::collections::{HashMap, HashSet};
+use uintah_comm::Tag;
+use uintah_grid::{Grid, IntVector, LevelIndex, PatchDistribution, PatchId, Region, VarLabel};
+
+/// Marker in the tag "destination" field for whole-level windows (which
+/// are broadcast, not addressed to one patch): the destination *level*
+/// is encoded instead, in a range no patch id can reach.
+fn level_dst_marker(level: LevelIndex) -> u32 {
+    0xFF_FF00 | level as u32
+}
+
+/// Tag destination marker for aggregated level bundles.
+const BUNDLE_DST_MARKER: u32 = 0xFF_FE00;
+/// Tag var-id for bundles (real labels never use 0xFF).
+const BUNDLE_VAR_ID: u8 = 0xFF;
+
+/// What to do with a received message.
+#[derive(Clone, Debug)]
+pub enum RecvAction {
+    /// A ghost window for a local patch's halo.
+    Foreign { label: VarLabel, dst_patch: PatchId },
+    /// A restriction window of a whole-level replica.
+    Level { label: VarLabel, level: LevelIndex },
+    /// An aggregated message carrying several level windows (each entry of
+    /// the bundle is self-describing: var id + level + region).
+    LevelBundle,
+}
+
+/// An expected message.
+#[derive(Clone, Debug)]
+pub struct RecvEntry {
+    pub src_rank: usize,
+    pub tag: Tag,
+    pub action: RecvAction,
+    /// Instance ids whose dependency counts this message satisfies.
+    pub dependents: Vec<usize>,
+}
+
+/// Payload source for an outgoing message.
+#[derive(Clone, Debug)]
+pub enum SendPayload {
+    /// Pack `window` from the producing patch's own variable.
+    PatchWindow,
+    /// Pack `window` from the level accumulator for this level.
+    LevelWindow(LevelIndex),
+    /// Aggregated: pack every listed `(label, level, window)` from the
+    /// level accumulators into one bundle message.
+    LevelBundle(Vec<(VarLabel, LevelIndex, Region)>),
+}
+
+/// An outgoing message posted after its producing instance executes.
+#[derive(Clone, Debug)]
+pub struct SendSpec {
+    pub label: VarLabel,
+    pub src_patch: PatchId,
+    pub window: Region,
+    pub dst_rank: usize,
+    pub tag: Tag,
+    pub payload: SendPayload,
+}
+
+/// One executable node of the graph.
+#[derive(Debug)]
+pub struct TaskInstance {
+    /// Index into the declaration list; `None` for gather pseudo-tasks.
+    pub decl: Option<usize>,
+    /// The owned patch this instance runs on; `None` for gathers.
+    pub patch: Option<PatchId>,
+    /// For gather pseudo-tasks: which level replica to seal.
+    pub gather: Option<(VarLabel, LevelIndex)>,
+    /// Number of dependencies (local edges + expected messages).
+    pub num_deps_in: usize,
+    /// Instance ids unblocked when this instance completes.
+    pub deps_out: Vec<usize>,
+    /// Messages to post after execution.
+    pub sends: Vec<SendSpec>,
+}
+
+/// Aggregate statistics of a compiled graph (used by the Titan model's
+/// communication census).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct GraphStats {
+    pub instances: usize,
+    pub messages: usize,
+    /// Total cells across all outgoing windows.
+    pub cells_sent: usize,
+}
+
+/// A rank's executable graph for one timestep phase.
+#[derive(Debug)]
+pub struct CompiledGraph {
+    pub rank: usize,
+    pub phase: u8,
+    pub instances: Vec<TaskInstance>,
+    pub recvs: Vec<RecvEntry>,
+    pub initial_ready: Vec<usize>,
+    pub stats: GraphStats,
+}
+
+/// Cell-count ratio between `fine_li` and the coarser `coarse_li`
+/// (product of per-level refinement ratios).
+pub fn ratio_between(grid: &Grid, fine_li: LevelIndex, coarse_li: LevelIndex) -> IntVector {
+    assert!(coarse_li <= fine_li);
+    let mut r = IntVector::ONE;
+    for li in (coarse_li + 1)..=fine_li {
+        r = r.comp_mul(grid.level(li).ratio_to_coarser().as_ivec());
+    }
+    r
+}
+
+/// Compile the per-rank graph for one phase (timestep), one message per
+/// window (the default; matches the per-dependency counting of the Titan
+/// model's census).
+pub fn compile(
+    grid: &Grid,
+    dist: &PatchDistribution,
+    decls: &[TaskDecl],
+    rank: usize,
+    phase: u8,
+) -> CompiledGraph {
+    compile_opts(grid, dist, decls, rank, phase, false)
+}
+
+/// [`compile`] with optional *level-window aggregation*: all whole-level
+/// windows a producer instance owes one destination rank travel in a
+/// single bundled message (Uintah packs the dependencies between a rank
+/// pair into one MPI message), cutting the all-to-all message count by the
+/// number of bundled variables/levels.
+pub fn compile_opts(
+    grid: &Grid,
+    dist: &PatchDistribution,
+    decls: &[TaskDecl],
+    rank: usize,
+    phase: u8,
+    aggregate_level_windows: bool,
+) -> CompiledGraph {
+    // ---- producer maps -------------------------------------------------
+    let mut patch_producer: HashMap<VarLabel, usize> = HashMap::new();
+    let mut level_producer: HashMap<(VarLabel, LevelIndex), usize> = HashMap::new();
+    for (di, d) in decls.iter().enumerate() {
+        for c in &d.computes {
+            match *c {
+                Computes::PatchVar(l) => {
+                    patch_producer.insert(l, di);
+                }
+                Computes::LevelWindow(l, li) => {
+                    level_producer.insert((l, li), di);
+                }
+            }
+        }
+    }
+
+    // Max ghost width per (label): Uintah consolidates differing ghost
+    // requirements into the maximal halo so one message per (src, dst)
+    // patch pair suffices.
+    let mut max_ghost: HashMap<VarLabel, i32> = HashMap::new();
+    for d in decls {
+        for r in &d.requires {
+            if let Requirement::Ghost(l, g) = *r {
+                let e = max_ghost.entry(l).or_insert(0);
+                *e = (*e).max(g);
+            }
+        }
+    }
+
+    // ---- instances for local patches -----------------------------------
+    let mut instances: Vec<TaskInstance> = Vec::new();
+    let mut inst_of: HashMap<(usize, PatchId), usize> = HashMap::new();
+    for (di, d) in decls.iter().enumerate() {
+        for &pid in dist.owned_by(rank) {
+            if grid.patch(pid).level_index() == d.level {
+                let id = instances.len();
+                instances.push(TaskInstance {
+                    decl: Some(di),
+                    patch: Some(pid),
+                    gather: None,
+                    num_deps_in: 0,
+                    deps_out: Vec::new(),
+                    sends: Vec::new(),
+                });
+                inst_of.insert((di, pid), id);
+            }
+        }
+    }
+
+    // ---- gather pseudo-instances ----------------------------------------
+    // One per (label, level) required as WholeLevel by any local instance.
+    let mut needed_levels: Vec<(VarLabel, LevelIndex)> = Vec::new();
+    for (di, d) in decls.iter().enumerate() {
+        let has_local = dist
+            .owned_by(rank)
+            .iter()
+            .any(|&p| grid.patch(p).level_index() == d.level);
+        if !has_local {
+            continue;
+        }
+        let _ = di;
+        for r in &d.requires {
+            if let Requirement::WholeLevel(l, li) = *r {
+                if !needed_levels.contains(&(l, li)) {
+                    needed_levels.push((l, li));
+                }
+            }
+        }
+    }
+    let mut gather_of: HashMap<(VarLabel, LevelIndex), usize> = HashMap::new();
+    for &(l, li) in &needed_levels {
+        let id = instances.len();
+        instances.push(TaskInstance {
+            decl: None,
+            patch: None,
+            gather: Some((l, li)),
+            num_deps_in: 0,
+            deps_out: Vec::new(),
+            sends: Vec::new(),
+        });
+        gather_of.insert((l, li), id);
+    }
+
+    let mut recvs: Vec<RecvEntry> = Vec::new();
+    // (src_rank, tag) -> recv index, so several consumers share one message.
+    let mut recv_ix: HashMap<(usize, Tag), usize> = HashMap::new();
+
+    let add_edge = |instances: &mut Vec<TaskInstance>, from: usize, to: usize| {
+        instances[from].deps_out.push(to);
+        instances[to].num_deps_in += 1;
+    };
+
+    // ---- consumer-side edges and receives -------------------------------
+    for (di, d) in decls.iter().enumerate() {
+        let level = grid.level(d.level);
+        for &pid in dist.owned_by(rank) {
+            let patch = grid.patch(pid);
+            if patch.level_index() != d.level {
+                continue;
+            }
+            let me = inst_of[&(di, pid)];
+            for r in &d.requires {
+                match *r {
+                    Requirement::OwnPatch(l) => {
+                        let pd = *patch_producer
+                            .get(&l)
+                            .unwrap_or_else(|| panic!("no producer for {l}"));
+                        assert!(pd < di, "producer {l} declared after consumer {}", d.name);
+                        add_edge(&mut instances, inst_of[&(pd, pid)], me);
+                    }
+                    Requirement::Ghost(l, _g) => {
+                        let pd = *patch_producer
+                            .get(&l)
+                            .unwrap_or_else(|| panic!("no producer for {l}"));
+                        assert!(pd < di, "producer {l} declared after consumer {}", d.name);
+                        let gmax = max_ghost[&l];
+                        let halo = patch.with_ghosts(gmax);
+                        for q in level.patches_overlapping(&halo) {
+                            if q.id() == pid {
+                                add_edge(&mut instances, inst_of[&(pd, pid)], me);
+                            } else if dist.rank_of(q.id()) == rank {
+                                add_edge(&mut instances, inst_of[&(pd, q.id())], me);
+                            } else {
+                                let tag = Tag::compose(l.id(), q.id().0, pid.0, phase);
+                                let src_rank = dist.rank_of(q.id());
+                                let ri = *recv_ix.entry((src_rank, tag)).or_insert_with(|| {
+                                    recvs.push(RecvEntry {
+                                        src_rank,
+                                        tag,
+                                        action: RecvAction::Foreign {
+                                            label: l,
+                                            dst_patch: pid,
+                                        },
+                                        dependents: Vec::new(),
+                                    });
+                                    recvs.len() - 1
+                                });
+                                recvs[ri].dependents.push(me);
+                                instances[me].num_deps_in += 1;
+                            }
+                        }
+                    }
+                    Requirement::WholeLevel(l, li) => {
+                        let gi = gather_of[&(l, li)];
+                        add_edge(&mut instances, gi, me);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- gather dependencies (local windows + remote messages) ----------
+    for &(l, li) in &needed_levels {
+        let gi = gather_of[&(l, li)];
+        let pd = *level_producer
+            .get(&(l, li))
+            .unwrap_or_else(|| panic!("no level-window producer for {l} L{li}"));
+        let src_level = decls[pd].level;
+        for p in grid.level(src_level).patches() {
+            if dist.rank_of(p.id()) == rank {
+                let from = inst_of[&(pd, p.id())];
+                add_edge(&mut instances, from, gi);
+            } else if !aggregate_level_windows {
+                let tag = Tag::compose(l.id(), p.id().0, level_dst_marker(li), phase);
+                let src_rank = dist.rank_of(p.id());
+                let ri = *recv_ix.entry((src_rank, tag)).or_insert_with(|| {
+                    recvs.push(RecvEntry {
+                        src_rank,
+                        tag,
+                        action: RecvAction::Level { label: l, level: li },
+                        dependents: Vec::new(),
+                    });
+                    recvs.len() - 1
+                });
+                recvs[ri].dependents.push(gi);
+                instances[gi].num_deps_in += 1;
+            }
+        }
+    }
+    // Aggregated mode: one bundled message per remote producer *instance*,
+    // feeding every gather served by that producer declaration.
+    if aggregate_level_windows {
+        let mut gathers_by_pd: HashMap<usize, Vec<usize>> = HashMap::new();
+        for &(l, li) in &needed_levels {
+            let pd = level_producer[&(l, li)];
+            gathers_by_pd.entry(pd).or_default().push(gather_of[&(l, li)]);
+        }
+        for (&pd, gathers) in &gathers_by_pd {
+            for p in grid.level(decls[pd].level).patches() {
+                let src_rank = dist.rank_of(p.id());
+                if src_rank == rank {
+                    continue;
+                }
+                let tag = Tag::compose(BUNDLE_VAR_ID, p.id().0, BUNDLE_DST_MARKER, phase);
+                let ri = *recv_ix.entry((src_rank, tag)).or_insert_with(|| {
+                    recvs.push(RecvEntry {
+                        src_rank,
+                        tag,
+                        action: RecvAction::LevelBundle,
+                        dependents: Vec::new(),
+                    });
+                    recvs.len() - 1
+                });
+                for &gi in gathers {
+                    recvs[ri].dependents.push(gi);
+                    instances[gi].num_deps_in += 1;
+                }
+            }
+        }
+    }
+
+    // ---- producer-side sends --------------------------------------------
+    // Ghost windows: for each local producer patch q, send to every remote
+    // consumer patch whose max halo overlaps q.
+    let ghost_labels: Vec<VarLabel> = max_ghost.keys().copied().collect();
+    for l in ghost_labels {
+        let Some(&pd) = patch_producer.get(&l) else { continue };
+        let gmax = max_ghost[&l];
+        let level = grid.level(decls[pd].level);
+        // Which decls consume this label with ghosts? Their instances exist
+        // on the same level, so the consumer patch set is the level itself.
+        let consumed = decls
+            .iter()
+            .any(|d| d.requires.iter().any(|r| matches!(r, Requirement::Ghost(ll, _) if *ll == l)));
+        if !consumed {
+            continue;
+        }
+        for &qid in dist.owned_by(rank) {
+            let q = grid.patch(qid);
+            if q.level_index() != decls[pd].level {
+                continue;
+            }
+            let Some(&from) = inst_of.get(&(pd, qid)) else { continue };
+            for p in level.patches_overlapping(&q.with_ghosts(gmax)) {
+                if p.id() == qid || dist.rank_of(p.id()) == rank {
+                    continue;
+                }
+                let window = p.with_ghosts(gmax).intersect(&q.interior());
+                if window.is_empty() {
+                    continue;
+                }
+                instances[from].sends.push(SendSpec {
+                    label: l,
+                    src_patch: qid,
+                    window,
+                    dst_rank: dist.rank_of(p.id()),
+                    tag: Tag::compose(l.id(), qid.0, p.id().0, phase),
+                    payload: SendPayload::PatchWindow,
+                });
+            }
+        }
+    }
+
+    // Level windows: broadcast each local producer's restriction window to
+    // every rank that gathers (l, li) — the all-to-all. In aggregated mode
+    // the per-(label, level) windows are collected first and emitted as one
+    // bundle per (producer instance, destination rank).
+    type BundleEntries = (PatchId, Vec<(VarLabel, LevelIndex, Region)>);
+    let mut bundles: HashMap<(usize, usize), BundleEntries> = HashMap::new();
+    for (&(l, li), &pd) in &level_producer {
+        // Consumer ranks: any rank owning patches on a level of a decl that
+        // requires WholeLevel(l, li).
+        let consumer_levels: HashSet<LevelIndex> = decls
+            .iter()
+            .filter(|d| {
+                d.requires
+                    .iter()
+                    .any(|r| matches!(r, Requirement::WholeLevel(ll, lli) if *ll == l && *lli == li))
+            })
+            .map(|d| d.level)
+            .collect();
+        if consumer_levels.is_empty() {
+            continue;
+        }
+        let mut consumer_ranks: HashSet<usize> = HashSet::new();
+        for &cl in &consumer_levels {
+            for p in grid.level(cl).patches() {
+                consumer_ranks.insert(dist.rank_of(p.id()));
+            }
+        }
+        let rr = ratio_between(grid, decls[pd].level, li);
+        for &qid in dist.owned_by(rank) {
+            let q = grid.patch(qid);
+            if q.level_index() != decls[pd].level {
+                continue;
+            }
+            let Some(&from) = inst_of.get(&(pd, qid)) else { continue };
+            let window = q.interior().coarsened(rr);
+            for &dst in &consumer_ranks {
+                if dst == rank {
+                    continue;
+                }
+                if aggregate_level_windows {
+                    bundles
+                        .entry((from, dst))
+                        .or_insert_with(|| (qid, Vec::new()))
+                        .1
+                        .push((l, li, window));
+                } else {
+                    instances[from].sends.push(SendSpec {
+                        label: l,
+                        src_patch: qid,
+                        window,
+                        dst_rank: dst,
+                        tag: Tag::compose(l.id(), qid.0, level_dst_marker(li), phase),
+                        payload: SendPayload::LevelWindow(li),
+                    });
+                }
+            }
+        }
+    }
+
+    // Emit the aggregated bundles.
+    for ((from, dst), (qid, mut windows)) in bundles {
+        // Deterministic payload order across ranks and runs.
+        windows.sort_by_key(|&(l, li, _)| (l.id(), li));
+        instances[from].sends.push(SendSpec {
+            label: windows[0].0,
+            src_patch: qid,
+            window: windows[0].2,
+            dst_rank: dst,
+            tag: Tag::compose(BUNDLE_VAR_ID, qid.0, BUNDLE_DST_MARKER, phase),
+            payload: SendPayload::LevelBundle(windows),
+        });
+    }
+
+    let initial_ready: Vec<usize> = instances
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.num_deps_in == 0)
+        .map(|(i, _)| i)
+        .collect();
+
+    let messages: usize = instances.iter().map(|t| t.sends.len()).sum();
+    let cells_sent: usize = instances
+        .iter()
+        .flat_map(|t| t.sends.iter())
+        .map(|s| match &s.payload {
+            SendPayload::LevelBundle(ws) => ws.iter().map(|(_, _, w)| w.volume()).sum(),
+            _ => s.window.volume(),
+        })
+        .sum();
+    let stats = GraphStats {
+        instances: instances.len(),
+        messages,
+        cells_sent,
+    };
+
+    CompiledGraph {
+        rank,
+        phase,
+        instances,
+        recvs,
+        initial_ready,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{TaskContext, TaskFn};
+    use std::sync::Arc;
+    use uintah_grid::DistributionPolicy;
+
+    const KAPPA: VarLabel = VarLabel::new("abskg", 0);
+    const DIVQ: VarLabel = VarLabel::new("divQ", 3);
+
+    fn nop() -> TaskFn {
+        Arc::new(|_: &mut TaskContext| {})
+    }
+
+    fn grid() -> Grid {
+        Grid::builder()
+            .fine_cells(IntVector::splat(32))
+            .num_levels(2)
+            .refinement_ratio(4)
+            .fine_patch_size(IntVector::splat(8))
+            .build()
+    }
+
+    fn decls() -> Vec<TaskDecl> {
+        let fine = 1;
+        vec![
+            TaskDecl::new("initProps", fine, nop())
+                .computes(Computes::PatchVar(KAPPA))
+                .computes(Computes::LevelWindow(KAPPA, 0)),
+            TaskDecl::new("rmcrt", fine, nop())
+                .requires(Requirement::Ghost(KAPPA, 2))
+                .requires(Requirement::WholeLevel(KAPPA, 0))
+                .computes(Computes::PatchVar(DIVQ)),
+        ]
+    }
+
+    #[test]
+    fn single_rank_graph_has_no_messages() {
+        let g = grid();
+        let dist = PatchDistribution::new(&g, 1, DistributionPolicy::MortonSfc);
+        let cg = compile(&g, &dist, &decls(), 0, 0);
+        assert_eq!(cg.recvs.len(), 0);
+        assert_eq!(cg.stats.messages, 0);
+        // 64 fine patches × 2 decls + 1 gather.
+        assert_eq!(cg.stats.instances, 64 * 2 + 1);
+        // initProps instances are all initially ready.
+        assert_eq!(cg.initial_ready.len(), 64);
+    }
+
+    #[test]
+    fn gather_waits_for_all_local_windows() {
+        let g = grid();
+        let dist = PatchDistribution::new(&g, 1, DistributionPolicy::MortonSfc);
+        let cg = compile(&g, &dist, &decls(), 0, 0);
+        let gather = cg
+            .instances
+            .iter()
+            .find(|t| t.gather.is_some())
+            .expect("gather instance exists");
+        assert_eq!(gather.gather, Some((KAPPA, 0)));
+        assert_eq!(gather.num_deps_in, 64, "one window per fine patch");
+        assert_eq!(gather.deps_out.len(), 64, "unblocks every rmcrt instance");
+    }
+
+    #[test]
+    fn two_rank_graph_sends_and_receives_match() {
+        let g = grid();
+        let dist = PatchDistribution::new(&g, 2, DistributionPolicy::MortonSfc);
+        let g0 = compile(&g, &dist, &decls(), 0, 0);
+        let g1 = compile(&g, &dist, &decls(), 1, 0);
+        // Every send of rank 0 to rank 1 has a matching expected recv.
+        let recv_keys: HashSet<(usize, u64)> = g1.recvs.iter().map(|r| (r.src_rank, r.tag.0)).collect();
+        let mut matched = 0;
+        for t in &g0.instances {
+            for s in &t.sends {
+                if s.dst_rank == 1 {
+                    assert!(
+                        recv_keys.contains(&(0, s.tag.0)),
+                        "unmatched send tag {:?}",
+                        s.tag
+                    );
+                    matched += 1;
+                }
+            }
+        }
+        assert!(matched > 0, "two ranks must exchange messages");
+        // And vice versa: every expected recv has a matching send.
+        let send_keys: HashSet<(usize, u64)> = g0
+            .instances
+            .iter()
+            .flat_map(|t| t.sends.iter())
+            .filter(|s| s.dst_rank == 1)
+            .map(|s| (0usize, s.tag.0))
+            .collect();
+        for r in g1.recvs.iter().filter(|r| r.src_rank == 0) {
+            assert!(send_keys.contains(&(0, r.tag.0)), "recv without send {:?}", r.tag);
+        }
+    }
+
+    #[test]
+    fn level_windows_are_broadcast_to_all_other_ranks() {
+        let g = grid();
+        let nr = 4;
+        let dist = PatchDistribution::new(&g, nr, DistributionPolicy::RoundRobin);
+        let cg = compile(&g, &dist, &decls(), 0, 0);
+        // Each local fine patch's level window goes to nr-1 ranks.
+        let level_sends: usize = cg
+            .instances
+            .iter()
+            .flat_map(|t| t.sends.iter())
+            .filter(|s| matches!(s.payload, SendPayload::LevelWindow(_)))
+            .count();
+        let local_fine = dist
+            .owned_by(0)
+            .iter()
+            .filter(|&&p| g.patch(p).level_index() == 1)
+            .count();
+        assert_eq!(level_sends, local_fine * (nr - 1));
+    }
+
+    #[test]
+    fn phase_changes_tags() {
+        let g = grid();
+        let dist = PatchDistribution::new(&g, 2, DistributionPolicy::MortonSfc);
+        let a = compile(&g, &dist, &decls(), 0, 0);
+        let b = compile(&g, &dist, &decls(), 0, 1);
+        let tags_a: HashSet<u64> = a.recvs.iter().map(|r| r.tag.0).collect();
+        for r in &b.recvs {
+            assert!(!tags_a.contains(&r.tag.0), "phase must separate tags");
+        }
+    }
+
+    #[test]
+    fn ratio_between_levels() {
+        let g = grid();
+        assert_eq!(ratio_between(&g, 1, 0), IntVector::splat(4));
+        assert_eq!(ratio_between(&g, 1, 1), IntVector::ONE);
+        assert_eq!(ratio_between(&g, 0, 0), IntVector::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "no producer")]
+    fn missing_producer_detected() {
+        let g = grid();
+        let dist = PatchDistribution::new(&g, 1, DistributionPolicy::MortonSfc);
+        let decls = vec![TaskDecl::new("consumer", 1, nop()).requires(Requirement::OwnPatch(DIVQ))];
+        compile(&g, &dist, &decls, 0, 0);
+    }
+
+    /// Like `decls()` but with three level-window variables (the RMCRT
+    /// property set), so bundles actually aggregate.
+    fn decls3() -> Vec<TaskDecl> {
+        const SIG: VarLabel = VarLabel::new("sigmaT4overPi", 1);
+        const CT: VarLabel = VarLabel::new("cellType", 2);
+        let fine = 1;
+        vec![
+            TaskDecl::new("initProps", fine, nop())
+                .computes(Computes::PatchVar(KAPPA))
+                .computes(Computes::LevelWindow(KAPPA, 0))
+                .computes(Computes::LevelWindow(SIG, 0))
+                .computes(Computes::LevelWindow(CT, 0)),
+            TaskDecl::new("rmcrt", fine, nop())
+                .requires(Requirement::Ghost(KAPPA, 2))
+                .requires(Requirement::WholeLevel(KAPPA, 0))
+                .requires(Requirement::WholeLevel(SIG, 0))
+                .requires(Requirement::WholeLevel(CT, 0))
+                .computes(Computes::PatchVar(DIVQ)),
+        ]
+    }
+
+    #[test]
+    fn aggregated_compile_matches_sends_to_recvs() {
+        let g = grid();
+        let dist = PatchDistribution::new(&g, 3, DistributionPolicy::MortonSfc);
+        let graphs: Vec<CompiledGraph> = (0..3)
+            .map(|r| compile_opts(&g, &dist, &decls3(), r, 0, true))
+            .collect();
+        // Every aggregated send has a matching expected recv and vice versa.
+        for src in 0..3usize {
+            for dst in 0..3usize {
+                if src == dst {
+                    continue;
+                }
+                let sends: HashSet<u64> = graphs[src]
+                    .instances
+                    .iter()
+                    .flat_map(|t| t.sends.iter())
+                    .filter(|s| s.dst_rank == dst)
+                    .map(|s| s.tag.0)
+                    .collect();
+                let recvs: HashSet<u64> = graphs[dst]
+                    .recvs
+                    .iter()
+                    .filter(|r| r.src_rank == src)
+                    .map(|r| r.tag.0)
+                    .collect();
+                assert_eq!(sends, recvs, "rank {src} -> {dst}");
+            }
+        }
+        // Bundled level messages: one per (producer instance, peer) instead
+        // of one per (variable, producer instance, peer).
+        let plain = compile(&g, &dist, &decls3(), 0, 0);
+        let packed = &graphs[0];
+        let count = |cg: &CompiledGraph, pred: fn(&SendSpec) -> bool| {
+            cg.instances.iter().flat_map(|t| t.sends.iter()).filter(|s| pred(s)).count()
+        };
+        let plain_level = count(&plain, |s| matches!(s.payload, SendPayload::LevelWindow(_)));
+        let packed_bundles = count(packed, |s| matches!(s.payload, SendPayload::LevelBundle(_)));
+        assert_eq!(packed_bundles * 3, plain_level, "3 variables per bundle");
+        // Ghost traffic is untouched.
+        let plain_ghost = count(&plain, |s| matches!(s.payload, SendPayload::PatchWindow));
+        let packed_ghost = count(packed, |s| matches!(s.payload, SendPayload::PatchWindow));
+        assert_eq!(plain_ghost, packed_ghost);
+    }
+
+    #[test]
+    fn aggregated_gather_dep_counts_are_bundles_not_windows() {
+        let g = grid();
+        let dist = PatchDistribution::new(&g, 4, DistributionPolicy::MortonSfc);
+        let plain = compile(&g, &dist, &decls3(), 0, 0);
+        let packed = compile_opts(&g, &dist, &decls3(), 0, 0, true);
+        let gather_deps = |cg: &CompiledGraph| -> usize {
+            cg.instances
+                .iter()
+                .filter(|t| t.gather.is_some())
+                .map(|t| t.num_deps_in)
+                .sum()
+        };
+        // Each bundle notifies every gather exactly once, so per-gather
+        // dependency counts are identical in both modes (3 variables ×
+        // (local edges + remote producers)) — only the *message* count
+        // changes.
+        let local_fine = dist
+            .owned_by(0)
+            .iter()
+            .filter(|&&p| g.patch(p).level_index() == 1)
+            .count();
+        let total_fine = g.fine_level().num_patches();
+        let remote = total_fine - local_fine;
+        assert_eq!(gather_deps(&plain), 3 * local_fine + 3 * remote);
+        assert_eq!(gather_deps(&packed), gather_deps(&plain));
+        // But the packed graph expects 3x fewer level messages.
+        let level_recvs = |cg: &CompiledGraph| {
+            cg.recvs
+                .iter()
+                .filter(|r| !matches!(r.action, RecvAction::Foreign { .. }))
+                .count()
+        };
+        assert_eq!(level_recvs(&plain), 3 * remote);
+        assert_eq!(level_recvs(&packed), remote);
+    }
+
+    #[test]
+    fn message_census_scales_down_with_fewer_ranks() {
+        let g = grid();
+        let d8 = PatchDistribution::new(&g, 8, DistributionPolicy::MortonSfc);
+        let d2 = PatchDistribution::new(&g, 2, DistributionPolicy::MortonSfc);
+        let total_msgs = |dist: &PatchDistribution, nr: usize| -> usize {
+            (0..nr).map(|r| compile(&g, dist, &decls(), r, 0).stats.messages).sum()
+        };
+        assert!(total_msgs(&d8, 8) > total_msgs(&d2, 2));
+    }
+}

@@ -1,0 +1,40 @@
+//! The Uintah-style DAG task runtime.
+//!
+//! Uintah keeps a strict separation between *applications* (which declare
+//! tasks with their data dependencies) and the *runtime system* (which
+//! compiles the declarations into a distributed task graph, generates the
+//! MPI messages, and executes tasks out of order from per-rank worker
+//! threads). That separation is what let the paper fix scalability purely
+//! inside the runtime. This crate reproduces the runtime:
+//!
+//! * [`task`] — task declarations: `requires` (own-patch, ghost-halo, or
+//!   **whole-level** — the "infinite ghost cells" of the coarse radiation
+//!   meshes), `computes` (patch variables or coarse-level windows), CPU/GPU
+//!   placement;
+//! * [`dw`] — the OnDemand DataWarehouse: per-patch variables, foreign ghost
+//!   windows received from other ranks, and per-level replica accumulators;
+//! * [`graph`] — compilation of declarations + grid + patch distribution
+//!   into a per-rank [`graph::CompiledGraph`]: task instances, dependency
+//!   edges, send specifications and expected receives;
+//! * [`scheduler`] — the hybrid threaded scheduler: workers self-select
+//!   ready tasks, perform their own sends/receives through `uintah-comm`
+//!   (`MPI_THREAD_MULTIPLE` style) against a pluggable [`RequestStore`],
+//!   and execute out of order as dependencies resolve;
+//! * [`driver`] — a harness running all ranks of a world in one process.
+//!
+//! [`RequestStore`]: uintah_comm::RequestStore
+
+pub mod archive;
+pub mod codec;
+pub mod driver;
+pub mod dw;
+pub mod graph;
+pub mod scheduler;
+pub mod task;
+
+pub use archive::{ArchiveError, DataArchive};
+pub use driver::{run_world, WorldConfig, WorldResult};
+pub use dw::DataWarehouse;
+pub use graph::{CompiledGraph, GraphStats};
+pub use scheduler::{ExecStats, Scheduler, StoreKind};
+pub use task::{Computes, Requirement, TaskContext, TaskDecl, TaskFn, TaskKind};

@@ -1,0 +1,314 @@
+//! The hybrid threaded scheduler.
+//!
+//! Uintah's runtime executes the task graph with decentralized worker
+//! threads: "each CPU core requesting work itself and performing its own
+//! MPI" (MPI_THREAD_MULTIPLE). Workers pull ready tasks from a shared
+//! queue, execute them out of order as dependencies resolve, post the
+//! resulting sends themselves, and — when no task is ready — process
+//! incoming messages through the pluggable [`RequestStore`] (the wait-free
+//! pool or the mutex-vector baseline; the choice is the paper's Fig. 1 /
+//! Table I experiment).
+
+use crate::dw::DataWarehouse;
+use crate::graph::{CompiledGraph, RecvAction, SendPayload};
+use crate::task::{TaskContext, TaskDecl, TaskKind};
+use crossbeam::queue::SegQueue;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use uintah_comm::{
+    Communicator, Message, MutexRequestVec, RacyRequestVec, RequestStore, Tag, WaitFreeRequestStore,
+};
+use uintah_gpu::GpuDataWarehouse;
+use uintah_grid::Grid;
+
+/// Which request-store implementation the workers share.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StoreKind {
+    /// The paper's Algorithm 1 (wait-free pool). The "after".
+    WaitFree,
+    /// Lock-protected vector with Testsome-style sweeps. The "before".
+    Mutex,
+    /// The racy read-lock variant that reproduces the §IV-A leak.
+    Racy,
+}
+
+impl StoreKind {
+    fn build(self) -> Arc<dyn RequestStore> {
+        match self {
+            StoreKind::WaitFree => Arc::new(WaitFreeRequestStore::new()),
+            StoreKind::Mutex => Arc::new(MutexRequestVec::new()),
+            StoreKind::Racy => Arc::new(RacyRequestVec::new()),
+        }
+    }
+}
+
+/// Execution statistics for one `execute` call on one rank.
+#[derive(Clone, Debug, Default)]
+pub struct ExecStats {
+    pub tasks_executed: usize,
+    pub gathers_executed: usize,
+    pub messages_sent: usize,
+    pub bytes_sent: u64,
+    pub messages_received: usize,
+    /// Time spent in local communication: posting sends and sweeping /
+    /// processing receives (the quantity of Fig. 1 / Table I).
+    pub local_comm: Duration,
+    /// Time inside task bodies.
+    pub task_time: Duration,
+    pub wall: Duration,
+    /// Per-declaration breakdown: (task name, executions, time in body).
+    pub per_task: Vec<(&'static str, usize, Duration)>,
+}
+
+/// A per-rank scheduler bound to a communicator.
+pub struct Scheduler {
+    comm: Communicator,
+    nthreads: usize,
+    store_kind: StoreKind,
+}
+
+impl Scheduler {
+    pub fn new(comm: Communicator, nthreads: usize, store_kind: StoreKind) -> Self {
+        assert!(nthreads >= 1);
+        Self {
+            comm,
+            nthreads,
+            store_kind,
+        }
+    }
+
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// Execute one compiled graph to completion.
+    pub fn execute(
+        &self,
+        grid: &Arc<Grid>,
+        decls: &[TaskDecl],
+        graph: &CompiledGraph,
+        dw: &DataWarehouse,
+        gpu: Option<&GpuDataWarehouse>,
+    ) -> ExecStats {
+        let t_start = Instant::now();
+        let n = graph.instances.len();
+        let deps: Vec<AtomicUsize> = graph
+            .instances
+            .iter()
+            .map(|t| AtomicUsize::new(t.num_deps_in))
+            .collect();
+        // Multi-stage ready queues (the [6] design): GPU tasks drain from a
+        // dedicated high-priority queue so the device stays fed while CPU
+        // work and gathers fill the remaining lanes.
+        let ready = SegQueue::<usize>::new();
+        let ready_gpu = SegQueue::<usize>::new();
+        let push_ready = |i: usize| {
+            let is_gpu = graph.instances[i]
+                .decl
+                .map(|d| decls[d].kind == TaskKind::Gpu)
+                .unwrap_or(false);
+            if is_gpu {
+                ready_gpu.push(i);
+            } else {
+                ready.push(i);
+            }
+        };
+        for &i in &graph.initial_ready {
+            push_ready(i);
+        }
+        let remaining = AtomicUsize::new(n);
+
+        // Post every expected receive up front and index them by (src, tag).
+        let store = self.store_kind.build();
+        let mut recv_map: HashMap<(usize, Tag), usize> = HashMap::new();
+        for (ri, r) in graph.recvs.iter().enumerate() {
+            recv_map.insert((r.src_rank, r.tag), ri);
+            store.add(self.comm.irecv(r.src_rank, r.tag));
+        }
+        let recv_map = &recv_map;
+
+        // Var-id → label map for self-describing bundle entries.
+        let mut label_map: HashMap<u8, uintah_grid::VarLabel> = HashMap::new();
+        for d in decls {
+            for c in &d.computes {
+                let l = match *c {
+                    crate::task::Computes::PatchVar(l) => l,
+                    crate::task::Computes::LevelWindow(l, _) => l,
+                };
+                label_map.insert(l.id(), l);
+            }
+            for r in &d.requires {
+                let l = r.label();
+                label_map.insert(l.id(), l);
+            }
+        }
+        let label_map = &label_map;
+
+        // Aggregated counters (nanoseconds for the durations).
+        let tasks_executed = AtomicUsize::new(0);
+        let gathers_executed = AtomicUsize::new(0);
+        let messages_sent = AtomicUsize::new(0);
+        let bytes_sent = AtomicU64::new(0);
+        let messages_received = AtomicUsize::new(0);
+        let comm_ns = AtomicU64::new(0);
+        let task_ns = AtomicU64::new(0);
+        let per_decl_count: Vec<AtomicUsize> = decls.iter().map(|_| AtomicUsize::new(0)).collect();
+        let per_decl_ns: Vec<AtomicU64> = decls.iter().map(|_| AtomicU64::new(0)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.nthreads {
+                let store = Arc::clone(&store);
+                let ready = &ready;
+                let ready_gpu = &ready_gpu;
+                let push_ready = &push_ready;
+                let deps = &deps;
+                let remaining = &remaining;
+                let tasks_executed = &tasks_executed;
+                let gathers_executed = &gathers_executed;
+                let messages_sent = &messages_sent;
+                let bytes_sent = &bytes_sent;
+                let messages_received = &messages_received;
+                let comm_ns = &comm_ns;
+                let task_ns = &task_ns;
+                let per_decl_count = &per_decl_count;
+                let per_decl_ns = &per_decl_ns;
+                let comm = self.comm.clone();
+                scope.spawn(move || {
+                    let notify = |ids: &[usize]| {
+                        for &j in ids {
+                            if deps[j].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                push_ready(j);
+                            }
+                        }
+                    };
+                    let mut handle_msg = |msg: Message| {
+                        let ri = recv_map[&(msg.src, msg.tag)];
+                        let entry = &graph.recvs[ri];
+                        match entry.action {
+                            RecvAction::Foreign { label, dst_patch } => {
+                                let (region, data) = crate::codec::decode_window(&msg.payload);
+                                dw.deposit_foreign(label, dst_patch, region, data);
+                            }
+                            RecvAction::Level { label, level } => {
+                                let (region, data) = crate::codec::decode_window(&msg.payload);
+                                dw.deposit_level_window(label, level, region, &data);
+                            }
+                            RecvAction::LevelBundle => {
+                                for (var_id, level, region, data) in
+                                    crate::codec::decode_bundle(&msg.payload)
+                                {
+                                    let label = *label_map
+                                        .get(&var_id)
+                                        .expect("bundle entry with unknown var id");
+                                    dw.deposit_level_window(label, level, region, &data);
+                                }
+                            }
+                        }
+                        messages_received.fetch_add(1, Ordering::Relaxed);
+                        notify(&entry.dependents);
+                    };
+
+                    while remaining.load(Ordering::Acquire) > 0 {
+                        // Device-feeding first: drain the GPU queue before
+                        // the general queue.
+                        if let Some(i) = ready_gpu.pop().or_else(|| ready.pop()) {
+                            let inst = &graph.instances[i];
+                            if let Some((label, level)) = inst.gather {
+                                dw.seal_level(label, level);
+                                gathers_executed.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                let di = inst.decl.expect("non-gather instance has a decl");
+                                let decl = &decls[di];
+                                let patch = grid.patch(inst.patch.expect("patch instance"));
+                                if decl.kind == TaskKind::Gpu {
+                                    if let Some(g) = gpu {
+                                        g.device().launch_kernel();
+                                    }
+                                }
+                                let mut ctx = TaskContext {
+                                    grid,
+                                    patch,
+                                    dw,
+                                    gpu,
+                                    rank: comm.rank(),
+                                };
+                                let t0 = Instant::now();
+                                (decl.func)(&mut ctx);
+                                let ns = t0.elapsed().as_nanos() as u64;
+                                task_ns.fetch_add(ns, Ordering::Relaxed);
+                                per_decl_ns[di].fetch_add(ns, Ordering::Relaxed);
+                                per_decl_count[di].fetch_add(1, Ordering::Relaxed);
+                                tasks_executed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            // Post this instance's sends ourselves (the
+                            // MPI_THREAD_MULTIPLE pattern).
+                            if !inst.sends.is_empty() {
+                                let t0 = Instant::now();
+                                for s in &inst.sends {
+                                    let payload = match &s.payload {
+                                        SendPayload::PatchWindow => {
+                                            let var = dw
+                                                .get_patch(s.label, s.src_patch)
+                                                .expect("send before compute");
+                                            crate::codec::encode_window(&var, &s.window)
+                                        }
+                                        SendPayload::LevelWindow(li) => {
+                                            dw.pack_level_window(s.label, *li, &s.window)
+                                        }
+                                        SendPayload::LevelBundle(windows) => {
+                                            let entries: Vec<(u8, u8, bytes::Bytes)> = windows
+                                                .iter()
+                                                .map(|&(l, li, w)| {
+                                                    (l.id(), li, dw.pack_level_window(l, li, &w))
+                                                })
+                                                .collect();
+                                            crate::codec::encode_bundle(&entries)
+                                        }
+                                    };
+                                    bytes_sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
+                                    messages_sent.fetch_add(1, Ordering::Relaxed);
+                                    comm.isend(s.dst_rank, s.tag, payload);
+                                }
+                                comm_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            }
+                            notify(&inst.deps_out);
+                            remaining.fetch_sub(1, Ordering::AcqRel);
+                        } else {
+                            let t0 = Instant::now();
+                            let n = store.process_completed(&mut handle_msg);
+                            comm_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            if n == 0 {
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        ExecStats {
+            tasks_executed: tasks_executed.load(Ordering::Relaxed),
+            gathers_executed: gathers_executed.load(Ordering::Relaxed),
+            messages_sent: messages_sent.load(Ordering::Relaxed),
+            bytes_sent: bytes_sent.load(Ordering::Relaxed),
+            messages_received: messages_received.load(Ordering::Relaxed),
+            local_comm: Duration::from_nanos(comm_ns.load(Ordering::Relaxed)),
+            task_time: Duration::from_nanos(task_ns.load(Ordering::Relaxed)),
+            wall: t_start.elapsed(),
+            per_task: decls
+                .iter()
+                .enumerate()
+                .map(|(i, d)| {
+                    (
+                        d.name,
+                        per_decl_count[i].load(Ordering::Relaxed),
+                        Duration::from_nanos(per_decl_ns[i].load(Ordering::Relaxed)),
+                    )
+                })
+                .collect(),
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Hardware constants of the modeled machine.
+
+use serde::{Deserialize, Serialize};
+
+/// Which request-store implementation the modeled runtime uses; scales the
+/// per-message CPU cost and its serialization across threads (calibrated
+//  against the `request_store` microbenchmark — see EXPERIMENTS.md).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum StoreModel {
+    /// Mutex-protected vector + Testsome: message processing serializes on
+    /// the lock, so effective concurrency is ~1 regardless of threads.
+    MutexVector,
+    /// Wait-free pool: message processing scales with the worker threads.
+    WaitFreePool,
+}
+
+/// Model parameters for one Titan-like node and its network.
+///
+/// Network and node figures are from the paper's Titan footnote; GPU and
+/// per-message costs are calibration constants (documented and pinned in
+/// EXPERIMENTS.md) — absolute outputs are model estimates, shapes are the
+/// reproduction target.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MachineParams {
+    /// Worker threads per node (the paper uses 16, one per Opteron core).
+    pub cpu_threads: usize,
+    /// Network latency (s). Titan Gemini: 1.4 µs.
+    pub net_latency: f64,
+    /// Peak injection bandwidth per node (B/s). Titan: 20 GB/s.
+    pub injection_bw: f64,
+    /// Effective PCIe bandwidth per copy engine (B/s). Gen2 x16 ≈ 6 GB/s.
+    pub pcie_bw: f64,
+    /// Fixed kernel launch + stream overhead (s).
+    pub kernel_launch: f64,
+    /// Peak GPU ray-march throughput (cell-steps/s) at full occupancy.
+    pub gpu_cellsteps_per_s: f64,
+    /// Patch size (cells) at which the GPU reaches half its peak
+    /// throughput — small patches under-fill the K20X (paper §V point 1).
+    pub gpu_halfsat_cells: f64,
+    /// CPU property-initialization rate per core (cells/s).
+    pub cpu_init_cells_per_s: f64,
+    /// Ray-march throughput of one CPU core (cell-steps/s), for the
+    /// CPU-only mode (the paper's predecessor [5] ran RMCRT on 256K CPU
+    /// cores). Calibrated from the host `ray_march` criterion bench.
+    pub cpu_cellsteps_per_s: f64,
+    /// CPU cost to post or process one message (s) with the wait-free
+    /// store; the mutex store pays the same per message but serialized.
+    pub msg_cpu_cost: f64,
+    /// Rays per cell (the benchmarks use 100).
+    pub nrays: f64,
+}
+
+impl MachineParams {
+    /// Titan XK7 defaults.
+    pub fn titan() -> Self {
+        Self {
+            cpu_threads: 16,
+            net_latency: 1.4e-6,
+            injection_bw: 20e9,
+            pcie_bw: 6e9,
+            kernel_launch: 20e-6,
+            // The march is memory-latency-bound (scattered reads of abskg /
+            // sigmaT4 per cell-step). A K20X sustains a few 1e8 cell-steps/s
+            // at full occupancy — calibrated so the LARGE-problem timestep
+            // at 4096 GPUs lands in the paper's ~10 s regime (EXPERIMENTS.md).
+            gpu_cellsteps_per_s: 3.0e8,
+            gpu_halfsat_cells: 16_384.0,
+            cpu_init_cells_per_s: 30e6,
+            // One Opteron-class core marches ~10⁷ cell-steps/s (memory
+            // bound); 16 cores ≈ 1/2 of a saturated K20X, matching the
+            // paper's observation that >90% of Titan's FLOPS are on GPUs.
+            cpu_cellsteps_per_s: 1.0e7,
+            msg_cpu_cost: 2.0e-6,
+            nrays: 100.0,
+        }
+    }
+
+    /// A Summit-class node, the machine the paper anticipates ("the
+    /// planned DOE Summit and Sierra machines"): modeled as one endpoint
+    /// per GPU (Summit schedules one rank per GPU), V100-class throughput
+    /// (~6x a K20X on this memory-bound kernel via HBM2), NVLink-class
+    /// host links (~4x PCIe gen2 per direction), a fat-tree network with
+    /// lower latency and higher injection bandwidth, and beefier cores.
+    pub fn summit() -> Self {
+        Self {
+            cpu_threads: 7, // 42 cores / 6 GPUs per node
+            net_latency: 1.0e-6,
+            injection_bw: 25e9, // per-GPU share of the dual EDR NICs + NVLink
+            pcie_bw: 24e9,      // NVLink 2.0 per direction (3 bricks)
+            kernel_launch: 10e-6,
+            gpu_cellsteps_per_s: 1.8e9, // V100 HBM2 ≈ 6x K20X on this kernel
+            gpu_halfsat_cells: 32_768.0, // bigger GPU needs more work to fill
+            cpu_init_cells_per_s: 60e6,
+            cpu_cellsteps_per_s: 2.0e7,
+            msg_cpu_cost: 1.0e-6,
+            nrays: 100.0,
+        }
+    }
+
+    /// GPU throughput for a kernel over `cells` cells: saturating
+    /// utilization curve `peak · cells / (cells + halfsat)`.
+    pub fn gpu_throughput(&self, cells: f64) -> f64 {
+        self.gpu_cellsteps_per_s * cells / (cells + self.gpu_halfsat_cells)
+    }
+
+    /// Modeled mean DDA steps per ray for a fine ROI of `roi_cells_1d`
+    /// cells across and a coarse level `coarse_1d` across: mean chord on
+    /// the fine ROI plus the coarse remainder (threshold-limited).
+    pub fn steps_per_ray(&self, roi_cells_1d: f64, coarse_1d: f64) -> f64 {
+        0.75 * roi_cells_1d + 0.5 * coarse_1d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_increases_with_patch_size() {
+        let m = MachineParams::titan();
+        let t16 = m.gpu_throughput(16f64.powi(3));
+        let t32 = m.gpu_throughput(32f64.powi(3));
+        let t64 = m.gpu_throughput(64f64.powi(3));
+        assert!(t16 < t32 && t32 < t64, "{t16} {t32} {t64}");
+        // 64³ patches reach >90% of peak; 16³ stays well under half.
+        assert!(t64 > 0.9 * m.gpu_cellsteps_per_s);
+        assert!(t16 < 0.5 * m.gpu_cellsteps_per_s);
+    }
+
+    #[test]
+    fn summit_node_outruns_titan_node() {
+        let t = MachineParams::titan();
+        let s = MachineParams::summit();
+        // At saturation a V100-class GPU is several times a K20X.
+        let cells = 64f64.powi(3);
+        let ratio = s.gpu_throughput(cells) / t.gpu_throughput(cells);
+        assert!(ratio > 3.0 && ratio < 10.0, "Summit/Titan GPU ratio {ratio}");
+        assert!(s.pcie_bw > t.pcie_bw);
+        assert!(s.net_latency < t.net_latency);
+    }
+
+    #[test]
+    fn titan_constants_match_paper_footnote() {
+        let m = MachineParams::titan();
+        assert_eq!(m.cpu_threads, 16);
+        assert!((m.net_latency - 1.4e-6).abs() < 1e-12);
+        assert!((m.injection_bw - 20e9).abs() < 1.0);
+    }
+}

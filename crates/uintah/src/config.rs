@@ -1,0 +1,318 @@
+//! Simulation configuration files.
+//!
+//! Uintah drives runs from `.ups` XML problem specifications; the
+//! `rmcrt_app` binary uses the same idea at miniature scale with a plain
+//! `key = value` format (one per line, `#` comments):
+//!
+//! ```text
+//! # RMCRT benchmark run
+//! problem    = benchmark
+//! fine_cells = 64
+//! patch_size = 16
+//! levels     = 2
+//! refinement_ratio = 4
+//! nrays      = 100
+//! threshold  = 0.05
+//! halo       = 4
+//! ranks      = 4
+//! threads    = 2
+//! store      = waitfree
+//! gpu        = false
+//! timesteps  = 1
+//! sampling   = independent
+//! output     = ./rmcrt.uda
+//! ```
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::str::FromStr;
+use uintah_runtime::StoreKind;
+
+/// A parsed run specification.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunConfig {
+    pub problem: Problem,
+    pub fine_cells: i32,
+    pub patch_size: i32,
+    pub levels: usize,
+    pub refinement_ratio: i32,
+    pub nrays: u32,
+    pub threshold: f64,
+    pub halo: i32,
+    pub ranks: usize,
+    pub threads: usize,
+    pub store: StoreKind,
+    pub gpu: bool,
+    pub timesteps: usize,
+    pub sampling: rmcrt_core::RaySampling,
+    /// Bundle level windows per rank pair (Uintah message packing).
+    pub aggregate: bool,
+    pub output: Option<PathBuf>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Problem {
+    /// The Burns & Christon benchmark (the paper's workload).
+    Benchmark,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            problem: Problem::Benchmark,
+            fine_cells: 32,
+            patch_size: 8,
+            levels: 2,
+            refinement_ratio: 4,
+            nrays: 64,
+            threshold: 0.05,
+            halo: 4,
+            ranks: 2,
+            threads: 2,
+            store: StoreKind::WaitFree,
+            gpu: false,
+            timesteps: 1,
+            sampling: rmcrt_core::RaySampling::Independent,
+            aggregate: false,
+            output: None,
+        }
+    }
+}
+
+/// A configuration parse error with the offending line.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "config line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl RunConfig {
+    /// Parse from `key = value` text. Unknown keys are errors (typos should
+    /// not silently change a run).
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let mut cfg = RunConfig::default();
+        let mut seen: HashMap<&str, usize> = HashMap::new();
+        for (ln, raw) in text.lines().enumerate() {
+            let line_no = ln + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError {
+                    line: line_no,
+                    message: format!("expected 'key = value', got '{line}'"),
+                });
+            };
+            let key = key.trim();
+            let value = value.trim();
+            if let Some(prev) = seen.insert(
+                match key {
+                    "problem" => "problem",
+                    "fine_cells" => "fine_cells",
+                    "patch_size" => "patch_size",
+                    "levels" => "levels",
+                    "refinement_ratio" => "refinement_ratio",
+                    "nrays" => "nrays",
+                    "threshold" => "threshold",
+                    "halo" => "halo",
+                    "ranks" => "ranks",
+                    "threads" => "threads",
+                    "store" => "store",
+                    "gpu" => "gpu",
+                    "aggregate" => "aggregate",
+                    "timesteps" => "timesteps",
+                    "sampling" => "sampling",
+                    "output" => "output",
+                    other => {
+                        return Err(ConfigError {
+                            line: line_no,
+                            message: format!("unknown key '{other}'"),
+                        })
+                    }
+                },
+                line_no,
+            ) {
+                return Err(ConfigError {
+                    line: line_no,
+                    message: format!("duplicate key '{key}' (first on line {prev})"),
+                });
+            }
+            let bad = |message: String| ConfigError {
+                line: line_no,
+                message,
+            };
+            fn num<T: FromStr>(value: &str, key: &str, line: usize) -> Result<T, ConfigError> {
+                value.parse().map_err(|_| ConfigError {
+                    line,
+                    message: format!("invalid value '{value}' for {key}"),
+                })
+            }
+            match key {
+                "problem" => {
+                    cfg.problem = match value {
+                        "benchmark" => Problem::Benchmark,
+                        v => return Err(bad(format!("unknown problem '{v}'"))),
+                    }
+                }
+                "fine_cells" => cfg.fine_cells = num(value, key, line_no)?,
+                "patch_size" => cfg.patch_size = num(value, key, line_no)?,
+                "levels" => cfg.levels = num(value, key, line_no)?,
+                "refinement_ratio" => cfg.refinement_ratio = num(value, key, line_no)?,
+                "nrays" => cfg.nrays = num(value, key, line_no)?,
+                "threshold" => cfg.threshold = num(value, key, line_no)?,
+                "halo" => cfg.halo = num(value, key, line_no)?,
+                "ranks" => cfg.ranks = num(value, key, line_no)?,
+                "threads" => cfg.threads = num(value, key, line_no)?,
+                "timesteps" => cfg.timesteps = num(value, key, line_no)?,
+                "store" => {
+                    cfg.store = match value {
+                        "waitfree" => StoreKind::WaitFree,
+                        "mutex" => StoreKind::Mutex,
+                        "racy" => StoreKind::Racy,
+                        v => return Err(bad(format!("unknown store '{v}'"))),
+                    }
+                }
+                "gpu" => {
+                    cfg.gpu = match value {
+                        "true" | "yes" | "1" => true,
+                        "false" | "no" | "0" => false,
+                        v => return Err(bad(format!("invalid bool '{v}'"))),
+                    }
+                }
+                "aggregate" => {
+                    cfg.aggregate = match value {
+                        "true" | "yes" | "1" => true,
+                        "false" | "no" | "0" => false,
+                        v => return Err(bad(format!("invalid bool '{v}'"))),
+                    }
+                }
+                "sampling" => {
+                    cfg.sampling = match value {
+                        "independent" => rmcrt_core::RaySampling::Independent,
+                        "lhc" | "latin_hypercube" => rmcrt_core::RaySampling::LatinHypercube,
+                        v => return Err(bad(format!("unknown sampling '{v}'"))),
+                    }
+                }
+                "output" => cfg.output = Some(PathBuf::from(value)),
+                _ => unreachable!("key validated above"),
+            }
+        }
+        cfg.validate().map_err(|message| ConfigError { line: 0, message })?;
+        Ok(cfg)
+    }
+
+    /// Cross-field validation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fine_cells <= 0 || self.patch_size <= 0 {
+            return Err("fine_cells and patch_size must be positive".into());
+        }
+        if self.fine_cells % self.patch_size != 0 {
+            return Err(format!(
+                "patch_size {} does not divide fine_cells {}",
+                self.patch_size, self.fine_cells
+            ));
+        }
+        if self.levels == 0 || self.levels > 4 {
+            return Err("levels must be 1..=4".into());
+        }
+        if self.levels >= 2 {
+            let span = self.refinement_ratio.pow(self.levels as u32 - 1);
+            if self.fine_cells % span != 0 {
+                return Err(format!(
+                    "fine_cells {} not divisible by refinement_ratio^(levels-1) = {span}",
+                    self.fine_cells
+                ));
+            }
+        }
+        if self.ranks == 0 || self.threads == 0 {
+            return Err("ranks and threads must be >= 1".into());
+        }
+        if self.nrays == 0 {
+            return Err("nrays must be >= 1".into());
+        }
+        if !(self.threshold > 0.0 && self.threshold < 1.0) {
+            return Err("threshold must be in (0, 1)".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let text = "
+            # a comment
+            problem = benchmark
+            fine_cells = 64   # trailing comment
+            patch_size = 16
+            levels = 2
+            refinement_ratio = 4
+            nrays = 100
+            threshold = 0.05
+            halo = 4
+            ranks = 4
+            threads = 2
+            store = mutex
+            gpu = true
+            timesteps = 3
+            sampling = lhc
+            output = /tmp/x.uda
+        ";
+        let cfg = RunConfig::parse(text).unwrap();
+        assert_eq!(cfg.fine_cells, 64);
+        assert_eq!(cfg.store, StoreKind::Mutex);
+        assert!(cfg.gpu);
+        assert_eq!(cfg.sampling, rmcrt_core::RaySampling::LatinHypercube);
+        assert_eq!(cfg.output, Some(PathBuf::from("/tmp/x.uda")));
+        assert_eq!(cfg.timesteps, 3);
+    }
+
+    #[test]
+    fn defaults_apply_for_missing_keys() {
+        let cfg = RunConfig::parse("nrays = 8").unwrap();
+        assert_eq!(cfg.nrays, 8);
+        assert_eq!(cfg.ranks, RunConfig::default().ranks);
+    }
+
+    #[test]
+    fn unknown_key_rejected_with_line() {
+        let err = RunConfig::parse("nrayz = 8").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("unknown key"));
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let err = RunConfig::parse("nrays = 8\nnrays = 9").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn bad_value_rejected() {
+        assert!(RunConfig::parse("nrays = many").is_err());
+        assert!(RunConfig::parse("gpu = perhaps").is_err());
+        assert!(RunConfig::parse("store = spinlock").is_err());
+    }
+
+    #[test]
+    fn cross_field_validation() {
+        // Patch size must divide cells.
+        assert!(RunConfig::parse("fine_cells = 30\npatch_size = 8").is_err());
+        // RR^levels must divide cells.
+        assert!(RunConfig::parse("fine_cells = 24\npatch_size = 8\nlevels = 2\nrefinement_ratio = 16").is_err());
+        // Valid baseline passes.
+        assert!(RunConfig::parse("fine_cells = 32\npatch_size = 8").is_ok());
+    }
+}

@@ -1,0 +1,51 @@
+//! Strong-scaling study on the modeled Titan (Figures 2/3-style curves) —
+//! the interactive version of the `fig2_medium`/`fig3_large` harnesses.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example scaling_study [medium|large]
+//! ```
+
+use uintah::prelude::*;
+use uintah::titan::sim::{efficiency, scaling_curve};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "medium".into());
+    let (name, fine, counts): (&str, i32, &[usize]) = match which.as_str() {
+        "large" => ("LARGE (512³/128³)", 512, &[512, 1024, 2048, 4096, 8192, 16384]),
+        _ => ("MEDIUM (256³/64³)", 256, &[16, 32, 64, 128, 256, 512, 1024, 2048, 4096]),
+    };
+    let params = MachineParams::titan();
+    println!("{name} 2-level benchmark, RR 4, 100 rays/cell — modeled Titan XK7");
+    println!("(shape reproduction; absolute seconds are model estimates)\n");
+    println!("{:>8} | {:>12} {:>12} {:>12}", "GPUs", "16³ patch", "32³ patch", "64³ patch");
+    println!("{:->8}-+-{:-<12}-{:-<12}-{:-<12}", "", "", "", "");
+
+    let mut curves = Vec::new();
+    for patch in [16, 32, 64] {
+        let grid = Grid::builder()
+            .fine_cells(IntVector::splat(fine))
+            .num_levels(2)
+            .refinement_ratio(4)
+            .fine_patch_size(IntVector::splat(patch))
+            .build();
+        curves.push(scaling_curve(&grid, counts, 4, &params, StoreModel::WaitFreePool));
+    }
+    for (i, &n) in counts.iter().enumerate() {
+        println!(
+            "{:>8} | {:>11.3}s {:>11.3}s {:>11.3}s",
+            n, curves[0][i].time, curves[1][i].time, curves[2][i].time
+        );
+    }
+
+    // Paper headline: LARGE problem efficiency from 4096 GPUs.
+    if let (Some(a), Some(b)) = (
+        curves[0].iter().find(|p| p.gpus == 4096),
+        curves[0].iter().find(|p| p.gpus == 16384),
+    ) {
+        println!(
+            "\nstrong-scaling efficiency 4096 → 16384 GPUs (16³ patches): {:.0}%  (paper: 89%)",
+            efficiency(a, b) * 100.0
+        );
+    }
+}

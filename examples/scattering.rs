@@ -1,0 +1,79 @@
+//! Scattering study: the σ_s / phase-function physics of RTE Eq. 2, solved
+//! by both RMCRT (per-ray direction changes) and DOM (source iteration),
+//! showing why the paper calls Monte Carlo's scattering support "natural".
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example scattering
+//! ```
+
+use uintah::prelude::*;
+use uintah::rmcrt::dom::{solve_with_scattering, SnOrder};
+use uintah::rmcrt::scatter::{div_q_with_scattering, PhaseFunction, ScatteringMedium};
+
+fn main() {
+    let n = 12;
+    let props = LevelProps::uniform(
+        Region::cube(n),
+        Vector::splat(1.0 / n as f64),
+        1.0, // κ
+        1.0, // σT⁴/π
+    );
+    let c = IntVector::splat(n / 2);
+
+    println!("Hot medium (κ=1, σT⁴/π=1) in a cold black enclosure, {n}³ cells");
+    println!("∇·q at the centre vs scattering coefficient σ_s:\n");
+    println!(
+        "{:>6} | {:>12} {:>12} | {:>10} {:>14}",
+        "σ_s", "RMCRT ∇·q", "DOM S8 ∇·q", "DOM iters", "rel. diff"
+    );
+    for sigma_s in [0.0, 0.5, 2.0, 8.0] {
+        let mc = div_q_with_scattering(
+            &props,
+            &ScatteringMedium {
+                sigma_s,
+                phase: PhaseFunction::Isotropic,
+            },
+            c,
+            8000,
+            1e-4,
+            42,
+        );
+        let (dom, iters) = solve_with_scattering(&props, SnOrder::S8, sigma_s, 1e-8, 300);
+        let d = dom.div_q[c];
+        println!(
+            "{:>6.1} | {:>12.4} {:>12.4} | {:>10} {:>13.1}%",
+            sigma_s,
+            mc,
+            d,
+            iters,
+            (mc - d).abs() / d.abs() * 100.0
+        );
+    }
+    println!("\nTwo things to see:");
+    println!(" 1. scattering traps radiation: ∇·q falls as σ_s grows (both methods agree);");
+    println!(" 2. DOM pays for scattering with source iterations (count grows with albedo),");
+    println!("    while RMCRT's cost per ray barely changes — the paper's §I argument.");
+
+    println!("\nHenyey–Greenstein anisotropy (σ_s = 2, forward-peaked vs isotropic):");
+    for (label, phase) in [
+        ("isotropic", PhaseFunction::Isotropic),
+        ("g = +0.8 ", PhaseFunction::HenyeyGreenstein(0.8)),
+        ("g = -0.5 ", PhaseFunction::HenyeyGreenstein(-0.5)),
+    ] {
+        let mc = div_q_with_scattering(
+            &props,
+            &ScatteringMedium {
+                sigma_s: 2.0,
+                phase,
+            },
+            c,
+            8000,
+            1e-4,
+            42,
+        );
+        println!("  {label}: ∇·q = {mc:.4}");
+    }
+    println!("\n(forward-peaked scattering barely impedes escape — divQ stays near the");
+    println!(" isotropic-free value — while back-scattering traps radiation hardest.)");
+}

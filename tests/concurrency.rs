@@ -1,0 +1,241 @@
+//! Concurrency stress tests across the stack: the wait-free pool, the
+//! racy baseline's leak, the lock-free allocator, and schedule fuzzing of
+//! the distributed runtime.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use uintah::comm::{MutexRequestVec, RacyRequestVec, RequestStore, WaitFreeRequestStore};
+use uintah::mem::{BlockPool, PageArena};
+use uintah::prelude::*;
+
+/// Heavier version of the pool's exactly-once test: producers and
+/// consumers race on a shared pool; every inserted value must be drained
+/// exactly once.
+#[test]
+fn wait_free_pool_exactly_once_under_stress() {
+    let pool = Arc::new(WaitFreePool::<usize>::new());
+    const PER: usize = 5000;
+    const PRODUCERS: usize = 3;
+    const CONSUMERS: usize = 3;
+    let counts: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..PER * PRODUCERS).map(|_| AtomicUsize::new(0)).collect());
+    let drained = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|s| {
+        for p in 0..PRODUCERS {
+            let pool = pool.clone();
+            s.spawn(move || {
+                for i in 0..PER {
+                    pool.insert(p * PER + i);
+                }
+            });
+        }
+        for _ in 0..CONSUMERS {
+            let pool = pool.clone();
+            let counts = counts.clone();
+            let drained = drained.clone();
+            s.spawn(move || {
+                while drained.load(Ordering::Relaxed) < PER * PRODUCERS {
+                    let n = pool.drain_matching(
+                        |_| true,
+                        |v| {
+                            counts[v].fetch_add(1, Ordering::Relaxed);
+                        },
+                    );
+                    if n == 0 {
+                        std::thread::yield_now();
+                    } else {
+                        drained.fetch_add(n, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    for (i, c) in counts.iter().enumerate() {
+        assert_eq!(c.load(Ordering::Relaxed), 1, "value {i}");
+    }
+}
+
+/// The three request stores under identical concurrent load: all process
+/// every message exactly once; only the racy baseline over-allocates.
+#[test]
+fn request_stores_under_concurrent_load() {
+    fn drive<S: RequestStore + 'static>(store: Arc<S>, nmsgs: usize) -> usize {
+        let world = CommWorld::new(2);
+        let tx = world.communicator(0);
+        let rx = world.communicator(1);
+        for i in 0..nmsgs {
+            store.add(rx.irecv(0, Tag(i as u64)));
+        }
+        let processed = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..6 {
+                let store = store.clone();
+                let processed = processed.clone();
+                s.spawn(move || {
+                    while processed.load(Ordering::Relaxed) < nmsgs {
+                        let n = store.process_completed(&mut |_m| {});
+                        if n == 0 {
+                            std::thread::yield_now();
+                        } else {
+                            processed.fetch_add(n, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+            s.spawn(move || {
+                for i in 0..nmsgs {
+                    tx.isend(1, Tag(i as u64), bytes::Bytes::from_static(&[1u8; 64]));
+                }
+            });
+        });
+        processed.load(Ordering::Relaxed)
+    }
+
+    assert_eq!(drive(Arc::new(WaitFreeRequestStore::new()), 1500), 1500);
+    assert_eq!(drive(Arc::new(MutexRequestVec::new()), 1500), 1500);
+    let racy = Arc::new(RacyRequestVec::new());
+    assert_eq!(drive(racy.clone(), 3000), 3000);
+    assert_eq!(racy.buffers_released(), 3000);
+    assert!(
+        racy.leaked() > 0,
+        "the racy baseline should leak under 6-thread contention (allocated {})",
+        racy.buffers_allocated()
+    );
+}
+
+/// Lock-free block pool: alternating alloc/free storms from many threads,
+/// verifying containment of writes and exact live accounting.
+#[test]
+fn block_pool_storm() {
+    let pool = BlockPool::new(96, PageArena::new());
+    std::thread::scope(|s| {
+        for t in 0..6u8 {
+            let pool = pool.clone();
+            s.spawn(move || {
+                let mut held = Vec::new();
+                for i in 0..3000usize {
+                    let mut b = pool.allocate();
+                    b.as_mut_slice()[0] = t;
+                    b.as_mut_slice()[95] = t;
+                    held.push(b);
+                    if i % 2 == 1 {
+                        let b = held.swap_remove((i * 7) % held.len());
+                        assert_eq!(b.as_slice()[0], t);
+                        assert_eq!(b.as_slice()[95], t);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(pool.live_blocks(), 0);
+}
+
+/// Schedule fuzzing: the same world run repeatedly with different
+/// rank/thread shapes must always complete (no deadlock) and always give
+/// the same divQ.
+#[test]
+fn runtime_schedule_fuzzing() {
+    let grid = Arc::new(BurnsChriston::small_grid(16, 4));
+    let p = RmcrtPipeline {
+        params: RmcrtParams {
+            nrays: 4,
+            threshold: 1e-3,
+            ..Default::default()
+        },
+        halo: 2,
+        problem: BurnsChriston::default(),
+    };
+    let decls = Arc::new(multilevel_decls(&grid, p, false));
+    let collect = |result: &uintah::runtime::WorldResult| -> Vec<f64> {
+        let fine = grid.fine_level();
+        let mut out = CcVariable::<f64>::new(fine.cell_region());
+        for rr in &result.ranks {
+            for &pid in result.dist.owned_by(rr.rank) {
+                if grid.patch(pid).level_index() == grid.fine_level_index() {
+                    out.copy_window(
+                        rr.dw.get_patch(DIVQ, pid).unwrap().as_f64(),
+                        &grid.patch(pid).interior(),
+                    );
+                }
+            }
+        }
+        out.as_slice().to_vec()
+    };
+    let mut baseline: Option<Vec<f64>> = None;
+    for (nranks, nthreads, store) in [
+        (1usize, 1usize, StoreKind::WaitFree),
+        (2, 3, StoreKind::WaitFree),
+        (5, 2, StoreKind::WaitFree),
+        (3, 2, StoreKind::Mutex),
+        (4, 1, StoreKind::Mutex),
+        (2, 4, StoreKind::Racy),
+        (7, 2, StoreKind::WaitFree),
+    ] {
+        let result = run_world(
+            Arc::clone(&grid),
+            Arc::clone(&decls),
+            WorldConfig {
+                nranks,
+                nthreads,
+                store,
+                ..Default::default()
+            },
+        );
+        let got = collect(&result);
+        match &baseline {
+            None => baseline = Some(got),
+            Some(b) => assert_eq!(&got, b, "({nranks} ranks, {nthreads} threads, {store:?})"),
+        }
+    }
+}
+
+/// GPU data warehouse hammered by many threads: one upload per level
+/// variable no matter the interleaving, and memory returns to zero.
+#[test]
+fn gpu_level_db_concurrent_hammer() {
+    use uintah::gpu::GpuDataWarehouse;
+    use uintah::rmcrt::labels::ABSKG;
+    let dw = Arc::new(GpuDataWarehouse::new(GpuDevice::k20x()));
+    let handles: Arc<parking_lot_handles::Holder> = Arc::new(parking_lot_handles::Holder::default());
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let dw = dw.clone();
+            let handles = handles.clone();
+            s.spawn(move || {
+                for _ in 0..200 {
+                    let v = dw
+                        .ensure_level(ABSKG, 0, || {
+                            FieldData::F64(CcVariable::filled(Region::cube(8), 1.0))
+                        })
+                        .unwrap();
+                    handles.push(v);
+                }
+            });
+        }
+    });
+    assert_eq!(dw.device().h2d_transfers(), 1, "exactly one upload");
+    handles.clear();
+    dw.clear_level_db();
+    assert_eq!(dw.device().used(), 0);
+}
+
+/// Tiny helper module so the test above can hold Arc handles across
+/// threads without fighting the borrow checker.
+mod parking_lot_handles {
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    pub struct Holder {
+        inner: Mutex<Vec<std::sync::Arc<uintah::gpu::DeviceVar>>>,
+    }
+
+    impl Holder {
+        pub fn push(&self, v: std::sync::Arc<uintah::gpu::DeviceVar>) {
+            self.inner.lock().unwrap().push(v);
+        }
+
+        pub fn clear(&self) {
+            self.inner.lock().unwrap().clear();
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! Cross-crate integration tests: the full RMCRT pipeline through the
+//! distributed runtime, on CPU and on the simulated GPU, against the
+//! serial reference solvers.
+
+use std::sync::Arc;
+use uintah::prelude::*;
+use uintah_grid::CcVariable;
+
+/// Gather the fine-level divQ field from a world result.
+fn collect_divq(grid: &Grid, result: &uintah::runtime::WorldResult) -> CcVariable<f64> {
+    let fine = grid.fine_level();
+    let mut out = CcVariable::<f64>::new(fine.cell_region());
+    for rr in &result.ranks {
+        for &pid in result.dist.owned_by(rr.rank) {
+            if grid.patch(pid).level_index() != grid.fine_level_index() {
+                continue;
+            }
+            let v = rr.dw.get_patch(DIVQ, pid).expect("divQ missing");
+            out.copy_window(v.as_f64(), &grid.patch(pid).interior());
+        }
+    }
+    out
+}
+
+fn pipeline() -> RmcrtPipeline {
+    RmcrtPipeline {
+        params: RmcrtParams {
+            nrays: 16,
+            threshold: 1e-4,
+            seed: 0xABCD,
+            timestep: 0,
+            sampling: uintah::rmcrt::sampling::RaySampling::Independent,
+        },
+        halo: 4,
+        problem: BurnsChriston::default(),
+    }
+}
+
+#[test]
+fn multilevel_pipeline_matches_reference_exactly() {
+    // The runtime (ghost exchange, restriction windows, all-to-all,
+    // gather/seal) must reproduce the serial reference bit-for-bit: the
+    // RNG is a pure function of (cell, ray, timestep) and the assembled
+    // properties must be identical.
+    let grid = Arc::new(BurnsChriston::small_grid(16, 8));
+    let p = pipeline();
+    let reference = uintah::rmcrt::tasks::reference_multilevel(&grid, &p);
+    let decls = Arc::new(multilevel_decls(&grid, p, false));
+    let result = run_world(
+        Arc::clone(&grid),
+        decls,
+        WorldConfig {
+            nranks: 1,
+            nthreads: 2,
+            ..Default::default()
+        },
+    );
+    let got = collect_divq(&grid, &result);
+    for c in reference.region().cells() {
+        assert_eq!(got[c], reference[c], "cell {c:?}");
+    }
+}
+
+#[test]
+fn rank_count_does_not_change_results() {
+    let grid = Arc::new(BurnsChriston::small_grid(16, 4));
+    let p = pipeline();
+    let decls = Arc::new(multilevel_decls(&grid, p, false));
+    let base = collect_divq(
+        &grid,
+        &run_world(
+            Arc::clone(&grid),
+            Arc::clone(&decls),
+            WorldConfig::default(),
+        ),
+    );
+    for nranks in [2usize, 4, 6] {
+        let result = run_world(
+            Arc::clone(&grid),
+            Arc::clone(&decls),
+            WorldConfig {
+                nranks,
+                nthreads: 2,
+                ..Default::default()
+            },
+        );
+        let got = collect_divq(&grid, &result);
+        for c in base.region().cells() {
+            assert_eq!(got[c], base[c], "nranks {nranks}, cell {c:?}");
+        }
+        assert!(result.total_messages() > 0);
+    }
+}
+
+#[test]
+fn gpu_pipeline_matches_cpu_pipeline() {
+    let grid = Arc::new(BurnsChriston::small_grid(16, 8));
+    let p = pipeline();
+    let cpu = collect_divq(
+        &grid,
+        &run_world(
+            Arc::clone(&grid),
+            Arc::new(multilevel_decls(&grid, p, false)),
+            WorldConfig {
+                nranks: 2,
+                nthreads: 2,
+                ..Default::default()
+            },
+        ),
+    );
+    let result = run_world(
+        Arc::clone(&grid),
+        Arc::new(multilevel_decls(&grid, p, true)),
+        WorldConfig {
+            nranks: 2,
+            nthreads: 2,
+            gpu_capacity: Some(512 << 20),
+            ..Default::default()
+        },
+    );
+    let gpu = collect_divq(&grid, &result);
+    for c in cpu.region().cells() {
+        assert_eq!(gpu[c], cpu[c], "cell {c:?}");
+    }
+    // The GPU actually participated.
+    for rr in &result.ranks {
+        let gdw = rr.gpu.as_ref().expect("gpu attached");
+        let local_fine = result
+            .dist
+            .owned_by(rr.rank)
+            .iter()
+            .filter(|&&pid| grid.patch(pid).level_index() == grid.fine_level_index())
+            .count() as u64;
+        assert_eq!(gdw.device().kernels_launched(), local_fine);
+        // Level DB: the 3 coarse replicas were uploaded exactly once each.
+        assert_eq!(gdw.level_entries(), 3);
+        // Per-patch H2D: 3 inputs; replicas once; divQ is device-produced
+        // (no H2D) and crosses back once per patch (D2H).
+        assert_eq!(gdw.device().d2h_transfers(), local_fine);
+        assert_eq!(gdw.device().h2d_transfers(), 3 + 3 * local_fine);
+    }
+}
+
+#[test]
+fn level_db_reduces_pcie_traffic_end_to_end() {
+    // E4 through the full pipeline: with the level DB off, every patch
+    // task re-uploads the coarse replicas. Geometry chosen so the coarse
+    // replica dominates per-patch inputs: RR 2 (coarse 16³ for fine 32³),
+    // small halo.
+    let grid = Arc::new(
+        Grid::builder()
+            .fine_cells(IntVector::splat(32))
+            .num_levels(2)
+            .refinement_ratio(2)
+            .fine_patch_size(IntVector::splat(8))
+            .build(),
+    );
+    let p = RmcrtPipeline {
+        params: RmcrtParams {
+            nrays: 2,
+            threshold: 1e-3,
+            ..Default::default()
+        },
+        halo: 1,
+        problem: BurnsChriston::default(),
+    };
+    let run = |level_db: bool| -> (u64, u64) {
+        let result = run_world(
+            Arc::clone(&grid),
+            Arc::new(multilevel_decls(&grid, p, true)),
+            WorldConfig {
+                nranks: 1,
+                nthreads: 4,
+                gpu_capacity: Some(2 << 30),
+                gpu_level_db: level_db,
+                ..Default::default()
+            },
+        );
+        let d = result.ranks[0].gpu.as_ref().unwrap().device().clone();
+        (d.h2d_bytes(), d.peak() as u64)
+    };
+    let (with_bytes, with_peak) = run(true);
+    let (without_bytes, without_peak) = run(false);
+    assert!(
+        without_bytes > 2 * with_bytes,
+        "PCIe bytes: with level DB {with_bytes}, without {without_bytes}"
+    );
+    assert!(
+        without_peak > with_peak,
+        "peak device memory: with {with_peak}, without {without_peak}"
+    );
+}
+
+#[test]
+fn single_level_pipeline_matches_its_reference() {
+    let grid = Arc::new(BurnsChriston::small_grid(16, 8));
+    let p = pipeline();
+    let reference = uintah::rmcrt::tasks::reference_single_level(&grid, &p);
+    let decls = Arc::new(single_level_decls(&grid, p, false));
+    for nranks in [1usize, 3] {
+        let result = run_world(
+            Arc::clone(&grid),
+            Arc::clone(&decls),
+            WorldConfig {
+                nranks,
+                nthreads: 2,
+                ..Default::default()
+            },
+        );
+        let got = collect_divq(&grid, &result);
+        for c in reference.region().cells() {
+            assert_eq!(got[c], reference[c], "nranks {nranks} cell {c:?}");
+        }
+    }
+}
+
+#[test]
+fn multilevel_sends_fewer_bytes_than_single_level() {
+    // The paper's core claim: the AMR data-onion replaces fine-mesh
+    // replication with coarse replicas, slashing communication volume.
+    let grid = Arc::new(BurnsChriston::small_grid(32, 8));
+    let mut p = pipeline();
+    p.params.nrays = 4;
+    p.halo = 2;
+    let cfg = WorldConfig {
+        nranks: 8,
+        nthreads: 2,
+        ..Default::default()
+    };
+    let ml = run_world(
+        Arc::clone(&grid),
+        Arc::new(multilevel_decls(&grid, p, false)),
+        cfg.clone(),
+    );
+    let sl = run_world(
+        Arc::clone(&grid),
+        Arc::new(single_level_decls(&grid, p, false)),
+        cfg,
+    );
+    assert!(
+        sl.total_bytes() > 5 * ml.total_bytes(),
+        "single-level {} B vs multi-level {} B",
+        sl.total_bytes(),
+        ml.total_bytes()
+    );
+    // And the gap widens with rank count: replication volume grows
+    // linearly with ranks, the data-onion's does not (its receives are a
+    // fixed coarse replica plus halos).
+}
+
+#[test]
+fn three_level_pipeline_matches_reference() {
+    // 3 levels exercise the intermediate-level ROI transition path:
+    // fine 32³ → mid 16³ → coarse 8³ (RR 2), 8³ patches.
+    let grid = Arc::new(
+        Grid::builder()
+            .fine_cells(IntVector::splat(32))
+            .num_levels(3)
+            .refinement_ratio(2)
+            .fine_patch_size(IntVector::splat(8))
+            .build(),
+    );
+    assert_eq!(grid.num_levels(), 3);
+    let p = RmcrtPipeline {
+        params: RmcrtParams {
+            nrays: 8,
+            threshold: 1e-4,
+            ..Default::default()
+        },
+        halo: 2,
+        problem: BurnsChriston::default(),
+    };
+    let reference = uintah::rmcrt::tasks::reference_multilevel(&grid, &p);
+    for nranks in [1usize, 3] {
+        let result = run_world(
+            Arc::clone(&grid),
+            Arc::new(multilevel_decls(&grid, p, false)),
+            WorldConfig {
+                nranks,
+                nthreads: 2,
+                ..Default::default()
+            },
+        );
+        let got = collect_divq(&grid, &result);
+        for c in reference.region().cells() {
+            assert_eq!(got[c], reference[c], "nranks {nranks} cell {c:?}");
+        }
+    }
+}
+
+#[test]
+fn aggregated_level_windows_same_results_fewer_messages() {
+    // Uintah-style rank-pair message packing: all per-variable level
+    // windows of one producer instance travel in one bundle. Results must
+    // be bit-identical; the all-to-all message count drops ~3x (3 bundled
+    // property variables).
+    let grid = Arc::new(BurnsChriston::small_grid(16, 4));
+    let p = pipeline();
+    let decls = Arc::new(multilevel_decls(&grid, p, false));
+    let base_cfg = WorldConfig {
+        nranks: 4,
+        nthreads: 2,
+        ..Default::default()
+    };
+    let plain = run_world(Arc::clone(&grid), Arc::clone(&decls), base_cfg.clone());
+    let packed = run_world(
+        Arc::clone(&grid),
+        Arc::clone(&decls),
+        WorldConfig {
+            aggregate_level_windows: true,
+            ..base_cfg
+        },
+    );
+    let a = collect_divq(&grid, &plain);
+    let b = collect_divq(&grid, &packed);
+    for c in a.region().cells() {
+        assert_eq!(a[c], b[c], "cell {c:?}");
+    }
+    // Level windows: every rank broadcasts each of its 64/4=16 fine
+    // patches' windows to 3 peers, for 3 variables → 576 messages plain,
+    // 192 bundles packed; ghost messages are unaffected.
+    let level_plain = 64 * 3 * 3;
+    let level_packed = 64 * 3;
+    assert_eq!(
+        plain.total_messages() - packed.total_messages(),
+        level_plain - level_packed,
+        "bundling must cut exactly the level-window messages: {} vs {}",
+        packed.total_messages(),
+        plain.total_messages()
+    );
+    // Payload bytes stay in the same ballpark (bundling adds small headers).
+    assert!(packed.total_bytes() <= plain.total_bytes() + plain.total_messages() as u64 * 16);
+}
+
+#[test]
+fn aggregated_three_level_pipeline_matches_reference() {
+    // Bundles spanning two coarse levels (L0 + L1 windows in one message).
+    let grid = Arc::new(
+        Grid::builder()
+            .fine_cells(IntVector::splat(32))
+            .num_levels(3)
+            .refinement_ratio(2)
+            .fine_patch_size(IntVector::splat(8))
+            .build(),
+    );
+    let p = RmcrtPipeline {
+        params: RmcrtParams {
+            nrays: 4,
+            threshold: 1e-3,
+            ..Default::default()
+        },
+        halo: 2,
+        problem: BurnsChriston::default(),
+    };
+    let reference = uintah::rmcrt::tasks::reference_multilevel(&grid, &p);
+    let result = run_world(
+        Arc::clone(&grid),
+        Arc::new(multilevel_decls(&grid, p, false)),
+        WorldConfig {
+            nranks: 3,
+            nthreads: 2,
+            aggregate_level_windows: true,
+            ..Default::default()
+        },
+    );
+    let got = collect_divq(&grid, &result);
+    for c in reference.region().cells() {
+        assert_eq!(got[c], reference[c], "cell {c:?}");
+    }
+}
+
+#[test]
+fn more_ranks_than_patches_is_harmless() {
+    // Ranks owning no patches must compile empty graphs, terminate
+    // immediately and receive nothing.
+    let grid = Arc::new(BurnsChriston::small_grid(16, 8)); // 8 fine patches
+    let p = pipeline();
+    let reference = uintah::rmcrt::tasks::reference_multilevel(&grid, &p);
+    let result = run_world(
+        Arc::clone(&grid),
+        Arc::new(multilevel_decls(&grid, p, false)),
+        WorldConfig {
+            nranks: 12,
+            nthreads: 2,
+            ..Default::default()
+        },
+    );
+    let got = collect_divq(&grid, &result);
+    for c in reference.region().cells() {
+        assert_eq!(got[c], reference[c]);
+    }
+    let idle_ranks = result
+        .ranks
+        .iter()
+        .filter(|r| r.stats[0].tasks_executed == 0)
+        .count();
+    assert!(idle_ranks >= 3, "expected idle ranks, got {idle_ranks}");
+}
+
+#[test]
+fn repeated_timesteps_are_reproducible() {
+    let grid = Arc::new(BurnsChriston::small_grid(16, 8));
+    let p = pipeline();
+    let decls = Arc::new(multilevel_decls(&grid, p, false));
+    let cfg = WorldConfig {
+        nranks: 2,
+        nthreads: 2,
+        timesteps: 2,
+        ..Default::default()
+    };
+    let a = collect_divq(&grid, &run_world(Arc::clone(&grid), Arc::clone(&decls), cfg.clone()));
+    let b = collect_divq(&grid, &run_world(Arc::clone(&grid), decls, cfg));
+    for c in a.region().cells() {
+        assert_eq!(a[c], b[c]);
+    }
+}
+
+#[test]
+fn all_request_stores_agree_through_full_pipeline() {
+    let grid = Arc::new(BurnsChriston::small_grid(16, 4));
+    let p = pipeline();
+    let decls = Arc::new(multilevel_decls(&grid, p, false));
+    let mut results = Vec::new();
+    for store in [StoreKind::WaitFree, StoreKind::Mutex, StoreKind::Racy] {
+        let r = run_world(
+            Arc::clone(&grid),
+            Arc::clone(&decls),
+            WorldConfig {
+                nranks: 3,
+                nthreads: 2,
+                store,
+                ..Default::default()
+            },
+        );
+        results.push(collect_divq(&grid, &r));
+    }
+    for c in results[0].region().cells() {
+        assert_eq!(results[0][c], results[1][c]);
+        assert_eq!(results[0][c], results[2][c]);
+    }
+}

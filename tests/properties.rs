@@ -1,0 +1,250 @@
+//! Property-based tests (proptest) for the core data structures and
+//! invariants of the stack.
+
+use proptest::prelude::*;
+use uintah::prelude::*;
+use uintah_grid::distribute::morton3;
+
+fn small_coord() -> impl Strategy<Value = i32> {
+    -20..20i32
+}
+
+proptest! {
+    /// Region coarsen/refine: the coarse parent of every fine cell lies in
+    /// the coarsened region, and refining covers the original.
+    #[test]
+    fn region_coarsen_covers(
+        lox in small_coord(), loy in small_coord(), loz in small_coord(),
+        ex in 1..12i32, ey in 1..12i32, ez in 1..12i32,
+        rr in 2..5i32,
+    ) {
+        let lo = IntVector::new(lox, loy, loz);
+        let region = Region::new(lo, lo + IntVector::new(ex, ey, ez));
+        let rrv = IntVector::splat(rr);
+        let coarse = region.coarsened(rrv);
+        for c in region.cells() {
+            prop_assert!(coarse.contains(c.div_floor(rrv)));
+        }
+        prop_assert!(coarse.refined(rrv).contains_region(&region));
+    }
+
+    /// Linear indexing is a bijection on any region.
+    #[test]
+    fn region_linear_index_bijective(
+        lox in small_coord(), loy in small_coord(), loz in small_coord(),
+        ex in 1..8i32, ey in 1..8i32, ez in 1..8i32,
+    ) {
+        let lo = IntVector::new(lox, loy, loz);
+        let region = Region::new(lo, lo + IntVector::new(ex, ey, ez));
+        for (i, c) in region.cells().enumerate() {
+            prop_assert_eq!(region.linear_index(c), i);
+            prop_assert_eq!(region.from_linear(i), c);
+        }
+    }
+
+    /// Intersection is commutative, contained in both, and grown() is
+    /// monotone.
+    #[test]
+    fn region_algebra(
+        a in 0..10i32, b in 1..10i32, c in 0..10i32, d in 1..10i32,
+        g in 0..4i32,
+    ) {
+        let r1 = Region::new(IntVector::splat(a), IntVector::splat(a + b));
+        let r2 = Region::new(IntVector::splat(c), IntVector::splat(c + d));
+        let i12 = r1.intersect(&r2);
+        let i21 = r2.intersect(&r1);
+        prop_assert_eq!(i12, i21);
+        prop_assert!(r1.contains_region(&i12) && r2.contains_region(&i12));
+        prop_assert!(r1.grown(g).contains_region(&r1));
+    }
+
+    /// Morton keys are injective on the lattice domain.
+    #[test]
+    fn morton_injective(ax in 0..64i32, ay in 0..64i32, az in 0..64i32,
+                        bx in 0..64i32, by in 0..64i32, bz in 0..64i32) {
+        let a = IntVector::new(ax, ay, az);
+        let b = IntVector::new(bx, by, bz);
+        prop_assert_eq!(morton3(a) == morton3(b), a == b);
+    }
+
+    /// Window pack/unpack round-trips arbitrary windows of arbitrary data.
+    #[test]
+    fn pack_unpack_roundtrip(
+        n in 2..8i32,
+        wx in 0..4i32, wy in 0..4i32, wz in 0..4i32,
+        ex in 1..4i32, ey in 1..4i32, ez in 1..4i32,
+        seed in any::<u32>(),
+    ) {
+        let region = Region::cube(n);
+        let mut v = CcVariable::<f64>::new(region);
+        v.fill_with(|c| (c.x * 31 + c.y * 7 + c.z) as f64 + seed as f64);
+        let wlo = IntVector::new(wx, wy, wz);
+        let window = Region::new(wlo, wlo + IntVector::new(ex, ey, ez)).intersect(&region);
+        prop_assume!(!window.is_empty());
+        let (w, buf) = v.pack_window(&window);
+        let mut out = CcVariable::<f64>::new(region);
+        out.unpack_window(&w, &buf);
+        for c in w.cells() {
+            prop_assert_eq!(out[c], v[c]);
+        }
+    }
+
+    /// Restriction conserves the integral for any field.
+    #[test]
+    fn restriction_conserves_integral(
+        rr in 2..4i32,
+        nc in 1..4i32,
+        seed in any::<u64>(),
+    ) {
+        use uintah_grid::restriction::restrict_average;
+        let fine_n = nc * rr;
+        let fine_r = Region::cube(fine_n);
+        let mut fine = CcVariable::<f64>::new(fine_r);
+        let mut rng = CellRng::new(seed, IntVector::ZERO, 0, 0);
+        fine.fill_with(|_| rng.next_f64());
+        let coarse = restrict_average(&fine, IntVector::splat(rr), Region::cube(nc));
+        let fine_sum: f64 = fine.as_slice().iter().sum();
+        let coarse_sum: f64 = coarse.as_slice().iter().sum::<f64>() * (rr * rr * rr) as f64;
+        prop_assert!((fine_sum - coarse_sum).abs() <= 1e-9 * fine_sum.abs().max(1.0));
+    }
+
+    /// DDA path length equals the geometric chord for any ray through a
+    /// uniform medium (κ = 1, telescoped optical depth recovers length).
+    #[test]
+    fn dda_chord_property(
+        ox in 0.01f64..0.99, oy in 0.01f64..0.99, oz in 0.01f64..0.99,
+        dx in -1.0f64..1.0, dy in -1.0f64..1.0, dz in -1.0f64..1.0,
+    ) {
+        let d = Vector::new(dx, dy, dz);
+        prop_assume!(d.length() > 1e-3);
+        let dir = d.normalized();
+        let n = 16;
+        let props = LevelProps::uniform(Region::cube(n), Vector::splat(1.0 / n as f64), 1.0, 1.0);
+        let origin = Point::new(ox, oy, oz);
+        let sum_i = trace_ray(
+            &[TraceLevel { props: &props, roi: props.region }],
+            origin,
+            dir,
+            1e-300,
+        );
+        let l_measured = -(1.0 - sum_i).ln();
+        let mut l_geom = f64::INFINITY;
+        for a in 0..3 {
+            if dir[a] > 0.0 {
+                l_geom = l_geom.min((1.0 - origin[a]) / dir[a]);
+            } else if dir[a] < 0.0 {
+                l_geom = l_geom.min(-origin[a] / dir[a]);
+            }
+        }
+        prop_assert!((l_measured - l_geom).abs() < 1e-8,
+            "path {} vs chord {}", l_measured, l_geom);
+    }
+
+    /// divQ is always finite, and zero for transparent cells.
+    #[test]
+    fn div_q_finite(kappa in 0.0f64..50.0, s in 0.0f64..10.0, nrays in 1u32..32) {
+        let n = 6;
+        let props = LevelProps::uniform(Region::cube(n), Vector::splat(1.0 / n as f64), kappa, s);
+        let dq = div_q_for_cell(
+            &[TraceLevel { props: &props, roi: props.region }],
+            IntVector::splat(n / 2),
+            &RmcrtParams { nrays, threshold: 1e-4, seed: 1, timestep: 0, sampling: Default::default() },
+        );
+        prop_assert!(dq.is_finite());
+        if kappa == 0.0 {
+            prop_assert_eq!(dq, 0.0);
+        } else {
+            // Bounded by total emission.
+            prop_assert!(dq <= 4.0 * std::f64::consts::PI * kappa * s + 1e-9);
+        }
+    }
+
+    /// The simulated heap never loses bytes: live accounting matches the
+    /// sum of outstanding allocations under any alloc/free interleaving.
+    #[test]
+    fn heap_sim_accounting(ops in proptest::collection::vec((1u64..100_000, any::<bool>()), 1..60)) {
+        use uintah::mem::fragsim::{HeapSim, Policy};
+        let mut sim = HeapSim::new(Policy::FirstFit);
+        let mut live = Vec::new();
+        let mut expect = 0u64;
+        for (size, do_free) in ops {
+            if do_free && !live.is_empty() {
+                let (id, sz) = live.swap_remove(0);
+                sim.free(id);
+                expect -= sz;
+            } else {
+                let id = sim.alloc(size);
+                live.push((id, size));
+                expect += size;
+            }
+            prop_assert_eq!(sim.live_bytes(), expect);
+            prop_assert!(sim.footprint() >= sim.live_bytes());
+        }
+    }
+
+    /// The wait-free pool behaves as a multiset under any sequential
+    /// program of insert / conditional-remove operations.
+    #[test]
+    fn pool_is_a_multiset(ops in proptest::collection::vec((0u8..3, 0u32..8), 1..80)) {
+        let pool: WaitFreePool<u32> = WaitFreePool::new();
+        let mut model: Vec<u32> = Vec::new();
+        for (op, v) in ops {
+            match op {
+                0 => {
+                    pool.insert(v);
+                    model.push(v);
+                }
+                1 => {
+                    // Remove one instance of v if present.
+                    let got = pool.find_any(|&x| x == v).map(|it| pool.erase(it));
+                    let model_pos = model.iter().position(|&x| x == v);
+                    prop_assert_eq!(got.is_some(), model_pos.is_some());
+                    if let Some(p) = model_pos {
+                        model.swap_remove(p);
+                    }
+                }
+                _ => {
+                    // Drain everything equal to v.
+                    let mut drained = 0;
+                    pool.drain_matching(|&x| x == v, |_| drained += 1);
+                    let before = model.len();
+                    model.retain(|&x| x != v);
+                    prop_assert_eq!(drained, before - model.len());
+                }
+            }
+            prop_assert_eq!(pool.len(), model.len());
+        }
+        // Final contents match as multisets.
+        let mut remaining = Vec::new();
+        pool.drain_matching(|_| true, |v| remaining.push(v));
+        remaining.sort_unstable();
+        model.sort_unstable();
+        prop_assert_eq!(remaining, model);
+    }
+
+    /// Prolongation–restriction is a projection: restricting a prolonged
+    /// coarse field returns it exactly (constant prolongation).
+    #[test]
+    fn prolong_restrict_projection(nc in 1..4i32, rr in 2..4i32, seed in any::<u64>()) {
+        use uintah_grid::prolongation::prolong_constant;
+        use uintah_grid::restriction::restrict_average;
+        let coarse_r = Region::cube(nc);
+        let mut coarse = CcVariable::<f64>::new(coarse_r);
+        let mut rng = CellRng::new(seed, IntVector::ZERO, 1, 0);
+        coarse.fill_with(|_| rng.next_f64() * 10.0 - 5.0);
+        let fine = prolong_constant(&coarse, IntVector::splat(rr), Region::cube(nc * rr));
+        let back = restrict_average(&fine, IntVector::splat(rr), coarse_r);
+        for c in coarse_r.cells() {
+            prop_assert!((back[c] - coarse[c]).abs() < 1e-12);
+        }
+    }
+
+    /// Tag composition is injective over the fields the runtime uses.
+    #[test]
+    fn tag_injective(v1 in 0u8..8, p1 in 0u32..1000, d1 in 0u32..1000, ph1 in 0u8..4,
+                     v2 in 0u8..8, p2 in 0u32..1000, d2 in 0u32..1000, ph2 in 0u8..4) {
+        let t1 = Tag::compose(v1, p1, d1, ph1);
+        let t2 = Tag::compose(v2, p2, d2, ph2);
+        prop_assert_eq!(t1 == t2, (v1, p1, d1, ph1) == (v2, p2, d2, ph2));
+    }
+}
