@@ -1,0 +1,64 @@
+//! Criterion benchmark for the persistent timestep executor: an 8-step
+//! multi-rank, multi-threaded timestep loop with the graph cache, storage
+//! recycling and device-resident level replicas on (`persistent`) vs the
+//! rebuild-everything baseline (`rebuild`). The gap is the per-step cost
+//! the persistence work amortizes away: graph recompilation, warehouse
+//! reallocation, and (in the `gpu` variants) cold PCIe re-uploads of the
+//! coarse level replicas.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use uintah::prelude::*;
+use uintah::runtime::TaskDecl;
+
+const TIMESTEPS: usize = 8;
+
+fn run(grid: &Arc<Grid>, decls: &Arc<Vec<TaskDecl>>, persistent: bool, gpu: bool) -> u64 {
+    let result = run_world(
+        Arc::clone(grid),
+        Arc::clone(decls),
+        WorldConfig {
+            nranks: 2,
+            nthreads: 2,
+            timesteps: TIMESTEPS,
+            gpu_capacity: gpu.then_some(2 << 30),
+            persistent,
+            ..Default::default()
+        },
+    );
+    result.total_bytes()
+}
+
+fn bench_timestep_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timestep_loop");
+    group.sample_size(10);
+    let grid = Arc::new(BurnsChriston::small_grid(16, 4));
+    let pipeline = RmcrtPipeline {
+        params: RmcrtParams {
+            nrays: 4,
+            threshold: 1e-3,
+            ..Default::default()
+        },
+        halo: 2,
+        problem: BurnsChriston::default(),
+    };
+    group.throughput(Throughput::Elements(TIMESTEPS as u64));
+    for gpu in [false, true] {
+        let decls = Arc::new(multilevel_decls(&grid, pipeline, gpu));
+        let tag = if gpu { "gpu" } else { "cpu" };
+        for persistent in [true, false] {
+            let mode = if persistent { "persistent" } else { "rebuild" };
+            group.bench_with_input(
+                BenchmarkId::new(mode, tag),
+                &persistent,
+                |b, &persistent| {
+                    b.iter(|| std::hint::black_box(run(&grid, &decls, persistent, gpu)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_timestep_loop);
+criterion_main!(benches);

@@ -69,4 +69,46 @@ fn main() {
     }
     println!("\nSmaller patches mean more patch tasks sharing the same coarse replicas, so");
     println!("the level database's savings grow exactly where over-decomposition lives.");
+
+    // ---- persistence across timesteps -------------------------------------
+    // With the persistent executor the level replicas also survive *time*:
+    // step 1 pays the full cold upload, steps 2+ revalidate the resident
+    // copies (diff against host bytes, re-upload only changes — zero for
+    // the static Burns & Christon properties) and pay only the transient
+    // per-patch staging.
+    println!("\n[per-timestep H2D, persistent executor, 8^3 patches, 4 timesteps]");
+    let grid = Arc::new(
+        Grid::builder()
+            .fine_cells(IntVector::splat(32))
+            .num_levels(2)
+            .refinement_ratio(2)
+            .fine_patch_size(IntVector::splat(8))
+            .build(),
+    );
+    let pipeline = RmcrtPipeline {
+        params: RmcrtParams {
+            nrays: 2,
+            threshold: 1e-3,
+            ..Default::default()
+        },
+        halo: 1,
+        problem: BurnsChriston::default(),
+    };
+    let result = run_world(
+        Arc::clone(&grid),
+        Arc::new(multilevel_decls(&grid, pipeline, true)),
+        WorldConfig {
+            nranks: 1,
+            nthreads: 4,
+            timesteps: 4,
+            gpu_capacity: Some(4 << 30),
+            ..Default::default()
+        },
+    );
+    println!("{:>9} | {:>14}", "timestep", "H2D bytes");
+    for (ts, s) in result.ranks[0].stats.iter().enumerate() {
+        println!("{:>9} | {:>12} B", ts, s.gpu_h2d_bytes);
+    }
+    println!("\nSteps 2+ must move strictly fewer bytes than the cold step: the coarse");
+    println!("replicas crossed PCIe once and stayed resident.");
 }

@@ -17,6 +17,8 @@
 //!   [`Communicator`]s with non-blocking send/recv (eager delivery,
 //!   MPI-style (source, tag) matching with an unexpected-message queue),
 //! * [`pool`] — the wait-free request pool (Algorithm 1),
+//! * [`signal`] — per-rank work-arrival signal: lets idle scheduler workers
+//!   park instead of busy-spinning, woken by inbound sends,
 //! * [`store`] — the [`RequestStore`] abstraction over the pool, the
 //!   mutex-vector baseline ("before"), and a deliberately racy variant that
 //!   reproduces the paper's leak for demonstration,
@@ -25,11 +27,13 @@
 pub mod collective;
 pub mod message;
 pub mod pool;
+pub mod signal;
 pub mod store;
 pub mod world;
 
 pub use collective::{AllReduce, WorldBarrier};
 pub use message::{Message, RecvRequest, SendRequest, Tag};
 pub use pool::{PoolIterator, WaitFreePool};
+pub use signal::WorkSignal;
 pub use store::{MutexRequestVec, RacyRequestVec, RequestStore, WaitFreeRequestStore};
 pub use world::{CommStats, CommWorld, Communicator, Rank};

@@ -24,6 +24,23 @@ impl Tag {
             | (((dst_patch as u64) & 0xff_ffff) << 8)
             | phase as u64)
     }
+
+    /// The phase byte (low 8 bits) of this tag.
+    #[inline]
+    pub fn phase(self) -> u8 {
+        (self.0 & 0xff) as u8
+    }
+
+    /// The same tag re-stamped with a different phase byte.
+    ///
+    /// The phase is the only component of a tag that changes between
+    /// timesteps, so a compiled graph's tags can be reused across steps by
+    /// re-stamping at post time instead of recompiling the whole graph.
+    #[inline]
+    #[must_use]
+    pub fn with_phase(self, phase: u8) -> Tag {
+        Tag((self.0 & !0xff) | phase as u64)
+    }
 }
 
 /// A delivered message: source rank, tag, payload.

@@ -8,6 +8,7 @@
 //! any number of threads concurrently (`MPI_THREAD_MULTIPLE`).
 
 use crate::message::{Message, RecvRequest, RecvState, SendRequest, Tag};
+use crate::signal::WorkSignal;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
@@ -38,6 +39,9 @@ pub struct CommStats {
 
 struct WorldInner {
     mailboxes: Vec<Mutex<Mailbox>>,
+    /// One work-arrival signal per rank; `isend` notifies the destination's
+    /// signal so parked scheduler workers wake when a message lands.
+    signals: Vec<Arc<WorkSignal>>,
     stats: CommStats,
     /// Tracks MPI-buffer bytes: allocated when a payload enters the fabric,
     /// freed when the receiver consumes it (the accounting the paper's
@@ -57,6 +61,7 @@ impl CommWorld {
         Self {
             inner: Arc::new(WorldInner {
                 mailboxes: (0..nranks).map(|_| Mutex::new(Mailbox::default())).collect(),
+                signals: (0..nranks).map(|_| Arc::new(WorkSignal::new())).collect(),
                 stats: CommStats::default(),
                 tracker: AllocTracker::new(),
             }),
@@ -112,6 +117,14 @@ impl Communicator {
         &self.world
     }
 
+    /// This rank's work-arrival signal (notified on every inbound `isend`).
+    /// Schedulers also notify it themselves when pushing ready work, so one
+    /// snapshot/wait covers both wakeup sources.
+    #[inline]
+    pub fn signal(&self) -> &Arc<WorkSignal> {
+        &self.world.inner.signals[self.rank]
+    }
+
     /// Non-blocking send. Eager: the payload is captured immediately and the
     /// request completes at post time.
     pub fn isend(&self, dst: Rank, tag: Tag, payload: Bytes) -> SendRequest {
@@ -147,6 +160,10 @@ impl Communicator {
         if !delivered {
             mbox.unexpected.entry(key).or_default().push_back(msg);
         }
+        drop(mbox);
+        // Wake any worker parked on the destination rank's signal. Done
+        // after the mailbox lock is released so waiters never contend on it.
+        self.world.inner.signals[dst].notify();
         SendRequest {
             done: Arc::new(AtomicBool::new(true)),
         }

@@ -180,13 +180,15 @@ fn trace_decl(pipeline: RmcrtPipeline, fine_li: LevelIndex, coarse_levels: Vec<L
             // per level per timestep, shared by all patch tasks). The
             // handles stay alive until the kernel completes — without the
             // level DB this is what multiplies device memory by the number
-            // of resident patch tasks.
+            // of resident patch tasks. The epoch-aware variant keeps the
+            // replica device-resident across timesteps, re-uploading only
+            // bytes that actually changed since the last radiation solve.
             let mut staged = Vec::new();
             for &li in &cl {
                 for l in PROP_LABELS {
                     let host = ctx.get_level(l, li);
                     staged.push(
-                        gdw.ensure_level(l, li, || (*host).clone())
+                        gdw.ensure_level_fresh(l, li, || (*host).clone())
                             .expect("device OOM staging level replica"),
                     );
                 }
@@ -281,7 +283,7 @@ fn single_level_trace_decl(pipeline: RmcrtPipeline, fine_li: LevelIndex, gpu: bo
         if let (true, Some(gdw)) = (gpu, ctx.gpu()) {
             for l in PROP_LABELS {
                 let host = ctx.get_level(l, fine_li);
-                gdw.ensure_level(l, fine_li, || (*host).clone())
+                gdw.ensure_level_fresh(l, fine_li, || (*host).clone())
                     .expect("device OOM staging fine replica");
             }
         }

@@ -17,6 +17,7 @@
 use crate::device::{GpuDevice, GpuError};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use uintah_grid::{LevelIndex, PatchId, VarLabel};
 
@@ -54,6 +55,13 @@ impl Drop for DeviceVar {
 type PatchKey = (VarLabel, PatchId);
 type LevelKey = (VarLabel, LevelIndex);
 
+/// A level-database slot: the device-resident replica plus the timestep
+/// epoch at which it was last validated against host data.
+struct LevelEntry {
+    var: Arc<DeviceVar>,
+    epoch: u64,
+}
+
 /// Per-device variable store: patch database + level database.
 ///
 /// ```
@@ -74,8 +82,13 @@ type LevelKey = (VarLabel, LevelIndex);
 pub struct GpuDataWarehouse {
     device: GpuDevice,
     patch_db: RwLock<HashMap<PatchKey, Arc<DeviceVar>>>,
-    level_db: RwLock<HashMap<LevelKey, Arc<DeviceVar>>>,
+    level_db: RwLock<HashMap<LevelKey, LevelEntry>>,
     level_db_enabled: bool,
+    /// Timestep epoch: bumped by [`Self::begin_timestep`]. Level-DB entries
+    /// stamped with an older epoch are *stale* — still device-resident, but
+    /// requiring revalidation (diff + incremental re-upload) before reuse
+    /// via [`Self::ensure_level_fresh`].
+    epoch: AtomicU64,
 }
 
 impl GpuDataWarehouse {
@@ -91,7 +104,21 @@ impl GpuDataWarehouse {
             patch_db: RwLock::new(HashMap::new()),
             level_db: RwLock::new(HashMap::new()),
             level_db_enabled,
+            epoch: AtomicU64::new(0),
         }
+    }
+
+    /// Advance the timestep epoch. Level-DB entries persist on the device
+    /// but become stale: the next [`Self::ensure_level_fresh`] revalidates
+    /// them against host data instead of trusting last step's bytes.
+    pub fn begin_timestep(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Current timestep epoch.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
     }
 
     #[inline]
@@ -180,24 +207,112 @@ impl GpuDataWarehouse {
         if !self.level_db_enabled {
             return self.upload(producer());
         }
-        if let Some(v) = self.level_db.read().get(&(label, level)) {
-            return Ok(Arc::clone(v));
+        if let Some(e) = self.level_db.read().get(&(label, level)) {
+            return Ok(Arc::clone(&e.var));
         }
         // Upload outside the write lock would allow duplicate uploads under
         // contention; take the write lock across the check-and-upload
         // (uploads are rare: once per level variable per timestep).
         let mut db = self.level_db.write();
-        if let Some(v) = db.get(&(label, level)) {
-            return Ok(Arc::clone(v));
+        if let Some(e) = db.get(&(label, level)) {
+            return Ok(Arc::clone(&e.var));
         }
         let var = self.upload(producer())?;
-        db.insert((label, level), Arc::clone(&var));
+        db.insert(
+            (label, level),
+            LevelEntry {
+                var: Arc::clone(&var),
+                epoch: self.epoch(),
+            },
+        );
         Ok(var)
     }
 
-    /// Look up a level variable without uploading.
+    /// Like [`Self::ensure_level`], but epoch-aware: a replica persisted
+    /// from an earlier timestep is *revalidated* instead of blindly shared.
+    ///
+    /// * Entry validated this epoch → share it, zero PCIe traffic, and the
+    ///   producer is never invoked.
+    /// * Stale entry → invoke the producer and diff against the resident
+    ///   bytes ([`DeviceData::diff_bytes`](uintah_grid::FieldData::diff_bytes)).
+    ///   Unchanged data re-stamps the epoch with **no transfer**; changed
+    ///   data is re-uploaded metering only the changed bytes (the
+    ///   incremental-update model of §III-C: the coarse radiative properties
+    ///   barely move between radiation solves).
+    /// * No entry → full upload, as in [`Self::ensure_level`].
+    ///
+    /// With the level DB disabled (E4 ablation) every call is a full private
+    /// upload, every timestep — the pre-optimization behaviour.
+    pub fn ensure_level_fresh(
+        &self,
+        label: VarLabel,
+        level: LevelIndex,
+        producer: impl FnOnce() -> DeviceData,
+    ) -> Result<Arc<DeviceVar>, GpuError> {
+        if !self.level_db_enabled {
+            return self.upload(producer());
+        }
+        let now = self.epoch();
+        if let Some(e) = self.level_db.read().get(&(label, level)) {
+            if e.epoch == now {
+                return Ok(Arc::clone(&e.var));
+            }
+        }
+        let mut db = self.level_db.write();
+        match db.get_mut(&(label, level)) {
+            Some(e) if e.epoch == now => Ok(Arc::clone(&e.var)),
+            Some(e) => {
+                // Stale resident replica: revalidate against host data.
+                let host = producer();
+                let changed = e.var.data().diff_bytes(&host);
+                if changed == 0 {
+                    e.epoch = now;
+                    return Ok(Arc::clone(&e.var));
+                }
+                // Overwrite in place when this DB holds the only handle
+                // (device-side update, no reallocation); otherwise replace
+                // the entry — concurrent holders keep the old bytes alive
+                // until they drop. Either way only the changed bytes cross
+                // PCIe.
+                self.device.record_h2d(changed);
+                let same_size = host.size_bytes() == e.var.size_bytes();
+                match Arc::get_mut(&mut e.var) {
+                    Some(var) if same_size => var.data = host,
+                    _ => {
+                        let bytes = host.size_bytes();
+                        self.device.try_reserve(bytes)?;
+                        e.var = Arc::new(DeviceVar {
+                            data: host,
+                            bytes,
+                            device: self.device.clone(),
+                        });
+                    }
+                }
+                e.epoch = now;
+                Ok(Arc::clone(&e.var))
+            }
+            None => {
+                let var = self.upload(producer())?;
+                db.insert(
+                    (label, level),
+                    LevelEntry {
+                        var: Arc::clone(&var),
+                        epoch: now,
+                    },
+                );
+                Ok(var)
+            }
+        }
+    }
+
+    /// Look up a level variable without uploading (ignores staleness).
     pub fn get_level(&self, label: VarLabel, level: LevelIndex) -> Option<Arc<DeviceVar>> {
-        self.level_db.read().get(&(label, level)).cloned()
+        self.level_db.read().get(&(label, level)).map(|e| Arc::clone(&e.var))
+    }
+
+    /// The epoch a level entry was last validated at, if resident.
+    pub fn level_entry_epoch(&self, label: VarLabel, level: LevelIndex) -> Option<u64> {
+        self.level_db.read().get(&(label, level)).map(|e| e.epoch)
     }
 
     /// Drop every per-level entry (end of radiation timestep).
@@ -340,5 +455,71 @@ mod tests {
     fn type_mismatch_panics() {
         let d = DeviceData::U8(CcVariable::filled(Region::cube(2), 1u8));
         d.as_f64();
+    }
+
+    #[test]
+    fn fresh_replica_persists_across_timesteps_when_unchanged() {
+        let dw = GpuDataWarehouse::new(GpuDevice::k20x());
+        let a = dw.ensure_level_fresh(ABSKG, 0, || field(16, 0.9)).unwrap();
+        assert_eq!(dw.device().h2d_transfers(), 1);
+        // Same step: producer must not run again.
+        let b = dw.ensure_level_fresh(ABSKG, 0, || panic!("fresh entry")).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        // Next step, identical host data: revalidation, no transfer.
+        dw.begin_timestep();
+        assert_eq!(dw.level_entry_epoch(ABSKG, 0), Some(0), "stale until revalidated");
+        let c = dw.ensure_level_fresh(ABSKG, 0, || field(16, 0.9)).unwrap();
+        assert!(Arc::ptr_eq(&a, &c), "unchanged replica is kept");
+        assert_eq!(dw.device().h2d_transfers(), 1, "no second upload");
+        assert_eq!(dw.level_entry_epoch(ABSKG, 0), Some(1));
+        // And within the new step it is trusted without the producer.
+        let d = dw.ensure_level_fresh(ABSKG, 0, || panic!("revalidated")).unwrap();
+        assert!(Arc::ptr_eq(&a, &d));
+    }
+
+    #[test]
+    fn changed_replica_reuploads_only_changed_bytes() {
+        let dw = GpuDataWarehouse::new(GpuDevice::k20x());
+        let full = 16usize.pow(3) * 8;
+        let v = dw.ensure_level_fresh(ABSKG, 0, || field(16, 0.9)).unwrap();
+        drop(v);
+        dw.begin_timestep();
+        // One cell changed between steps.
+        let _ = dw
+            .ensure_level_fresh(ABSKG, 0, || {
+                let mut f = CcVariable::filled(Region::cube(16), 0.9);
+                f[uintah_grid::IntVector::ZERO] = 1.1;
+                DeviceData::F64(f)
+            })
+            .unwrap();
+        assert_eq!(dw.device().h2d_transfers(), 2);
+        assert_eq!(dw.device().h2d_bytes(), (full + 8) as u64, "8-byte diff upload");
+        assert_eq!(dw.device().used(), full, "in-place overwrite, no extra memory");
+    }
+
+    #[test]
+    fn changed_replica_with_live_handles_is_replaced_not_clobbered() {
+        let dw = GpuDataWarehouse::new(GpuDevice::k20x());
+        let old = dw.ensure_level_fresh(ABSKG, 0, || field(8, 0.5)).unwrap();
+        dw.begin_timestep();
+        let new = dw.ensure_level_fresh(ABSKG, 0, || field(8, 0.7)).unwrap();
+        assert!(!Arc::ptr_eq(&old, &new), "live handle keeps old bytes");
+        assert_eq!(old.data().as_f64()[uintah_grid::IntVector::ZERO], 0.5);
+        assert_eq!(new.data().as_f64()[uintah_grid::IntVector::ZERO], 0.7);
+        let field_bytes = 8usize.pow(3) * 8;
+        assert_eq!(dw.device().used(), 2 * field_bytes, "both copies resident");
+        drop(old);
+        assert_eq!(dw.device().used(), field_bytes, "old copy released on drop");
+    }
+
+    #[test]
+    fn disabled_level_db_pays_full_upload_every_step() {
+        let dw = GpuDataWarehouse::with_level_db(GpuDevice::k20x(), false);
+        let a = dw.ensure_level_fresh(ABSKG, 0, || field(16, 0.9)).unwrap();
+        dw.begin_timestep();
+        let b = dw.ensure_level_fresh(ABSKG, 0, || field(16, 0.9)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(dw.device().h2d_transfers(), 2, "no persistence without the DB");
+        assert_eq!(dw.device().h2d_bytes(), 2 * 16u64.pow(3) * 8);
     }
 }

@@ -10,10 +10,9 @@
 use crate::grid::Grid;
 use crate::index::IntVector;
 use crate::patch::PatchId;
-use serde::{Deserialize, Serialize};
 
 /// How patches are laid out across ranks.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum DistributionPolicy {
     /// Patch `i` goes to rank `i % nranks` (cyclic).
     RoundRobin,

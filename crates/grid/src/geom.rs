@@ -1,10 +1,9 @@
 //! Double-precision points and vectors.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Div, Index, Mul, Neg, Sub};
 
 /// A position in physical space (metres).
-#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct Point {
     pub x: f64,
     pub y: f64,
@@ -12,7 +11,7 @@ pub struct Point {
 }
 
 /// A direction / displacement in physical space.
-#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct Vector {
     pub x: f64,
     pub y: f64,

@@ -5,7 +5,6 @@ use crate::index::IntVector;
 use crate::level::{Level, LevelIndex, RefinementRatio};
 use crate::patch::{Patch, PatchId};
 use crate::region::Region;
-use serde::{Deserialize, Serialize};
 
 /// A structured AMR grid.
 ///
@@ -13,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// For the RMCRT multi-level scheme, *every* level spans the full physical
 /// domain: a coarse level is a whole-domain low-resolution replica that rays
 /// fall back to outside their region of interest.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Grid {
     levels: Vec<Level>,
     /// First patch id on each level (dense ids across levels).

@@ -1,6 +1,5 @@
 //! Integer cell indices.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
@@ -8,7 +7,7 @@ use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 ///
 /// Mirrors Uintah's `IntVector`. Components are `i32`; grids of up to
 /// 2^31 cells per axis are far beyond anything the paper runs (512³ fine).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize, PartialOrd, Ord)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub struct IntVector {
     pub x: i32,
     pub y: i32,

@@ -1,6 +1,5 @@
 //! Variable labels.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a simulation variable ("abskg", "sigmaT4", "divQ", ...).
@@ -8,7 +7,7 @@ use std::fmt;
 /// The numeric id is used when composing message tags, so it must be unique
 /// among the variables of one simulation (applications define their labels
 /// as constants; the RMCRT labels live in `rmcrt-core`).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VarLabel {
     name: &'static str,
     id: u8,

@@ -4,14 +4,13 @@ use crate::geom::{Point, Vector};
 use crate::index::IntVector;
 use crate::patch::{Patch, PatchId};
 use crate::region::Region;
-use serde::{Deserialize, Serialize};
 
 /// Index of a level within a [`crate::grid::Grid`]. Level 0 is the
 /// *coarsest* (Uintah convention); the finest level is `nlevels - 1`.
 pub type LevelIndex = u8;
 
 /// Cell-count ratio between a level and the next-coarser one.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct RefinementRatio(pub IntVector);
 
 impl RefinementRatio {
@@ -33,7 +32,7 @@ impl RefinementRatio {
 /// patches tiling the index space. For the RMCRT benchmarks every coarse
 /// level spans the *entire* physical domain (the whole-domain coarse replica
 /// the rays fall back to).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Level {
     index: LevelIndex,
     cell_region: Region,

@@ -2,13 +2,12 @@
 
 use crate::index::IntVector;
 use crate::region::Region;
-use serde::{Deserialize, Serialize};
 
 /// Globally unique patch identifier.
 ///
 /// Uintah numbers patches consecutively across levels; we do the same:
 /// patch ids are dense `0..grid.num_patches()`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct PatchId(pub u32);
 
 impl PatchId {
@@ -23,7 +22,7 @@ impl PatchId {
 /// The *interior* region is exclusive: patches on a level tile the level's
 /// cell space without overlap. Ghost data for stencils/ray origins comes from
 /// neighbouring patches (or boundary conditions) via the data warehouse.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Patch {
     id: PatchId,
     level: u8,

@@ -1,7 +1,6 @@
 //! Half-open axis-aligned boxes of cells.
 
 use crate::index::IntVector;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A half-open box of cell indices `[lo, hi)`.
@@ -9,7 +8,7 @@ use std::fmt;
 /// `lo == hi` (or any axis degenerate) means the region is empty. Regions are
 /// the common currency for patch extents, ghost halos, message footprints and
 /// restriction windows.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Region {
     lo: IntVector,
     hi: IntVector,

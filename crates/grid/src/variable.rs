@@ -2,7 +2,6 @@
 
 use crate::index::IntVector;
 use crate::region::Region;
-use serde::{Deserialize, Serialize};
 use std::ops::{Index, IndexMut};
 
 /// A cell-centered variable over a region (Uintah's `CCVariable<T>`).
@@ -10,7 +9,7 @@ use std::ops::{Index, IndexMut};
 /// The backing region may include ghost cells: a patch task allocates its
 /// variable over `patch.with_ghosts(g)` and the data warehouse fills the halo
 /// from neighbouring patches. Storage is a dense x-fastest array.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CcVariable<T> {
     region: Region,
     data: Vec<T>,
@@ -92,6 +91,12 @@ impl<T> CcVariable<T> {
     pub fn size_bytes(&self) -> usize {
         self.data.len() * std::mem::size_of::<T>()
     }
+
+    /// Consume the variable, returning its backing storage (for recycling
+    /// into a buffer pool at timestep boundaries).
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
 }
 
 impl<T: Copy> CcVariable<T> {
@@ -155,7 +160,7 @@ impl<T: Copy> CcVariable<T> {
 /// A dynamically-typed cell-centered field, the currency of the data
 /// warehouses (host and GPU). RMCRT needs `f64` fields (`abskg`, `sigmaT4`,
 /// `divQ`) and the `u8` `cellType` flag field.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum FieldData {
     F64(CcVariable<f64>),
     U8(CcVariable<u8>),
@@ -189,6 +194,34 @@ impl FieldData {
         match self {
             FieldData::U8(v) => v,
             FieldData::F64(_) => panic!("field is f64, requested u8"),
+        }
+    }
+
+    /// Bytes that differ between two fields of the same shape, counted in
+    /// whole elements (the granularity a real `cudaMemcpy` diff upload would
+    /// transfer). Fields of different type or region differ entirely:
+    /// returns `other.size_bytes()`.
+    ///
+    /// Drives incremental re-upload of persistent device-resident level
+    /// replicas: an unchanged replica diffs to 0 and costs no PCIe traffic.
+    pub fn diff_bytes(&self, other: &FieldData) -> usize {
+        match (self, other) {
+            (FieldData::F64(a), FieldData::F64(b)) if a.region() == b.region() => {
+                let n = a
+                    .as_slice()
+                    .iter()
+                    .zip(b.as_slice())
+                    .filter(|(x, y)| x.to_bits() != y.to_bits())
+                    .count();
+                n * std::mem::size_of::<f64>()
+            }
+            (FieldData::U8(a), FieldData::U8(b)) if a.region() == b.region() => a
+                .as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .filter(|(x, y)| x != y)
+                .count(),
+            _ => other.size_bytes(),
         }
     }
 }
@@ -288,5 +321,28 @@ mod tests {
     fn size_bytes() {
         let v = CcVariable::<f64>::new(Region::cube(16));
         assert_eq!(v.size_bytes(), 16 * 16 * 16 * 8);
+    }
+
+    #[test]
+    fn diff_bytes_counts_changed_elements() {
+        let r = Region::cube(4);
+        let mut a = CcVariable::<f64>::new(r);
+        a.fill_with(|c| c.x as f64);
+        let mut b = a.clone();
+        let fa = FieldData::from(a.clone());
+        assert_eq!(fa.diff_bytes(&FieldData::from(b.clone())), 0);
+        b[IntVector::new(1, 1, 1)] += 1.0;
+        b[IntVector::new(2, 0, 3)] += 1.0;
+        assert_eq!(fa.diff_bytes(&FieldData::from(b)), 2 * 8);
+        // Shape mismatch: everything differs.
+        let other = FieldData::from(CcVariable::<f64>::new(Region::cube(2)));
+        assert_eq!(fa.diff_bytes(&other), other.size_bytes());
+        // Type mismatch likewise.
+        let u = FieldData::from(CcVariable::<u8>::new(r));
+        assert_eq!(fa.diff_bytes(&u), u.size_bytes());
+        // NaN-safe: bitwise comparison treats equal NaNs as unchanged.
+        a[IntVector::ZERO] = f64::NAN;
+        let fnan = FieldData::from(a.clone());
+        assert_eq!(fnan.diff_bytes(&FieldData::from(a)), 0);
     }
 }

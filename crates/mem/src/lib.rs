@@ -23,10 +23,12 @@
 pub mod arena;
 pub mod fragsim;
 pub mod pool;
+pub mod recycle;
 pub mod sizeclass;
 pub mod tracker;
 
 pub use arena::{PageAllocation, PageArena, PAGE_SIZE};
 pub use pool::BlockPool;
+pub use recycle::BufferRecycler;
 pub use sizeclass::SizeClassAllocator;
 pub use tracker::{AllocCategory, AllocTracker, TrackerSnapshot};

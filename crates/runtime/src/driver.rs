@@ -3,10 +3,12 @@
 //! GPU data warehouse.
 
 use crate::dw::DataWarehouse;
+use crate::executor::PersistentExecutor;
 use crate::graph;
 use crate::scheduler::{ExecStats, Scheduler, StoreKind};
 use crate::task::TaskDecl;
 use std::sync::Arc;
+use std::time::Instant;
 use uintah_comm::CommWorld;
 use uintah_gpu::{GpuDataWarehouse, GpuDevice};
 use uintah_grid::{DistributionPolicy, Grid, PatchDistribution};
@@ -28,6 +30,12 @@ pub struct WorldConfig {
     /// Bundle all whole-level windows per (producer instance, destination
     /// rank) into one message (Uintah's rank-pair message packing).
     pub aggregate_level_windows: bool,
+    /// Persist execution state across timesteps (cached task graph, recycled
+    /// warehouse storage, device-resident level replicas) via
+    /// [`PersistentExecutor`]. `false` rebuilds everything each step — the
+    /// pre-optimization baseline, kept as the control for equivalence tests
+    /// and the `timestep_loop` benchmark.
+    pub persistent: bool,
 }
 
 impl Default for WorldConfig {
@@ -41,6 +49,7 @@ impl Default for WorldConfig {
             gpu_capacity: None,
             gpu_level_db: true,
             aggregate_level_windows: false,
+            persistent: true,
         }
     }
 }
@@ -58,7 +67,7 @@ pub struct RankResult {
 
 /// Result of the whole job.
 pub struct WorldResult {
-    pub dist: PatchDistribution,
+    pub dist: Arc<PatchDistribution>,
     pub ranks: Vec<RankResult>,
 }
 
@@ -109,24 +118,44 @@ pub fn run_world(grid: Arc<Grid>, decls: Arc<Vec<TaskDecl>>, cfg: WorldConfig) -
             });
             let sched = Scheduler::new(comm, cfg.nthreads, cfg.store);
             let mut stats = Vec::with_capacity(cfg.timesteps);
-            for ts in 0..cfg.timesteps {
-                if ts > 0 {
-                    dw.clear();
-                    if let Some(g) = &gpu {
-                        g.clear_level_db();
-                        g.clear_patch_db();
-                    }
-                }
-                let cg = graph::compile_opts(
-                    &grid,
-                    &dist,
-                    &decls,
-                    rank,
-                    (ts % 256) as u8,
+            if cfg.persistent {
+                let mut exec = PersistentExecutor::new(
+                    Arc::clone(&grid),
+                    Arc::clone(&decls),
+                    Arc::clone(&dist),
+                    sched,
+                    Arc::clone(&dw),
+                    gpu.clone(),
                     cfg.aggregate_level_windows,
                 );
-                let s = sched.execute(&grid, &decls, &cg, &dw, gpu.as_deref());
-                stats.push(s);
+                for _ in 0..cfg.timesteps {
+                    stats.push(exec.step());
+                }
+            } else {
+                // Rebuild-everything baseline: fresh graph, cold warehouse
+                // and cold GPU level DB every step.
+                for ts in 0..cfg.timesteps {
+                    if ts > 0 {
+                        dw.clear();
+                        if let Some(g) = &gpu {
+                            g.clear_level_db();
+                            g.clear_patch_db();
+                        }
+                    }
+                    let t0 = Instant::now();
+                    let cg = graph::compile_opts(
+                        &grid,
+                        &dist,
+                        &decls,
+                        rank,
+                        (ts % 256) as u8,
+                        cfg.aggregate_level_windows,
+                    );
+                    let compile_time = t0.elapsed();
+                    let mut s = sched.execute(&grid, &decls, &cg, &dw, gpu.as_deref());
+                    s.graph_compile = compile_time;
+                    stats.push(s);
+                }
             }
             RankResult {
                 rank,
@@ -140,10 +169,7 @@ pub fn run_world(grid: Arc<Grid>, decls: Arc<Vec<TaskDecl>>, cfg: WorldConfig) -
         .into_iter()
         .map(|h| h.join().expect("rank thread panicked"))
         .collect();
-    WorldResult {
-        dist: PatchDistribution::new(&grid, cfg.nranks, cfg.policy),
-        ranks,
-    }
+    WorldResult { dist, ranks }
 }
 
 #[cfg(test)]

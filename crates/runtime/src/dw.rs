@@ -12,8 +12,10 @@
 
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use uintah_grid::{CcVariable, FieldData, Grid, LevelIndex, Patch, PatchId, Region, VarLabel};
+use uintah_mem::{AllocTracker, BufferRecycler};
 
 type PatchKey = (VarLabel, PatchId);
 type LevelKey = (VarLabel, LevelIndex);
@@ -23,27 +25,56 @@ struct LevelAccum {
     filled_cells: usize,
 }
 
-/// Per-rank, per-timestep variable store.
+/// An entry stamped with the timestep epoch it was published in. Gets
+/// compare the stamp against the warehouse epoch, so a value left over from
+/// step N−1 can never satisfy a step-N request even if a future regrid/
+/// checkpoint path forgets to drain a map.
+struct Stamped {
+    epoch: u64,
+    data: Arc<FieldData>,
+}
+
+/// Per-rank variable store, persistent across timesteps.
+///
+/// The warehouse itself lives for the whole simulation; per-timestep
+/// *contents* are retired at each [`DataWarehouse::begin_timestep`] into
+/// size-binned recyclers ([`BufferRecycler`], the §IV-B pooling applied to
+/// field data), so steady-state steps reuse last step's storage instead of
+/// round-tripping every field through the heap.
 pub struct DataWarehouse {
     grid: Arc<Grid>,
-    patch_vars: RwLock<HashMap<PatchKey, Arc<FieldData>>>,
+    /// Timestep epoch; bumped by [`Self::begin_timestep`].
+    epoch: AtomicU64,
+    patch_vars: RwLock<HashMap<PatchKey, Stamped>>,
     /// Ghost windows received from remote patches, keyed by the *destination*
     /// patch (the local patch whose halo they fill).
     foreign: RwLock<HashMap<PatchKey, Vec<(Region, FieldData)>>>,
     /// Whole-level replicas being accumulated.
     accums: Mutex<HashMap<LevelKey, LevelAccum>>,
     /// Completed (sealed) whole-level replicas.
-    sealed: RwLock<HashMap<LevelKey, Arc<FieldData>>>,
+    sealed: RwLock<HashMap<LevelKey, Stamped>>,
+    tracker: AllocTracker,
+    recycle_f64: BufferRecycler<f64>,
+    recycle_u8: BufferRecycler<u8>,
 }
 
 impl DataWarehouse {
     pub fn new(grid: Arc<Grid>) -> Self {
+        Self::with_tracker(grid, AllocTracker::new())
+    }
+
+    /// Share an external tracker (per-rank accounting across subsystems).
+    pub fn with_tracker(grid: Arc<Grid>, tracker: AllocTracker) -> Self {
         Self {
             grid,
+            epoch: AtomicU64::new(0),
             patch_vars: RwLock::new(HashMap::new()),
             foreign: RwLock::new(HashMap::new()),
             accums: Mutex::new(HashMap::new()),
             sealed: RwLock::new(HashMap::new()),
+            recycle_f64: BufferRecycler::new(tracker.clone()),
+            recycle_u8: BufferRecycler::new(tracker.clone()),
+            tracker,
         }
     }
 
@@ -52,14 +83,95 @@ impl DataWarehouse {
         &self.grid
     }
 
-    /// Publish a per-patch variable.
-    pub fn put_patch(&self, label: VarLabel, patch: PatchId, data: FieldData) {
-        self.patch_vars.write().insert((label, patch), Arc::new(data));
+    /// Current timestep epoch.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
     }
 
-    /// Fetch a per-patch variable.
+    /// The tracker accounting pooled field-buffer bytes.
+    pub fn field_tracker(&self) -> &AllocTracker {
+        &self.tracker
+    }
+
+    /// Allocations served from the step-boundary recyclers (vs fresh heap).
+    pub fn recycle_hits(&self) -> u64 {
+        self.recycle_f64.hits() + self.recycle_u8.hits()
+    }
+
+    /// Allocations that fell through to the heap.
+    pub fn recycle_misses(&self) -> u64 {
+        self.recycle_f64.misses() + self.recycle_u8.misses()
+    }
+
+    /// A zeroed `f64` variable over `region`, drawing storage from the
+    /// recycler when last step retired a buffer of the same size.
+    pub fn alloc_f64(&self, region: Region) -> CcVariable<f64> {
+        CcVariable::from_vec(region, self.recycle_f64.acquire(region.volume()))
+    }
+
+    pub fn alloc_u8(&self, region: Region) -> CcVariable<u8> {
+        CcVariable::from_vec(region, self.recycle_u8.acquire(region.volume()))
+    }
+
+    fn recycle_field(&self, data: FieldData) {
+        match data {
+            FieldData::F64(v) => self.recycle_f64.retire(v.into_vec()),
+            FieldData::U8(v) => self.recycle_u8.retire(v.into_vec()),
+        }
+    }
+
+    /// Open the next timestep: advance the epoch and retire last step's
+    /// contents into the recyclers. Storage whose last owner is the
+    /// warehouse is recycled; storage still shared with in-flight readers is
+    /// simply dropped (its heap allocation dies when the last reader does).
+    pub fn begin_timestep(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        let patch_vars: Vec<Stamped> =
+            self.patch_vars.write().drain().map(|(_, e)| e).collect();
+        for e in patch_vars {
+            if let Ok(data) = Arc::try_unwrap(e.data) {
+                self.recycle_field(data);
+            }
+        }
+        let foreign: Vec<(Region, FieldData)> =
+            self.foreign.write().drain().flat_map(|(_, w)| w).collect();
+        for (_, data) in foreign {
+            self.recycle_field(data);
+        }
+        let accums: Vec<LevelAccum> = self.accums.lock().drain().map(|(_, a)| a).collect();
+        for a in accums {
+            self.recycle_field(a.data);
+        }
+        let sealed: Vec<Stamped> = self.sealed.write().drain().map(|(_, e)| e).collect();
+        for e in sealed {
+            if let Ok(data) = Arc::try_unwrap(e.data) {
+                self.recycle_field(data);
+            }
+        }
+    }
+
+    fn stamped(&self, data: FieldData) -> Stamped {
+        Stamped {
+            epoch: self.epoch(),
+            data: Arc::new(data),
+        }
+    }
+
+    /// Publish a per-patch variable.
+    pub fn put_patch(&self, label: VarLabel, patch: PatchId, data: FieldData) {
+        self.patch_vars.write().insert((label, patch), self.stamped(data));
+    }
+
+    /// Fetch a per-patch variable published this timestep. Entries from an
+    /// earlier epoch never match.
     pub fn get_patch(&self, label: VarLabel, patch: PatchId) -> Option<Arc<FieldData>> {
-        self.patch_vars.read().get(&(label, patch)).cloned()
+        let now = self.epoch();
+        self.patch_vars
+            .read()
+            .get(&(label, patch))
+            .filter(|e| e.epoch == now)
+            .map(|e| Arc::clone(&e.data))
     }
 
     /// Deposit a ghost window received from a remote patch for `dst_patch`.
@@ -77,16 +189,17 @@ impl DataWarehouse {
         patch: &Patch,
         g: i32,
         view: impl Fn(&FieldData) -> &CcVariable<T>,
+        alloc: impl FnOnce(Region) -> CcVariable<T>,
     ) -> CcVariable<T> {
         let level = self.grid.level(patch.level_index());
         let window = patch.with_ghosts(g).intersect(&level.cell_region());
-        let mut out = CcVariable::<T>::new(window);
+        let mut out = alloc(window);
         // Locally-owned patches overlapping the halo.
         {
             let vars = self.patch_vars.read();
             for q in level.patches_overlapping(&window) {
                 if let Some(src) = vars.get(&(label, q.id())) {
-                    out.copy_window(view(src), &window);
+                    out.copy_window(view(&src.data), &window);
                 }
             }
         }
@@ -100,12 +213,19 @@ impl DataWarehouse {
     }
 
     /// Assemble `label` over `patch + g` ghosts (clipped to the level).
+    /// The ghost-expanded window draws storage from the step recycler.
     pub fn assemble_ghosted_f64(&self, label: VarLabel, patch: &Patch, g: i32) -> CcVariable<f64> {
-        self.assemble(label, patch, g, |d| d.as_f64())
+        self.assemble(label, patch, g, |d| d.as_f64(), |r| self.alloc_f64(r))
     }
 
     pub fn assemble_ghosted_u8(&self, label: VarLabel, patch: &Patch, g: i32) -> CcVariable<u8> {
-        self.assemble(label, patch, g, |d| d.as_u8())
+        self.assemble(label, patch, g, |d| d.as_u8(), |r| self.alloc_u8(r))
+    }
+
+    /// Hand a transient assembled/working variable back for reuse by a
+    /// later allocation of the same size (typically next timestep's).
+    pub fn recycle(&self, data: FieldData) {
+        self.recycle_field(data);
     }
 
     /// Deposit a restriction window into the whole-level accumulator for
@@ -120,8 +240,8 @@ impl DataWarehouse {
         let mut accums = self.accums.lock();
         let accum = accums.entry((label, level)).or_insert_with(|| LevelAccum {
             data: match data {
-                FieldData::F64(_) => FieldData::F64(CcVariable::new(level_region)),
-                FieldData::U8(_) => FieldData::U8(CcVariable::new(level_region)),
+                FieldData::F64(_) => FieldData::F64(self.alloc_f64(level_region)),
+                FieldData::U8(_) => FieldData::U8(self.alloc_u8(level_region)),
             },
             filled_cells: 0,
         });
@@ -157,31 +277,39 @@ impl DataWarehouse {
             "level replica {label} L{level} incomplete: {}/{expected} cells",
             accum.filled_cells
         );
-        self.sealed.write().insert((label, level), Arc::new(accum.data));
+        self.sealed.write().insert((label, level), self.stamped(accum.data));
     }
 
-    /// A sealed whole-level replica.
+    /// A sealed whole-level replica published this timestep.
     pub fn get_sealed_level(&self, label: VarLabel, level: LevelIndex) -> Option<Arc<FieldData>> {
-        self.sealed.read().get(&(label, level)).cloned()
+        let now = self.epoch();
+        self.sealed
+            .read()
+            .get(&(label, level))
+            .filter(|e| e.epoch == now)
+            .map(|e| Arc::clone(&e.data))
     }
 
     /// Directly publish a sealed level replica (single-rank convenience and
     /// test hook).
     pub fn put_sealed_level(&self, label: VarLabel, level: LevelIndex, data: FieldData) {
-        self.sealed.write().insert((label, level), Arc::new(data));
+        self.sealed.write().insert((label, level), self.stamped(data));
     }
 
     /// Bytes held in per-patch variables (nodal-footprint accounting).
     pub fn patch_bytes(&self) -> usize {
-        self.patch_vars.read().values().map(|v| v.size_bytes()).sum()
+        self.patch_vars.read().values().map(|e| e.data.size_bytes()).sum()
     }
 
-    /// Drop everything (between timesteps).
+    /// Drop everything, including pooled recycler storage (full reset; use
+    /// [`Self::begin_timestep`] between timesteps to keep the pools warm).
     pub fn clear(&self) {
         self.patch_vars.write().clear();
         self.foreign.write().clear();
         self.accums.lock().clear();
         self.sealed.write().clear();
+        self.recycle_f64.clear();
+        self.recycle_u8.clear();
     }
 }
 
@@ -326,6 +454,63 @@ mod tests {
         dw.clear();
         assert_eq!(dw.patch_bytes(), 0);
         assert!(dw.get_patch(KAPPA, p).is_none());
+    }
+
+    #[test]
+    fn begin_timestep_hides_stale_values_and_recycles_storage() {
+        let g = grid2();
+        let dw = DataWarehouse::new(g.clone());
+        let p = g.fine_level().patches()[0].id();
+        dw.put_patch(KAPPA, p, FieldData::F64(CcVariable::filled(Region::cube(8), 0.5)));
+        dw.put_sealed_level(KAPPA, 0, FieldData::F64(CcVariable::new(g.coarsest_level().cell_region())));
+        assert!(dw.get_patch(KAPPA, p).is_some());
+        assert!(dw.get_sealed_level(KAPPA, 0).is_some());
+
+        dw.begin_timestep();
+        assert_eq!(dw.epoch(), 1);
+        assert!(dw.get_patch(KAPPA, p).is_none(), "step N-1 value must not leak");
+        assert!(dw.get_sealed_level(KAPPA, 0).is_none());
+
+        // Same-size allocation in the new step reuses the retired storage.
+        let misses_before = dw.recycle_misses();
+        let v = dw.alloc_f64(Region::cube(8));
+        assert_eq!(dw.recycle_hits(), 1, "patch buffer recycled");
+        assert_eq!(dw.recycle_misses(), misses_before);
+        assert!(v.as_slice().iter().all(|&x| x == 0.0), "recycled storage zeroed");
+    }
+
+    #[test]
+    fn stale_entry_never_satisfies_get_even_if_present() {
+        // Simulate a path that forgot to drain: insert, bump the epoch via
+        // begin_timestep, then re-insert under a different label so the map
+        // is non-empty; the stale key must still miss.
+        let g = grid2();
+        let dw = DataWarehouse::new(g.clone());
+        let p = g.fine_level().patches()[0].id();
+        dw.put_patch(KAPPA, p, FieldData::F64(CcVariable::filled(Region::cube(8), 0.5)));
+        dw.begin_timestep();
+        dw.put_patch(CELLTYPE, p, FieldData::U8(CcVariable::filled(Region::cube(8), 1)));
+        assert!(dw.get_patch(KAPPA, p).is_none());
+        assert!(dw.get_patch(CELLTYPE, p).is_some(), "current-epoch value visible");
+    }
+
+    #[test]
+    fn level_accumulator_storage_recycles_across_steps() {
+        let g = grid2();
+        let dw = DataWarehouse::new(g.clone());
+        let region = g.coarsest_level().cell_region();
+        for step in 0..3 {
+            dw.deposit_level_window(KAPPA, 0, region, &FieldData::F64(CcVariable::filled(region, 1.0)));
+            dw.seal_level(KAPPA, 0);
+            assert!(dw.get_sealed_level(KAPPA, 0).is_some());
+            dw.begin_timestep();
+            if step > 0 {
+                assert!(dw.recycle_hits() > 0, "accumulator reused after step {step}");
+            }
+        }
+        // Steady state: one miss (the first step), hits thereafter.
+        assert_eq!(dw.recycle_misses(), 1);
+        assert_eq!(dw.recycle_hits(), 2);
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Persistent timestep executor: compile the task graph once, run it every
+//! step.
+//!
+//! RMCRT's task graph is identical from one radiation solve to the next:
+//! the same declarations over the same grid and distribution produce the
+//! same instances, edges and message schedule — only the 8-bit *phase* byte
+//! in the message tags distinguishes step N's messages from step N+1's.
+//! The original driver nevertheless recompiled the graph every timestep
+//! (and Uintah itself historically did, until task-graph reuse became a
+//! scalability requirement at full-machine scale). [`PersistentExecutor`]
+//! owns the per-rank execution state across timesteps:
+//!
+//! * the compiled graph, cached under a [`graph_signature`] of everything
+//!   compilation reads (grid shape, declarations, distribution, rank,
+//!   aggregation flag). A matching signature reuses the cached graph and
+//!   [`Scheduler::execute_phase`] re-stamps tags with the step's phase
+//!   byte; a mismatch — regrid, rebalance, changed task list — recompiles.
+//!   [`PersistentExecutor::invalidate`] forces the same from outside (the
+//!   hook an AMR regrid would call);
+//! * the host [`DataWarehouse`], whose step boundary retires field storage
+//!   into recyclers instead of freeing it ([`DataWarehouse::begin_timestep`]);
+//! * the GPU warehouse, whose level database persists device-resident
+//!   coarse replicas across steps and re-uploads only changed bytes
+//!   (`GpuDataWarehouse::begin_timestep` + `ensure_level_fresh`).
+//!
+//! [`graph_signature`]: crate::graph::graph_signature
+
+use crate::dw::DataWarehouse;
+use crate::graph::{self, CompiledGraph};
+use crate::scheduler::{ExecStats, Scheduler};
+use crate::task::TaskDecl;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use uintah_gpu::GpuDataWarehouse;
+use uintah_grid::{Grid, PatchDistribution};
+
+/// Per-rank executor that persists graphs, warehouse storage and GPU
+/// residency across timesteps. One instance per rank, stepped in lockstep
+/// with the other ranks of the world.
+pub struct PersistentExecutor {
+    grid: Arc<Grid>,
+    decls: Arc<Vec<TaskDecl>>,
+    dist: Arc<PatchDistribution>,
+    sched: Scheduler,
+    dw: Arc<DataWarehouse>,
+    gpu: Option<Arc<GpuDataWarehouse>>,
+    aggregate_level_windows: bool,
+    /// Cached compiled graph keyed by its input signature.
+    cached: Option<(u64, CompiledGraph)>,
+    step: u64,
+    compiles: usize,
+}
+
+impl PersistentExecutor {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        grid: Arc<Grid>,
+        decls: Arc<Vec<TaskDecl>>,
+        dist: Arc<PatchDistribution>,
+        sched: Scheduler,
+        dw: Arc<DataWarehouse>,
+        gpu: Option<Arc<GpuDataWarehouse>>,
+        aggregate_level_windows: bool,
+    ) -> Self {
+        Self {
+            grid,
+            decls,
+            dist,
+            sched,
+            dw,
+            gpu,
+            aggregate_level_windows,
+            cached: None,
+            step: 0,
+            compiles: 0,
+        }
+    }
+
+    /// Execute the next timestep. Opens the step (epoch bump + storage
+    /// retirement on host and device), reuses or recompiles the graph, and
+    /// runs it under this step's phase byte. `graph_compile` in the
+    /// returned stats is zero whenever the cache hit.
+    pub fn step(&mut self) -> ExecStats {
+        if self.step > 0 {
+            self.dw.begin_timestep();
+            if let Some(g) = &self.gpu {
+                // Level replicas stay device-resident (stale, revalidated on
+                // first use); per-patch staging is transient by design.
+                g.begin_timestep();
+                g.clear_patch_db();
+            }
+        }
+        let sig = graph::graph_signature(
+            &self.grid,
+            &self.dist,
+            &self.decls,
+            self.sched.rank(),
+            self.aggregate_level_windows,
+        );
+        let mut compile_time = Duration::ZERO;
+        if !matches!(&self.cached, Some((s, _)) if *s == sig) {
+            let t0 = Instant::now();
+            let g = graph::compile_opts(
+                &self.grid,
+                &self.dist,
+                &self.decls,
+                self.sched.rank(),
+                0,
+                self.aggregate_level_windows,
+            );
+            compile_time = t0.elapsed();
+            self.compiles += 1;
+            self.cached = Some((sig, g));
+        }
+        let (_, cg) = self.cached.as_ref().expect("graph just ensured");
+        let phase = (self.step % 256) as u8;
+        let mut stats =
+            self.sched
+                .execute_phase(&self.grid, &self.decls, cg, &self.dw, self.gpu.as_deref(), phase);
+        stats.graph_compile = compile_time;
+        self.step += 1;
+        stats
+    }
+
+    /// Drop the cached graph; the next [`Self::step`] recompiles. The hook
+    /// a regrid/rebalance calls when invalidation must not wait for the
+    /// signature check (or when task closures changed behind the same
+    /// declaration shape).
+    pub fn invalidate(&mut self) {
+        self.cached = None;
+    }
+
+    /// Timesteps executed so far.
+    #[inline]
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Graph compilations performed so far (1 in steady state).
+    #[inline]
+    pub fn compiles(&self) -> usize {
+        self.compiles
+    }
+
+    #[inline]
+    pub fn dw(&self) -> &Arc<DataWarehouse> {
+        &self.dw
+    }
+
+    #[inline]
+    pub fn gpu(&self) -> Option<&Arc<GpuDataWarehouse>> {
+        self.gpu.as_ref()
+    }
+}

@@ -501,6 +501,120 @@ pub fn compile_opts(
     }
 }
 
+/// Streaming FNV-1a over the compile-relevant structure.
+struct SigHasher(u64);
+
+impl SigHasher {
+    fn new() -> Self {
+        SigHasher(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn i32(&mut self, v: i32) {
+        self.u64(v as u32 as u64);
+    }
+
+    fn ivec(&mut self, v: IntVector) {
+        self.i32(v.x);
+        self.i32(v.y);
+        self.i32(v.z);
+    }
+
+    fn region(&mut self, r: &Region) {
+        self.ivec(r.lo());
+        self.ivec(r.hi());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for b in s.bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// A digest of every input [`compile_opts`] depends on: grid shape, task
+/// declarations, patch distribution, rank and aggregation flag — everything
+/// *except* the phase byte, which [`Tag::with_phase`] re-stamps at post
+/// time.
+///
+/// Two calls with equal signatures compile identical graphs (up to phase),
+/// so a cached `CompiledGraph` may be reused; any regrid, rebalance or
+/// task-list change perturbs the signature and forces recompilation.
+pub fn graph_signature(
+    grid: &Grid,
+    dist: &PatchDistribution,
+    decls: &[TaskDecl],
+    rank: usize,
+    aggregate_level_windows: bool,
+) -> u64 {
+    let mut h = SigHasher::new();
+    h.u64(rank as u64);
+    h.u64(aggregate_level_windows as u64);
+    // Grid structure.
+    h.u64(grid.num_levels() as u64);
+    for level in grid.levels() {
+        h.region(&level.cell_region());
+        h.ivec(level.patch_size());
+        h.ivec(level.ratio_to_coarser().as_ivec());
+        h.u64(level.num_patches() as u64);
+    }
+    // Ownership: the graph depends on every patch's assigned rank (sends,
+    // receives and local edges all key off it).
+    h.u64(dist.nranks() as u64);
+    for p in grid.all_patches() {
+        h.u64(dist.rank_of(p.id()) as u64);
+    }
+    // Task declarations, in order.
+    h.u64(decls.len() as u64);
+    for d in decls {
+        h.str(d.name);
+        h.u64(d.level as u64);
+        h.u64(matches!(d.kind, crate::task::TaskKind::Gpu) as u64);
+        h.u64(d.requires.len() as u64);
+        for r in &d.requires {
+            match *r {
+                Requirement::OwnPatch(l) => {
+                    h.u64(0);
+                    h.u64(l.id() as u64);
+                }
+                Requirement::Ghost(l, g) => {
+                    h.u64(1);
+                    h.u64(l.id() as u64);
+                    h.i32(g);
+                }
+                Requirement::WholeLevel(l, li) => {
+                    h.u64(2);
+                    h.u64(l.id() as u64);
+                    h.u64(li as u64);
+                }
+            }
+        }
+        h.u64(d.computes.len() as u64);
+        for c in &d.computes {
+            match *c {
+                Computes::PatchVar(l) => {
+                    h.u64(0);
+                    h.u64(l.id() as u64);
+                }
+                Computes::LevelWindow(l, li) => {
+                    h.u64(1);
+                    h.u64(l.id() as u64);
+                    h.u64(li as u64);
+                }
+            }
+        }
+    }
+    h.0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,6 +20,10 @@
 //!   ready tasks, perform their own sends/receives through `uintah-comm`
 //!   (`MPI_THREAD_MULTIPLE` style) against a pluggable [`RequestStore`],
 //!   and execute out of order as dependencies resolve;
+//! * [`executor`] — the persistent timestep executor: caches the compiled
+//!   graph across timesteps (phase re-stamped at post time), retires
+//!   warehouse storage into recyclers, and keeps GPU level replicas
+//!   device-resident between steps;
 //! * [`driver`] — a harness running all ranks of a world in one process.
 //!
 //! [`RequestStore`]: uintah_comm::RequestStore
@@ -28,6 +32,7 @@ pub mod archive;
 pub mod codec;
 pub mod driver;
 pub mod dw;
+pub mod executor;
 pub mod graph;
 pub mod scheduler;
 pub mod task;
@@ -35,6 +40,7 @@ pub mod task;
 pub use archive::{ArchiveError, DataArchive};
 pub use driver::{run_world, WorldConfig, WorldResult};
 pub use dw::DataWarehouse;
-pub use graph::{CompiledGraph, GraphStats};
+pub use executor::PersistentExecutor;
+pub use graph::{graph_signature, CompiledGraph, GraphStats};
 pub use scheduler::{ExecStats, Scheduler, StoreKind};
 pub use task::{Computes, Requirement, TaskContext, TaskDecl, TaskFn, TaskKind};

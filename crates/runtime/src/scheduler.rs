@@ -8,6 +8,17 @@
 //! incoming messages through the pluggable [`RequestStore`] (the wait-free
 //! pool or the mutex-vector baseline; the choice is the paper's Fig. 1 /
 //! Table I experiment).
+//!
+//! An idle worker does not busy-spin: after a bounded number of empty
+//! polls it parks on the rank's [`WorkSignal`](uintah_comm::WorkSignal)
+//! with exponentially backed-off timed waits, woken by inbound messages
+//! (the fabric notifies on `isend`) or by peers pushing ready work. Parked
+//! time and park counts are reported in [`ExecStats`].
+//!
+//! [`Scheduler::execute_phase`] executes a *cached* graph under any
+//! timestep phase: tags are re-stamped with the phase byte at post time
+//! ([`Tag::with_phase`]), which is what makes compiled graphs reusable
+//! across timesteps.
 
 use crate::dw::DataWarehouse;
 use crate::graph::{CompiledGraph, RecvAction, SendPayload};
@@ -58,8 +69,56 @@ pub struct ExecStats {
     /// Time inside task bodies.
     pub task_time: Duration,
     pub wall: Duration,
+    /// Time workers spent parked on the rank's work signal (idle, not
+    /// burning a core — the complement of the old `yield_now` spin).
+    pub idle: Duration,
+    /// Number of timed parks taken by idle workers.
+    pub parks: usize,
+    /// Time spent compiling the task graph for this step; zero when a
+    /// cached graph was reused (set by the persistent executor/driver, not
+    /// by `execute` itself).
+    pub graph_compile: Duration,
+    /// Host→device bytes transferred during this step (delta of the GPU
+    /// device counter across the call; 0 without a GPU warehouse).
+    pub gpu_h2d_bytes: u64,
     /// Per-declaration breakdown: (task name, executions, time in body).
     pub per_task: Vec<(&'static str, usize, Duration)>,
+}
+
+impl ExecStats {
+    /// Multi-line human-readable report: the wall-time breakdown (task,
+    /// local comm, idle/parked, graph compile), message and H2D traffic,
+    /// and the per-task lines. Used by the bench binaries (`fig1_table1`)
+    /// and handy from tests/examples.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "wall {:.3} ms | task {:.3} ms  comm {:.3} ms  idle {:.3} ms ({} parks)  compile {:.3} ms",
+            ms(self.wall),
+            ms(self.task_time),
+            ms(self.local_comm),
+            ms(self.idle),
+            self.parks,
+            ms(self.graph_compile),
+        );
+        let _ = writeln!(
+            out,
+            "tasks {} (+{} gathers) | msgs {} sent / {} recv, {} B | h2d {} B",
+            self.tasks_executed,
+            self.gathers_executed,
+            self.messages_sent,
+            self.messages_received,
+            self.bytes_sent,
+            self.gpu_h2d_bytes,
+        );
+        for (name, count, time) in &self.per_task {
+            let _ = writeln!(out, "  {name:<24} {count:>6}x {:>10.3} ms", ms(*time));
+        }
+        out
+    }
 }
 
 /// A per-rank scheduler bound to a communicator.
@@ -84,7 +143,7 @@ impl Scheduler {
         self.comm.rank()
     }
 
-    /// Execute one compiled graph to completion.
+    /// Execute one compiled graph to completion under its own phase byte.
     pub fn execute(
         &self,
         grid: &Arc<Grid>,
@@ -93,7 +152,27 @@ impl Scheduler {
         dw: &DataWarehouse,
         gpu: Option<&GpuDataWarehouse>,
     ) -> ExecStats {
+        self.execute_phase(grid, decls, graph, dw, gpu, graph.phase)
+    }
+
+    /// Execute a compiled graph under an arbitrary timestep `phase`.
+    ///
+    /// The phase byte is the only per-timestep component of a message tag,
+    /// so a graph compiled once can run every step: each posted receive and
+    /// send re-stamps its tag with [`Tag::with_phase`] here. Distinct phase
+    /// bytes keep concurrent/adjacent timesteps' messages from matching
+    /// each other, exactly as with per-step recompilation.
+    pub fn execute_phase(
+        &self,
+        grid: &Arc<Grid>,
+        decls: &[TaskDecl],
+        graph: &CompiledGraph,
+        dw: &DataWarehouse,
+        gpu: Option<&GpuDataWarehouse>,
+        phase: u8,
+    ) -> ExecStats {
         let t_start = Instant::now();
+        let h2d_bytes_before = gpu.map(|g| g.device().h2d_bytes()).unwrap_or(0);
         let n = graph.instances.len();
         let deps: Vec<AtomicUsize> = graph
             .instances
@@ -105,6 +184,9 @@ impl Scheduler {
         // work and gathers fill the remaining lanes.
         let ready = SegQueue::<usize>::new();
         let ready_gpu = SegQueue::<usize>::new();
+        // The rank's work signal: notified by the fabric on inbound sends,
+        // and by us whenever ready work appears, so parked peers wake.
+        let signal = Arc::clone(self.comm.signal());
         let push_ready = |i: usize| {
             let is_gpu = graph.instances[i]
                 .decl
@@ -115,18 +197,21 @@ impl Scheduler {
             } else {
                 ready.push(i);
             }
+            signal.notify();
         };
         for &i in &graph.initial_ready {
             push_ready(i);
         }
         let remaining = AtomicUsize::new(n);
 
-        // Post every expected receive up front and index them by (src, tag).
+        // Post every expected receive up front and index them by (src, tag),
+        // re-stamped with the executing phase.
         let store = self.store_kind.build();
         let mut recv_map: HashMap<(usize, Tag), usize> = HashMap::new();
         for (ri, r) in graph.recvs.iter().enumerate() {
-            recv_map.insert((r.src_rank, r.tag), ri);
-            store.add(self.comm.irecv(r.src_rank, r.tag));
+            let tag = r.tag.with_phase(phase);
+            recv_map.insert((r.src_rank, tag), ri);
+            store.add(self.comm.irecv(r.src_rank, tag));
         }
         let recv_map = &recv_map;
 
@@ -155,6 +240,8 @@ impl Scheduler {
         let messages_received = AtomicUsize::new(0);
         let comm_ns = AtomicU64::new(0);
         let task_ns = AtomicU64::new(0);
+        let idle_ns = AtomicU64::new(0);
+        let parks = AtomicUsize::new(0);
         let per_decl_count: Vec<AtomicUsize> = decls.iter().map(|_| AtomicUsize::new(0)).collect();
         let per_decl_ns: Vec<AtomicU64> = decls.iter().map(|_| AtomicU64::new(0)).collect();
 
@@ -173,6 +260,9 @@ impl Scheduler {
                 let messages_received = &messages_received;
                 let comm_ns = &comm_ns;
                 let task_ns = &task_ns;
+                let idle_ns = &idle_ns;
+                let parks = &parks;
+                let signal = &signal;
                 let per_decl_count = &per_decl_count;
                 let per_decl_ns = &per_decl_ns;
                 let comm = self.comm.clone();
@@ -211,10 +301,25 @@ impl Scheduler {
                         notify(&entry.dependents);
                     };
 
+                    // Idle policy: poll-and-yield for a bounded number of
+                    // empty rounds (covers the common a-message-is-about-
+                    // to-land case cheaply), then park on the work signal
+                    // with exponentially growing timed waits. The
+                    // generation snapshot is taken *before* checking the
+                    // queues/store, so any notify racing with those checks
+                    // makes the park return immediately — no lost wakeups.
+                    const SPIN_POLLS: u32 = 64;
+                    const PARK_MIN: Duration = Duration::from_micros(50);
+                    const PARK_MAX: Duration = Duration::from_millis(2);
+                    let mut empty_polls: u32 = 0;
+                    let mut park_for = PARK_MIN;
                     while remaining.load(Ordering::Acquire) > 0 {
+                        let seen = signal.generation();
                         // Device-feeding first: drain the GPU queue before
                         // the general queue.
                         if let Some(i) = ready_gpu.pop().or_else(|| ready.pop()) {
+                            empty_polls = 0;
+                            park_for = PARK_MIN;
                             let inst = &graph.instances[i];
                             if let Some((label, level)) = inst.gather {
                                 dw.seal_level(label, level);
@@ -270,18 +375,34 @@ impl Scheduler {
                                     };
                                     bytes_sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
                                     messages_sent.fetch_add(1, Ordering::Relaxed);
-                                    comm.isend(s.dst_rank, s.tag, payload);
+                                    comm.isend(s.dst_rank, s.tag.with_phase(phase), payload);
                                 }
                                 comm_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                             }
                             notify(&inst.deps_out);
-                            remaining.fetch_sub(1, Ordering::AcqRel);
+                            if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                // Graph drained: wake every parked peer so
+                                // they observe completion promptly.
+                                signal.notify();
+                            }
                         } else {
                             let t0 = Instant::now();
                             let n = store.process_completed(&mut handle_msg);
                             comm_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                            if n == 0 {
+                            if n > 0 {
+                                empty_polls = 0;
+                                park_for = PARK_MIN;
+                                continue;
+                            }
+                            empty_polls += 1;
+                            if empty_polls <= SPIN_POLLS {
                                 std::thread::yield_now();
+                            } else {
+                                parks.fetch_add(1, Ordering::Relaxed);
+                                let t0 = Instant::now();
+                                signal.wait_until_changed(seen, park_for);
+                                idle_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                                park_for = (park_for * 2).min(PARK_MAX);
                             }
                         }
                     }
@@ -298,6 +419,12 @@ impl Scheduler {
             local_comm: Duration::from_nanos(comm_ns.load(Ordering::Relaxed)),
             task_time: Duration::from_nanos(task_ns.load(Ordering::Relaxed)),
             wall: t_start.elapsed(),
+            idle: Duration::from_nanos(idle_ns.load(Ordering::Relaxed)),
+            parks: parks.load(Ordering::Relaxed),
+            graph_compile: Duration::ZERO,
+            gpu_h2d_bytes: gpu
+                .map(|g| g.device().h2d_bytes() - h2d_bytes_before)
+                .unwrap_or(0),
             per_task: decls
                 .iter()
                 .enumerate()

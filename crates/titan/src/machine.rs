@@ -1,11 +1,10 @@
 //! Hardware constants of the modeled machine.
 
-use serde::{Deserialize, Serialize};
 
 /// Which request-store implementation the modeled runtime uses; scales the
 /// per-message CPU cost and its serialization across threads (calibrated
 //  against the `request_store` microbenchmark — see EXPERIMENTS.md).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum StoreModel {
     /// Mutex-protected vector + Testsome: message processing serializes on
     /// the lock, so effective concurrency is ~1 regardless of threads.
@@ -20,7 +19,7 @@ pub enum StoreModel {
 /// per-message costs are calibration constants (documented and pinned in
 /// EXPERIMENTS.md) — absolute outputs are model estimates, shapes are the
 /// reproduction target.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct MachineParams {
     /// Worker threads per node (the paper uses 16, one per Opteron core).
     pub cpu_threads: usize,

@@ -1,0 +1,243 @@
+//! Minimal `criterion`-compatible benchmark harness.
+//!
+//! Provides the group/bench/iter API surface the workspace benches use,
+//! measures median wall time per iteration, prints a compact report, and
+//! writes one machine-readable snapshot per group:
+//! `BENCH_<group>.json`, placed in `$BENCH_SNAPSHOT_DIR` if set, else in
+//! `target/criterion-snapshots/` under the current directory.
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Number of timed samples per benchmark unless overridden by
+/// [`BenchmarkGroup::sample_size`].
+const DEFAULT_SAMPLES: usize = 30;
+
+/// Throughput annotation for a benchmark (units processed per iteration).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        let mut id = function.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs closures under timing; handed to bench bodies.
+pub struct Bencher {
+    samples: usize,
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    median_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            times.push(t0.elapsed().as_nanos() as f64);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.median_ns = times[times.len() / 2];
+    }
+}
+
+struct BenchResult {
+    id: String,
+    median_ns: f64,
+    throughput_per_sec: Option<f64>,
+}
+
+/// A named group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    results: Vec<BenchResult>,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            median_ns: f64::NAN,
+        };
+        f(&mut b);
+        self.record(id.id, b.median_ns);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            median_ns: f64::NAN,
+        };
+        f(&mut b, input);
+        self.record(id.id, b.median_ns);
+        self
+    }
+
+    fn record(&mut self, id: String, median_ns: f64) {
+        let throughput_per_sec = self.throughput.map(|t| {
+            let units = match t {
+                Throughput::Elements(n) | Throughput::Bytes(n) => n as f64,
+            };
+            units / (median_ns / 1e9)
+        });
+        let line = match throughput_per_sec {
+            Some(rate) => format!(
+                "{}/{:<40} {:>14.1} ns/iter {:>14.3e} units/s",
+                self.name, id, median_ns, rate
+            ),
+            None => format!("{}/{:<40} {:>14.1} ns/iter", self.name, id, median_ns),
+        };
+        println!("{line}");
+        self.results.push(BenchResult {
+            id,
+            median_ns,
+            throughput_per_sec,
+        });
+    }
+
+    /// Print nothing further; persist the group snapshot as JSON.
+    pub fn finish(self) {
+        let dir = std::env::var("BENCH_SNAPSHOT_DIR")
+            .unwrap_or_else(|_| "target/criterion-snapshots".to_string());
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let mut json = String::new();
+        let _ = write!(json, "{{\n  \"group\": \"{}\",\n  \"benchmarks\": [", self.name);
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            let _ = write!(
+                json,
+                "\n    {{ \"id\": \"{}\", \"median_ns\": {:.1}",
+                r.id, r.median_ns
+            );
+            if let Some(rate) = r.throughput_per_sec {
+                let _ = write!(json, ", \"throughput_per_sec\": {rate:.1}");
+            }
+            json.push_str(" }");
+        }
+        json.push_str("\n  ]\n}\n");
+        let path = format!("{}/BENCH_{}.json", dir, self.name);
+        let _ = std::fs::write(path, json);
+    }
+}
+
+/// Top-level benchmark driver; one per process, shared across groups.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("== bench group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: DEFAULT_SAMPLES,
+            throughput: None,
+            results: Vec::new(),
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim_selftest");
+        g.sample_size(5);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("with_input", 42), &42u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        assert_eq!(g.results.len(), 2);
+        assert!(g.results.iter().all(|r| r.median_ns >= 0.0));
+        assert!(g.results[0].throughput_per_sec.unwrap() > 0.0);
+    }
+}

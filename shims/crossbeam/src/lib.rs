@@ -1,0 +1,81 @@
+//! Minimal `crossbeam`-compatible queue. Upstream's `SegQueue` is a
+//! lock-free segmented queue; in-process ranks on this build use a mutexed
+//! `VecDeque`, which preserves the unbounded-MPSC semantics the scheduler
+//! relies on (the scheduler's own contention structure — wait-free request
+//! pool, parked workers — lives in the workspace crates, not here).
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// An unbounded concurrent FIFO queue.
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        pub const fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, value: T) {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(value);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+        }
+
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_order() {
+            let q = SegQueue::new();
+            q.push(1);
+            q.push(2);
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), None);
+        }
+
+        #[test]
+        fn concurrent_producers_drain_fully() {
+            let q = SegQueue::new();
+            std::thread::scope(|s| {
+                for t in 0..4 {
+                    let q = &q;
+                    s.spawn(move || {
+                        for i in 0..100 {
+                            q.push(t * 1000 + i);
+                        }
+                    });
+                }
+            });
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 400);
+        }
+    }
+}

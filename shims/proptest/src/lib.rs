@@ -1,0 +1,270 @@
+//! Minimal `proptest`-compatible property-testing harness.
+//!
+//! The `proptest!` macro expands each property into a plain `#[test]` that
+//! draws [`CASES`] deterministic pseudo-random inputs from the declared
+//! strategies (seeded per test name, so failures reproduce exactly) and runs
+//! the body on each. `prop_assert*` map onto the std assertion macros and
+//! `prop_assume!` discards the case. This keeps the semantics the workspace
+//! properties rely on — broad randomized input coverage with deterministic
+//! replay — without upstream's shrinking machinery.
+
+/// Number of input cases drawn per property.
+pub const CASES: usize = 64;
+
+pub mod test_runner {
+    /// xorshift64* generator; deterministic per-test seeding.
+    pub struct Rng(u64);
+
+    impl Rng {
+        pub fn seeded(seed: u64) -> Self {
+            Rng(seed | 1)
+        }
+
+        /// Seed derived from the property name (FNV-1a) so each test draws
+        /// a stable, independent stream.
+        pub fn for_test(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self::seeded(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        /// Uniform in [0, 1).
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::Rng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A source of random values of an associated type.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut Rng) -> Self::Value;
+    }
+
+    /// Types samplable uniformly from a half-open range.
+    pub trait RangeSample: Copy {
+        fn sample_in(lo: Self, hi: Self, rng: &mut Rng) -> Self;
+    }
+
+    macro_rules! int_range_sample {
+        ($($t:ty => $wide:ty),+ $(,)?) => {$(
+            impl RangeSample for $t {
+                fn sample_in(lo: Self, hi: Self, rng: &mut Rng) -> Self {
+                    assert!(lo < hi, "empty strategy range");
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                    (lo as $wide).wrapping_add((rng.next_u64() % span) as $wide) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_sample!(i32 => i64, i64 => i64, u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64);
+
+    impl RangeSample for f64 {
+        fn sample_in(lo: Self, hi: Self, rng: &mut Rng) -> Self {
+            assert!(lo < hi, "empty strategy range");
+            lo + rng.next_f64() * (hi - lo)
+        }
+    }
+
+    impl<T: RangeSample> Strategy for Range<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut Rng) -> T {
+            T::sample_in(self.start, self.end, rng)
+        }
+    }
+
+    /// Types with a whole-domain default strategy ([`any`]).
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut Rng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut Rng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut Rng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut Rng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut Rng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+}
+
+pub mod collection {
+    use super::strategy::{RangeSample, Strategy};
+    use super::test_runner::Rng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` strategy: length drawn from `len`, elements from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut Rng) -> Self::Value {
+            let n = usize::sample_in(self.len.start, self.len.end, rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::Rng::for_test(stringify!($name));
+                for __case in 0..$crate::CASES {
+                    let _ = __case;
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)+) => { assert!($($tt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)+) => { assert_eq!($($tt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)+) => { assert_ne!($($tt)+) };
+}
+
+/// Discard the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Ranges respect their bounds, assumptions discard, and tuples and
+        /// vec strategies compose.
+        #[test]
+        fn shim_selftest(
+            a in -20..20i32,
+            b in 1u32..8,
+            f in 0.25f64..0.75,
+            flag in any::<bool>(),
+            pair in (0u8..3, 10u64..20),
+            v in crate::collection::vec(0u32..5, 1..6),
+        ) {
+            prop_assert!((-20..20).contains(&a));
+            prop_assert!((1..8).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+            let _ = flag;
+            prop_assert!(pair.0 < 3 && (10..20).contains(&pair.1));
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assume!(a != 0);
+            prop_assert_ne!(a, 0);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let mut r1 = crate::test_runner::Rng::for_test("x");
+        let mut r2 = crate::test_runner::Rng::for_test("x");
+        for _ in 0..100 {
+            assert_eq!(r1.next_u64(), r2.next_u64());
+        }
+    }
+}
