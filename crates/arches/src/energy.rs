@@ -1,6 +1,7 @@
 //! Explicit finite-volume energy equation with SSP Runge–Kutta integration.
 
 use crate::advection::Advection;
+use uintah_exec::{parallel_fill, parallel_reduce, ExecSpace};
 use uintah_grid::{CcVariable, IntVector, Region, Vector};
 
 /// Time integrator order (Gottlieb–Shu–Tadmor SSP schemes, as in ARCHES).
@@ -33,6 +34,9 @@ pub struct EnergySolver {
     pub div_q: CcVariable<f64>,
     /// Optional convective transport with a prescribed velocity.
     pub advection: Option<Advection>,
+    /// Execution space for the RHS/stable-dt kernels. Results are
+    /// bit-identical on every space.
+    pub space: ExecSpace,
 }
 
 impl EnergySolver {
@@ -48,6 +52,7 @@ impl EnergySolver {
             heat_source: CcVariable::new(region),
             div_q: CcVariable::new(region),
             advection: None,
+            space: ExecSpace::Serial,
         }
     }
 
@@ -72,14 +77,23 @@ impl EnergySolver {
     /// cooling scales with T⁴ and is far stiffer than conduction.
     pub fn stable_dt(&self) -> f64 {
         let h2 = self.dx.x.min(self.dx.y).min(self.dx.z).powi(2);
-        let mut dt = 0.4 * h2 / (6.0 * self.alpha.max(1e-300));
-        for c in self.region.cells() {
-            let rate = (self.heat_source[c] - self.div_q[c]).abs() * self.inv_rho_cv;
-            if rate > 0.0 {
-                let t_scale = self.temperature[c].abs().max(self.wall_temperature.abs()).max(1.0);
-                dt = dt.min(0.05 * t_scale / rate);
-            }
-        }
+        let conduction = 0.4 * h2 / (6.0 * self.alpha.max(1e-300));
+        let source_limit = parallel_reduce(
+            &self.space,
+            self.region,
+            f64::INFINITY,
+            |c| {
+                let rate = (self.heat_source[c] - self.div_q[c]).abs() * self.inv_rho_cv;
+                if rate > 0.0 {
+                    let t_scale = self.temperature[c].abs().max(self.wall_temperature.abs()).max(1.0);
+                    0.05 * t_scale / rate
+                } else {
+                    f64::INFINITY
+                }
+            },
+            f64::min,
+        );
+        let mut dt = conduction.min(source_limit);
         if let Some(adv) = &self.advection {
             dt = dt.min(adv.stable_dt());
         }
@@ -107,11 +121,7 @@ impl EnergySolver {
     }
 
     fn rhs(&self, t: &CcVariable<f64>) -> CcVariable<f64> {
-        let mut out = CcVariable::new(self.region);
-        for c in self.region.cells() {
-            out[c] = self.rhs_cell(t, c);
-        }
-        out
+        parallel_fill(&self.space, self.region, |c| self.rhs_cell(t, c))
     }
 
     fn euler(&self, t: &CcVariable<f64>, dt: f64) -> CcVariable<f64> {

@@ -1,0 +1,65 @@
+//! Criterion benchmark: one ray-march kernel, every execution space.
+//!
+//! The same 32³-patch `solve_region_exec` dispatch runs on Serial,
+//! Threads(n) and the metered Device space. Serial vs Threads gives the
+//! host scaling curve; Serial vs Device gives the dispatch + metering
+//! overhead of the simulated accelerator (the kernels execute on the
+//! calling thread, so Device ≈ Serial + accounting). Together with the
+//! recorded `KernelStats` this is the single calibration anchor for
+//! `MachineParams::calibrate_from_kernel_stats` (EXPERIMENTS.md E8).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use uintah::prelude::*;
+
+fn bench_spaces(c: &mut Criterion) {
+    let n = 32;
+    let grid = BurnsChriston::small_grid(n, n); // one fine patch of 32³
+    let props = BurnsChriston::default().props_for_level(grid.fine_level());
+    let stack = [TraceLevel {
+        props: &props,
+        roi: props.region,
+    }];
+    let region = props.region;
+    let params = RmcrtParams {
+        nrays: 4,
+        threshold: 1e-3,
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("exec_spaces");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(region.volume() as u64));
+
+    // Always exercise the real threaded dispatch (host(1) would collapse
+    // back to Serial on a single-core box).
+    let host_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .max(2);
+    let spaces: Vec<(String, ExecSpace)> = vec![
+        ("serial".into(), ExecSpace::Serial),
+        (format!("threads_{host_threads}"), ExecSpace::Threads(host_threads)),
+        ("device".into(), ExecSpace::device(GpuDevice::k20x())),
+    ];
+    for (name, space) in &spaces {
+        group.bench_function(format!("trace_32cube_{name}"), |b| {
+            b.iter(|| std::hint::black_box(solve_region_exec(&stack, region, &params, space)))
+        });
+    }
+    group.finish();
+
+    // Report the Device-space kernel stats once so the calibration numbers
+    // land next to the timings in the bench log.
+    if let ExecSpace::Device(ds) = &spaces[2].1 {
+        let ks = ds.kernel_stats();
+        eprintln!(
+            "device kernel stats: {} launches | {} invocations | {:.3} ms in kernels",
+            ks.launches,
+            ks.invocations,
+            ks.wall().as_secs_f64() * 1e3
+        );
+    }
+}
+
+criterion_group!(benches, bench_spaces);
+criterion_main!(benches);

@@ -132,7 +132,7 @@ fn main() {
     // executor: graph compile is paid once (step 0), later steps reuse the
     // cached graph, and idle workers park on the work signal instead of
     // spinning (idle time + park counts below).
-    println!("\n[per-timestep scheduler stats: 2 ranks x 4 threads, persistent executor]");
+    println!("\n[per-timestep scheduler stats: 2 ranks x 4 threads, persistent executor, GPU trace]");
     let small = Arc::new(
         Grid::builder()
             .fine_cells(IntVector::splat(16))
@@ -151,11 +151,12 @@ fn main() {
     };
     let result = run_world(
         Arc::clone(&small),
-        Arc::new(single_level_decls(&small, pipeline, false)),
+        Arc::new(single_level_decls(&small, pipeline, true)),
         WorldConfig {
             nranks: 2,
             nthreads: 4,
             timesteps: 4,
+            gpu_capacity: Some(1 << 30),
             ..Default::default()
         },
     );
@@ -163,5 +164,10 @@ fn main() {
         println!("-- rank 0, timestep {ts} --");
         print!("{}", s.summary());
     }
+    let totals = result.ranks[0].gpu.as_ref().unwrap().device().counters();
+    println!(
+        "rank 0 device totals: {} kernels | H2D {} B | D2H {} B | peak {} B",
+        totals.kernels, totals.h2d_bytes, totals.d2h_bytes, totals.peak
+    );
     println!("graph compile should be non-zero only at timestep 0 (cached thereafter).");
 }

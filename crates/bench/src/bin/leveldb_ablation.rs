@@ -52,19 +52,23 @@ fn main() {
                     ..Default::default()
                 },
             );
-            let d = result.ranks[0].gpu.as_ref().unwrap().device().clone();
-            (d.h2d_bytes(), d.peak())
+            // One coherent counter snapshot (kernels, PCIe traffic, peak).
+            result.ranks[0].gpu.as_ref().unwrap().device().counters()
         };
-        let (with_b, with_p) = run(true);
-        let (wo_b, wo_p) = run(false);
+        let with_ldb = run(true);
+        let without = run(false);
         println!(
             "{:>9}³ | {:>12} B {:>12} B {:>7.2}x | {:>12} B {:>12} B",
             patch,
-            with_b,
-            wo_b,
-            wo_b as f64 / with_b as f64,
-            with_p,
-            wo_p
+            with_ldb.h2d_bytes,
+            without.h2d_bytes,
+            without.h2d_bytes as f64 / with_ldb.h2d_bytes as f64,
+            with_ldb.peak,
+            without.peak
+        );
+        assert_eq!(
+            with_ldb.kernels, without.kernels,
+            "the ablation changes staging, never the kernel count"
         );
     }
     println!("\nSmaller patches mean more patch tasks sharing the same coarse replicas, so");
@@ -105,10 +109,26 @@ fn main() {
             ..Default::default()
         },
     );
-    println!("{:>9} | {:>14}", "timestep", "H2D bytes");
+    println!("{:>9} | {:>14} | {:>8} | {:>12}", "timestep", "H2D bytes", "kernels", "kernel ms");
     for (ts, s) in result.ranks[0].stats.iter().enumerate() {
-        println!("{:>9} | {:>12} B", ts, s.gpu_h2d_bytes);
+        println!(
+            "{:>9} | {:>12} B | {:>8} | {:>12.3}",
+            ts,
+            s.gpu_h2d_bytes,
+            s.kernel_stats.launches,
+            s.kernel_stats.wall().as_secs_f64() * 1e3
+        );
     }
+    let totals = result.ranks[0].gpu.as_ref().unwrap().device().counters();
+    println!(
+        "\ndevice totals: {} kernels | H2D {} B / {} transfers | D2H {} B / {} transfers | peak {} B",
+        totals.kernels,
+        totals.h2d_bytes,
+        totals.h2d_transfers,
+        totals.d2h_bytes,
+        totals.d2h_transfers,
+        totals.peak
+    );
     println!("\nSteps 2+ must move strictly fewer bytes than the cold step: the coarse");
     println!("replicas crossed PCIe once and stayed resident.");
 }

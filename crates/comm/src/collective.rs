@@ -136,7 +136,7 @@ mod tests {
                             phase.fetch_add(1, Ordering::SeqCst);
                         }
                         b.wait();
-                        assert!(phase.load(Ordering::SeqCst) >= p + 1);
+                        assert!(phase.load(Ordering::SeqCst) > p);
                     }
                 });
             }

@@ -13,6 +13,7 @@
 
 use crate::props::LevelProps;
 use std::f64::consts::PI;
+use uintah_exec::{parallel_fill, parallel_map, ExecSpace};
 use uintah_grid::{CcVariable, IntVector, Region};
 
 /// A discrete ordinate: unit direction and quadrature weight.
@@ -126,31 +127,40 @@ pub struct DomSolution {
 /// Solve the non-scattering grey RTE on a single level with first-order
 /// upwind sweeps. Boundary condition: cold black walls (incoming I = 0),
 /// plus any interior wall cells in `props` (treated as cold here).
+/// Equivalent to [`solve_exec`] on [`ExecSpace::Serial`].
 pub fn solve(props: &LevelProps, order: SnOrder) -> DomSolution {
+    solve_exec(props, order, &ExecSpace::Serial)
+}
+
+/// [`solve`] dispatched on an execution space. Each ordinate's upwind
+/// sweep is an independent recurrence, so the fan-out is per ordinate
+/// ([`parallel_map`]); the incident radiation `G` is then accumulated in
+/// canonical ordinate order, making the result bit-identical to the serial
+/// solve on every space.
+pub fn solve_exec(props: &LevelProps, order: SnOrder, space: &ExecSpace) -> DomSolution {
     props.validate();
     let region = props.region;
-    let dx = props.dx;
     let ords = ordinates(order);
+    let intensities = parallel_map(space, ords.len(), |m| {
+        let mut intensity = CcVariable::<f64>::new(region);
+        sweep(props, &ords[m], &mut intensity);
+        intensity
+    });
     let mut g = CcVariable::<f64>::new(region);
-    let mut intensity = CcVariable::<f64>::new(region);
-
-    for o in &ords {
-        sweep(props, o, &mut intensity);
-        for (i, gi) in g.as_mut_slice().iter_mut().enumerate() {
-            *gi += o.weight * intensity.as_slice()[i];
+    for (o, intensity) in ords.iter().zip(&intensities) {
+        for (gi, ii) in g.as_mut_slice().iter_mut().zip(intensity.as_slice()) {
+            *gi += o.weight * ii;
         }
     }
 
-    let mut div_q = CcVariable::<f64>::new(region);
-    for c in region.cells() {
+    let div_q = parallel_fill(space, region, |c| {
         let kappa = props.abskg[c];
         if props.is_wall(c) || kappa == 0.0 {
-            div_q[c] = 0.0;
+            0.0
         } else {
-            div_q[c] = 4.0 * PI * kappa * props.sigma_t4_over_pi[c] - kappa * g[c];
+            4.0 * PI * kappa * props.sigma_t4_over_pi[c] - kappa * g[c]
         }
-    }
-    let _ = dx;
+    });
     DomSolution {
         g,
         div_q,
@@ -230,18 +240,36 @@ pub fn solve_with_scattering(
     tol: f64,
     max_iters: usize,
 ) -> (DomSolution, usize) {
+    solve_with_scattering_exec(props, order, sigma_s, tol, max_iters, &ExecSpace::Serial)
+}
+
+/// [`solve_with_scattering`] dispatched on an execution space. Within one
+/// source iteration every ordinate sweeps against the *previous* `G`, so
+/// the per-iteration fan-out is per ordinate, followed by a canonical-order
+/// accumulation — bit-identical to the serial source iteration.
+pub fn solve_with_scattering_exec(
+    props: &LevelProps,
+    order: SnOrder,
+    sigma_s: f64,
+    tol: f64,
+    max_iters: usize,
+    space: &ExecSpace,
+) -> (DomSolution, usize) {
     props.validate();
     assert!(sigma_s >= 0.0);
     let region = props.region;
     let ords = ordinates(order);
     let mut g = CcVariable::<f64>::new(region);
-    let mut intensity = CcVariable::<f64>::new(region);
     let mut iters = 0;
     loop {
         iters += 1;
+        let intensities = parallel_map(space, ords.len(), |m| {
+            let mut intensity = CcVariable::<f64>::new(region);
+            sweep_scattering(props, &ords[m], sigma_s, &g, &mut intensity);
+            intensity
+        });
         let mut g_new = CcVariable::<f64>::new(region);
-        for o in &ords {
-            sweep_scattering(props, o, sigma_s, &g, &mut intensity);
+        for (o, intensity) in ords.iter().zip(&intensities) {
             for (gi, ii) in g_new.as_mut_slice().iter_mut().zip(intensity.as_slice()) {
                 *gi += o.weight * ii;
             }
@@ -258,16 +286,15 @@ pub fn solve_with_scattering(
             break;
         }
     }
-    let mut div_q = CcVariable::<f64>::new(region);
-    for c in region.cells() {
+    let div_q = parallel_fill(space, region, |c| {
         let kappa = props.abskg[c];
         if props.is_wall(c) || kappa == 0.0 {
-            div_q[c] = 0.0;
+            0.0
         } else {
             // Only absorption deposits energy.
-            div_q[c] = 4.0 * PI * kappa * props.sigma_t4_over_pi[c] - kappa * g[c];
+            4.0 * PI * kappa * props.sigma_t4_over_pi[c] - kappa * g[c]
         }
-    }
+    });
     let updates = region.volume() * ords.len() * iters;
     (
         DomSolution {

@@ -121,11 +121,23 @@ pub fn face_incident_flux(
 
 /// Incident flux over every cell of one wall of the enclosure (the 2-D
 /// flux map of that wall). `face` names the wall; the returned variable is
-/// defined on the layer of flow cells adjacent to it.
+/// defined on the layer of flow cells adjacent to it. Equivalent to
+/// [`wall_flux_map_exec`] on the serial space.
 pub fn wall_flux_map(
     levels: &[TraceLevel<'_>],
     face: Face,
     params: &FluxParams,
+) -> CcVariable<f64> {
+    wall_flux_map_exec(levels, face, params, &uintah_exec::ExecSpace::Serial)
+}
+
+/// [`wall_flux_map`] dispatched on an execution space; bit-identical across
+/// spaces (wall cells evaluate to 0 in the kernel itself).
+pub fn wall_flux_map_exec(
+    levels: &[TraceLevel<'_>],
+    face: Face,
+    params: &FluxParams,
+    space: &uintah_exec::ExecSpace,
 ) -> CcVariable<f64> {
     let props = levels.last().expect("empty stack").props;
     let r = props.region;
@@ -137,13 +149,13 @@ pub fn wall_flux_map(
         Face::ZMinus => Region::new(r.lo(), IntVector::new(r.hi().x, r.hi().y, r.lo().z + 1)),
         Face::ZPlus => Region::new(IntVector::new(r.lo().x, r.lo().y, r.hi().z - 1), r.hi()),
     };
-    let mut out = CcVariable::new(layer);
-    for c in layer.cells() {
-        if !levels.last().unwrap().props.is_wall(c) {
-            out[c] = face_incident_flux(levels, c, face, params);
+    uintah_exec::parallel_fill(space, layer, |c| {
+        if props.is_wall(c) {
+            0.0
+        } else {
+            face_incident_flux(levels, c, face, params)
         }
-    }
-    out
+    })
 }
 
 #[cfg(test)]

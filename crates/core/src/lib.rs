@@ -54,5 +54,5 @@ pub use props::{LevelProps, FLOW_CELL, WALL_CELL};
 pub use rng::CellRng;
 pub use sampling::RaySampling;
 pub use scatter::{PhaseFunction, ScatteringMedium};
-pub use solver::{div_q_for_cell, solve_region, RmcrtParams};
+pub use solver::{div_q_for_cell, solve_region, solve_region_exec, RmcrtParams};
 pub use trace::{trace_ray, trace_ray_with_options, TraceLevel, TraceOptions};

@@ -60,22 +60,21 @@ pub fn div_q_for_cell(levels: &[TraceLevel<'_>], cell: IntVector, params: &Rmcrt
     4.0 * PI * kappa * (fine.sigma_t4_over_pi[cell] - mean_i)
 }
 
-/// Solve `∇·q` over `region` of the finest level in the stack (serially).
+/// Solve `∇·q` over `region` of the finest level in the stack on the
+/// calling thread. Equivalent to [`solve_region_exec`] with
+/// [`ExecSpace::Serial`](uintah_exec::ExecSpace::Serial).
 pub fn solve_region(levels: &[TraceLevel<'_>], region: Region, params: &RmcrtParams) -> CcVariable<f64> {
-    let mut out = CcVariable::new(region);
-    for c in region.cells() {
-        out[c] = div_q_for_cell(levels, c, params);
-    }
-    out
+    solve_region_exec(levels, region, params, &uintah_exec::ExecSpace::Serial)
 }
 
 /// Solve `∇·q` over `region` on a Kokkos-style execution space.
-/// Deterministic: bit-identical to [`solve_region`] on any space.
+/// Deterministic: bit-identical to [`solve_region`] on any space,
+/// including `Device`.
 pub fn solve_region_exec(
     levels: &[TraceLevel<'_>],
     region: Region,
     params: &RmcrtParams,
-    space: uintah_exec::ExecSpace,
+    space: &uintah_exec::ExecSpace,
 ) -> CcVariable<f64> {
     uintah_exec::parallel_fill(space, region, |c| div_q_for_cell(levels, c, params))
 }
@@ -88,12 +87,7 @@ pub fn solve_region_threaded(
     params: &RmcrtParams,
     nthreads: usize,
 ) -> CcVariable<f64> {
-    let space = if nthreads <= 1 {
-        uintah_exec::ExecSpace::Serial
-    } else {
-        uintah_exec::ExecSpace::Threads(nthreads)
-    };
-    solve_region_exec(levels, region, params, space)
+    solve_region_exec(levels, region, params, &uintah_exec::ExecSpace::host(nthreads))
 }
 
 /// Build the standard 2-level trace stack for a fine patch: coarse
@@ -223,7 +217,7 @@ mod tests {
         assert_eq!(serial, threaded);
         // And through the Kokkos-style execution-space API.
         for space in [uintah_exec::ExecSpace::Serial, uintah_exec::ExecSpace::Threads(3)] {
-            assert_eq!(serial, solve_region_exec(&stack, Region::cube(n), &params, space));
+            assert_eq!(serial, solve_region_exec(&stack, Region::cube(n), &params, &space));
         }
     }
 

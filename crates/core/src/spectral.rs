@@ -118,18 +118,26 @@ pub fn div_q_spectral(spectral: &SpectralProps, cell: IntVector, params: &RmcrtP
     total
 }
 
-/// Banded solve over a region.
+/// Banded solve over a region. Equivalent to [`solve_region_spectral_exec`]
+/// on the serial space.
 pub fn solve_region_spectral(
     spectral: &SpectralProps,
     region: Region,
     params: &RmcrtParams,
 ) -> CcVariable<f64> {
+    solve_region_spectral_exec(spectral, region, params, &uintah_exec::ExecSpace::Serial)
+}
+
+/// Banded solve over a region, dispatched on an execution space.
+/// Bit-identical across spaces (the band loop is inside the cell kernel).
+pub fn solve_region_spectral_exec(
+    spectral: &SpectralProps,
+    region: Region,
+    params: &RmcrtParams,
+    space: &uintah_exec::ExecSpace,
+) -> CcVariable<f64> {
     spectral.validate();
-    let mut out = CcVariable::new(region);
-    for c in region.cells() {
-        out[c] = div_q_spectral(spectral, c, params);
-    }
-    out
+    uintah_exec::parallel_fill(space, region, |c| div_q_spectral(spectral, c, params))
 }
 
 #[cfg(test)]

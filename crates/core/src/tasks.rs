@@ -15,10 +15,11 @@
 use crate::benchmark::BurnsChriston;
 use crate::labels::{ABSKG, CELLTYPE, DIVQ, SIGMA_T4_OVER_PI};
 use crate::props::LevelProps;
-use crate::solver::{solve_region, RmcrtParams};
+use crate::solver::{solve_region, solve_region_exec, RmcrtParams};
 use crate::trace::TraceLevel;
 use std::sync::Arc;
-use uintah_grid::{restriction, CcVariable, FieldData, Grid, LevelIndex, Region, VarLabel};
+use uintah_exec::ops;
+use uintah_grid::{CcVariable, FieldData, Grid, LevelIndex, Region, VarLabel};
 use uintah_runtime::graph::ratio_between;
 use uintah_runtime::{Computes, Requirement, TaskContext, TaskDecl};
 
@@ -70,17 +71,19 @@ fn init_props_decl(problem: BurnsChriston, fine_li: LevelIndex, coarse_levels: V
                 } else {
                     let rr = ratio_between(ctx.grid(), ctx.patch().level_index(), li);
                     let window = region.coarsened(rr);
+                    let space = ctx.exec_space();
                     ctx.put_level_window(
                         ABSKG,
                         li,
                         window,
-                        FieldData::F64(restriction::restrict_average(&props.abskg, rr, window)),
+                        FieldData::F64(ops::restrict_average(space, &props.abskg, rr, window)),
                     );
                     ctx.put_level_window(
                         SIGMA_T4_OVER_PI,
                         li,
                         window,
-                        FieldData::F64(restriction::restrict_average(
+                        FieldData::F64(ops::restrict_average(
+                            space,
                             &props.sigma_t4_over_pi,
                             rr,
                             window,
@@ -90,7 +93,7 @@ fn init_props_decl(problem: BurnsChriston, fine_li: LevelIndex, coarse_levels: V
                         CELLTYPE,
                         li,
                         window,
-                        FieldData::U8(restriction::restrict_cell_type(&props.cell_type, rr, window)),
+                        FieldData::U8(ops::restrict_cell_type(space, &props.cell_type, rr, window)),
                     );
                 }
             }
@@ -165,7 +168,9 @@ fn trace_patch(ctx: &TaskContext, pipeline: &RmcrtPipeline, coarse_levels: &[Lev
         props: &fine,
         roi: fine.region,
     });
-    solve_region(&stack, ctx.patch().interior(), &pipeline.params)
+    // Dispatch on the scheduler-picked space: the metered Device space for
+    // GPU tasks (one kernel launch per patch), a host space otherwise.
+    solve_region_exec(&stack, ctx.patch().interior(), &pipeline.params, ctx.exec_space())
 }
 
 /// The trace task: CPU variant computes directly; GPU variant stages fine
@@ -202,8 +207,8 @@ fn trace_decl(pipeline: RmcrtPipeline, fine_li: LevelIndex, coarse_levels: Vec<L
                 .expect("device OOM staging sigmaT4");
             gdw.put_patch(CELLTYPE, pid, FieldData::U8(fine.cell_type.clone()))
                 .expect("device OOM staging cellType");
-            // "Kernel": same math, metered launch is recorded by the
-            // scheduler for GPU tasks.
+            // Kernel: same slab-ordered math, dispatched on the Device
+            // space — one metered launch per patch task.
             let div_q = trace_patch(ctx, &pipeline, &cl);
             gdw.alloc_patch_output(DIVQ, pid, FieldData::F64(div_q))
                 .expect("device OOM for divQ");
@@ -299,7 +304,7 @@ fn single_level_trace_decl(pipeline: RmcrtPipeline, fine_li: LevelIndex, gpu: bo
             props: &props,
             roi: props.region,
         }];
-        let div_q = solve_region(&stack, ctx.patch().interior(), &pipeline.params);
+        let div_q = solve_region_exec(&stack, ctx.patch().interior(), &pipeline.params, ctx.exec_space());
         ctx.put(DIVQ, FieldData::F64(div_q));
     });
     let mut decl = TaskDecl::new(
@@ -339,6 +344,7 @@ pub fn reference_multilevel(grid: &Grid, pipeline: &RmcrtPipeline) -> CcVariable
     let fine_level = grid.fine_level();
     let fine_li = grid.fine_level_index();
     let fine_props_all = pipeline.problem.props_for_level(fine_level);
+    let serial = uintah_exec::ExecSpace::Serial;
     let mut coarse_props: Vec<LevelProps> = Vec::new();
     for li in 0..fine_li {
         let level = grid.level(li);
@@ -348,9 +354,9 @@ pub fn reference_multilevel(grid: &Grid, pipeline: &RmcrtPipeline) -> CcVariable
             region,
             anchor: level.anchor(),
             dx: level.dx(),
-            abskg: restriction::restrict_average(&fine_props_all.abskg, rr, region),
-            sigma_t4_over_pi: restriction::restrict_average(&fine_props_all.sigma_t4_over_pi, rr, region),
-            cell_type: restriction::restrict_cell_type(&fine_props_all.cell_type, rr, region),
+            abskg: ops::restrict_average(&serial, &fine_props_all.abskg, rr, region),
+            sigma_t4_over_pi: ops::restrict_average(&serial, &fine_props_all.sigma_t4_over_pi, rr, region),
+            cell_type: ops::restrict_cell_type(&serial, &fine_props_all.cell_type, rr, region),
         });
     }
     let mut out = CcVariable::new(fine_level.cell_region());

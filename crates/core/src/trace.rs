@@ -424,7 +424,7 @@ mod tests {
         for dir in [
             Vector::new(1.0, 0.0, 0.0),
             Vector::new(-0.3, 0.9, 0.3).normalized(),
-            Vector::new(0.5, -0.5, 0.7071).normalized(),
+            Vector::new(0.5, -0.5, std::f64::consts::FRAC_1_SQRT_2).normalized(),
         ] {
             let ml = trace_ray(&stack, origin, dir, 1e-12);
             let sl = trace_ray(

@@ -7,48 +7,208 @@
 //!
 //! Kokkos' core idea is that a kernel is written once against an abstract
 //! *execution space* and dispatched to serial, multi-threaded or device
-//! back-ends. This crate provides that shape for cell-region kernels:
+//! back-ends. This crate is the **mandatory kernel-dispatch layer** of the
+//! stack: every cell-region hot loop (ray trace, DOM sweeps, restriction /
+//! prolongation, spectral banding, boundary-flux maps, the arches-lite
+//! energy RHS) runs through these entry points:
 //!
-//! * [`ExecSpace`] — `Serial` or `Threads(n)` (the device back-end of the
-//!   simulated GPU is byte-accounting, so kernels "on device" also run
-//!   through these host spaces);
+//! * [`ExecSpace`] — `Serial`, `Threads(n)`, or `Device` (the simulated
+//!   GPU: same slab-ordered kernels, one metered kernel launch per
+//!   dispatch on the device's stream queues);
 //! * [`parallel_for`] — apply a kernel to every cell of a region;
 //! * [`parallel_reduce`] — map-reduce over a region with a deterministic
 //!   combination order (slab-ordered, so floating-point results are
 //!   identical for any thread count);
 //! * [`parallel_fill`] — produce a [`CcVariable`] by evaluating a kernel
-//!   per cell (the common "compute a field" pattern).
+//!   per cell (the common "compute a field" pattern);
+//! * [`parallel_map`] — a 1-D index range (Kokkos `RangePolicy`), used for
+//!   non-cell fan-out such as the DOM ordinate sweeps;
+//! * [`ops`] — exec-dispatched AMR operators (restriction / prolongation)
+//!   over the per-cell kernels exported by `uintah-grid`.
 //!
 //! Determinism is a hard requirement inherited from the RMCRT solvers:
 //! every entry point yields results that are bit-identical across
-//! execution spaces.
+//! execution spaces. The `Device` back-end preserves this by executing the
+//! identical slab/plane-canonical code while metering kernel launches,
+//! invocation counts, logical bytes and wall time into [`KernelStats`] —
+//! the numbers that feed `ExecStats` and the `titan-sim` cost-model
+//! calibration. Device *input staging* (H2D) is the GPU DataWarehouse's
+//! job and is metered there; a dispatch itself never touches the PCIe
+//! counters, so byte-accounting experiments (E4) see exactly the traffic
+//! the staging layer creates.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use uintah_gpu::GpuDevice;
 use uintah_grid::{CcVariable, IntVector, Region};
 
+pub mod ops;
+
+/// Aggregate kernel metering for one device execution space: launch
+/// counts, kernel invocations (cells or indices dispatched), logical bytes
+/// produced by fill kernels, and wall time inside dispatches.
+///
+/// Snapshots of this struct feed `uintah-runtime::ExecStats` and the
+/// single `titan-sim` calibration path
+/// (`MachineParams::calibrate_from_kernel_stats`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Kernel launches (one per dispatch; slabs are thread blocks of one
+    /// launch, not separate launches).
+    pub launches: u64,
+    /// Kernel invocations dispatched (cells for region entry points,
+    /// indices for [`parallel_map`]).
+    pub invocations: u64,
+    /// Logical bytes written by fill kernels (output-field bytes; transfer
+    /// bytes live on the device's copy-engine counters, not here).
+    pub bytes_moved: u64,
+    /// Wall time spent inside device dispatches, in nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl KernelStats {
+    /// Wall time as a [`Duration`].
+    pub fn wall(&self) -> Duration {
+        Duration::from_nanos(self.wall_ns)
+    }
+}
+
+#[derive(Debug, Default)]
+struct KernelStatsAccum {
+    launches: AtomicU64,
+    invocations: AtomicU64,
+    bytes_moved: AtomicU64,
+    wall_ns: AtomicU64,
+}
+
+impl KernelStatsAccum {
+    fn record(&self, invocations: u64, bytes: u64, wall_ns: u64) {
+        self.launches.fetch_add(1, Ordering::Relaxed);
+        self.invocations.fetch_add(invocations, Ordering::Relaxed);
+        self.bytes_moved.fetch_add(bytes, Ordering::Relaxed);
+        self.wall_ns.fetch_add(wall_ns, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> KernelStats {
+        KernelStats {
+            launches: self.launches.load(Ordering::Relaxed),
+            invocations: self.invocations.load(Ordering::Relaxed),
+            bytes_moved: self.bytes_moved.load(Ordering::Relaxed),
+            wall_ns: self.wall_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The device execution space: a handle on a simulated [`GpuDevice`] plus
+/// a shared [`KernelStats`] accumulator. Cheap to clone — clones share the
+/// device and the stats, so a scheduler can hand one space to every GPU
+/// task of a timestep and read one aggregate snapshot afterwards.
+#[derive(Clone, Debug)]
+pub struct DeviceSpace {
+    device: GpuDevice,
+    stats: Arc<KernelStatsAccum>,
+}
+
+impl DeviceSpace {
+    pub fn new(device: GpuDevice) -> Self {
+        Self {
+            device,
+            stats: Arc::new(KernelStatsAccum::default()),
+        }
+    }
+
+    #[inline]
+    pub fn device(&self) -> &GpuDevice {
+        &self.device
+    }
+
+    /// Snapshot of everything dispatched through this space (and its
+    /// clones) so far.
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.stats.snapshot()
+    }
+
+    /// Execute one kernel launch: record it on the device (consuming a
+    /// stream slot, as one CUDA kernel launches on one stream), run the
+    /// body on the calling thread — the simulated device executes kernels
+    /// host-side; concurrency comes from concurrent patch tasks — and
+    /// meter the dispatch.
+    fn launch<R>(&self, invocations: u64, bytes: u64, body: impl FnOnce() -> R) -> R {
+        let _stream = self.device.launch_kernel();
+        let t0 = Instant::now();
+        let out = body();
+        self.stats
+            .record(invocations, bytes, t0.elapsed().as_nanos() as u64);
+        out
+    }
+}
+
 /// Where a kernel runs.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub enum ExecSpace {
     /// The calling thread.
     #[default]
     Serial,
     /// A scoped pool of `n` host threads (z-slab decomposition).
     Threads(usize),
+    /// The (simulated) GPU: identical slab-ordered kernels, one metered
+    /// launch per dispatch, stats recorded into the space's
+    /// [`KernelStats`].
+    Device(DeviceSpace),
 }
 
 impl ExecSpace {
-    /// Effective worker count.
-    pub fn concurrency(self) -> usize {
+    /// The host space for `n` workers: `Serial` for `n <= 1`, otherwise
+    /// `Threads(n)`.
+    pub fn host(n: usize) -> Self {
+        if n <= 1 {
+            ExecSpace::Serial
+        } else {
+            ExecSpace::Threads(n)
+        }
+    }
+
+    /// A fresh device space over `device`.
+    pub fn device(device: GpuDevice) -> Self {
+        ExecSpace::Device(DeviceSpace::new(device))
+    }
+
+    /// Effective worker count (streams for the device space).
+    pub fn concurrency(&self) -> usize {
         match self {
             ExecSpace::Serial => 1,
-            ExecSpace::Threads(n) => n.max(1),
+            ExecSpace::Threads(n) => (*n).max(1),
+            ExecSpace::Device(d) => d.device().num_streams() as usize,
+        }
+    }
+
+    #[inline]
+    pub fn is_device(&self) -> bool {
+        matches!(self, ExecSpace::Device(_))
+    }
+
+    /// Kernel metering snapshot; `None` for host spaces (host dispatches
+    /// are not kernel launches).
+    pub fn kernel_stats(&self) -> Option<KernelStats> {
+        match self {
+            ExecSpace::Device(d) => Some(d.kernel_stats()),
+            _ => None,
         }
     }
 }
 
 /// Split `region` into at most `n` contiguous z-slabs.
+///
+/// A degenerate region (zero or negative extent on any axis) yields **no**
+/// slabs: every entry point dispatches zero kernel invocations for it, on
+/// every space — callers never rely on downstream clamping.
 fn slabs(region: Region, n: usize) -> Vec<Region> {
-    let nz = region.extent().z.max(0) as usize;
-    let n = n.clamp(1, nz.max(1));
+    if region.is_empty() {
+        return Vec::new();
+    }
+    let nz = region.extent().z as usize;
+    let n = n.clamp(1, nz);
     (0..n)
         .map(|i| {
             let z0 = region.lo().z + (nz * i / n) as i32;
@@ -69,16 +229,19 @@ fn slabs(region: Region, n: usize) -> Vec<Region> {
 /// use uintah_grid::Region;
 ///
 /// let region = Region::cube(8);
-/// let serial = parallel_reduce(ExecSpace::Serial, region, 0.0f64,
+/// let serial = parallel_reduce(&ExecSpace::Serial, region, 0.0f64,
 ///     |c| (c.x + c.y + c.z) as f64 * 0.1, |a, b| a + b);
-/// let threaded = parallel_reduce(ExecSpace::Threads(4), region, 0.0f64,
+/// let threaded = parallel_reduce(&ExecSpace::Threads(4), region, 0.0f64,
 ///     |c| (c.x + c.y + c.z) as f64 * 0.1, |a, b| a + b);
 /// assert_eq!(serial.to_bits(), threaded.to_bits()); // bit-identical
 /// ```
-pub fn parallel_for<F>(space: ExecSpace, region: Region, kernel: F)
+pub fn parallel_for<F>(space: &ExecSpace, region: Region, kernel: F)
 where
     F: Fn(IntVector) + Sync,
 {
+    if region.is_empty() {
+        return;
+    }
     match space {
         ExecSpace::Serial => {
             for c in region.cells() {
@@ -88,7 +251,7 @@ where
         ExecSpace::Threads(n) => {
             let kernel = &kernel;
             std::thread::scope(|s| {
-                for slab in slabs(region, n.max(1)) {
+                for slab in slabs(region, (*n).max(1)) {
                     s.spawn(move || {
                         for c in slab.cells() {
                             kernel(c);
@@ -97,6 +260,13 @@ where
                 }
             });
         }
+        ExecSpace::Device(d) => d.launch(region.volume() as u64, 0, || {
+            // Slab-ordered on-device execution: ascending z-slabs are the
+            // kernel's thread blocks, visited in canonical order.
+            for c in region.cells() {
+                kernel(c);
+            }
+        }),
     }
 }
 
@@ -104,9 +274,15 @@ where
 /// accumulator is computed per z-plane (cell order within a plane is fixed)
 /// and the plane partials are folded left-to-right. Because the structure
 /// does not depend on the execution space, results are **bit-identical**
-/// for any thread count even for non-associative combines (floating-point
-/// sums) — the property the RMCRT solvers require.
-pub fn parallel_reduce<T, M, C>(space: ExecSpace, region: Region, identity: T, map: M, combine: C) -> T
+/// for any thread count — and on the device — even for non-associative
+/// combines (floating-point sums), the property the RMCRT solvers require.
+pub fn parallel_reduce<T, M, C>(
+    space: &ExecSpace,
+    region: Region,
+    identity: T,
+    map: M,
+    combine: C,
+) -> T
 where
     T: Send + Sync + Clone,
     M: Fn(IntVector) -> T + Sync,
@@ -134,7 +310,7 @@ where
         ExecSpace::Serial => planes.iter().map(plane_partial).collect(),
         ExecSpace::Threads(n) => {
             let mut out: Vec<Option<T>> = (0..planes.len()).map(|_| None).collect();
-            let chunk = planes.len().div_ceil(n.max(1));
+            let chunk = planes.len().div_ceil((*n).max(1));
             let plane_partial = &plane_partial;
             std::thread::scope(|s| {
                 for (planes_chunk, out_chunk) in planes.chunks(chunk).zip(out.chunks_mut(chunk)) {
@@ -147,6 +323,9 @@ where
             });
             out.into_iter().map(|p| p.expect("plane computed")).collect()
         }
+        ExecSpace::Device(d) => d.launch(region.volume() as u64, 0, || {
+            planes.iter().map(plane_partial).collect()
+        }),
     };
     // Canonical left-to-right fold over plane partials.
     let mut acc = identity;
@@ -157,11 +336,14 @@ where
 }
 
 /// Evaluate `kernel` at every cell of `region` into a new variable.
-pub fn parallel_fill<T, F>(space: ExecSpace, region: Region, kernel: F) -> CcVariable<T>
+pub fn parallel_fill<T, F>(space: &ExecSpace, region: Region, kernel: F) -> CcVariable<T>
 where
     T: Copy + Default + Send + Sync,
     F: Fn(IntVector) -> T + Sync,
 {
+    if region.is_empty() {
+        return CcVariable::new(region);
+    }
     match space {
         ExecSpace::Serial => {
             let mut out = CcVariable::new(region);
@@ -169,7 +351,7 @@ where
             out
         }
         ExecSpace::Threads(n) => {
-            let chunks = slabs(region, n.max(1));
+            let chunks = slabs(region, (*n).max(1));
             let mut parts: Vec<Option<CcVariable<T>>> = (0..chunks.len()).map(|_| None).collect();
             let kernel = &kernel;
             std::thread::scope(|s| {
@@ -188,6 +370,47 @@ where
             }
             out
         }
+        ExecSpace::Device(d) => {
+            let cells = region.volume() as u64;
+            d.launch(cells, cells * std::mem::size_of::<T>() as u64, || {
+                let mut out = CcVariable::new(region);
+                out.fill_with(kernel);
+                out
+            })
+        }
+    }
+}
+
+/// Map a 1-D index range through `f` (Kokkos `RangePolicy<0, n>`): the
+/// entry point for fan-out that is not cell-shaped, e.g. DOM ordinate
+/// sweeps or per-band spectral traces. Results come back in index order,
+/// so any subsequent fold the caller does is canonical by construction.
+pub fn parallel_map<T, F>(space: &ExecSpace, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    match space {
+        ExecSpace::Serial => (0..n).map(f).collect(),
+        ExecSpace::Threads(t) => {
+            let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+            let chunk = n.div_ceil((*t).max(1));
+            let f = &f;
+            std::thread::scope(|s| {
+                for (start, out_chunk) in (0..n).step_by(chunk).zip(out.chunks_mut(chunk)) {
+                    s.spawn(move || {
+                        for (k, slot) in out_chunk.iter_mut().enumerate() {
+                            *slot = Some(f(start + k));
+                        }
+                    });
+                }
+            });
+            out.into_iter().map(|v| v.expect("index computed")).collect()
+        }
+        ExecSpace::Device(d) => d.launch(n as u64, 0, || (0..n).map(f).collect()),
     }
 }
 
@@ -196,12 +419,22 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
+    fn all_spaces() -> Vec<ExecSpace> {
+        vec![
+            ExecSpace::Serial,
+            ExecSpace::Threads(4),
+            ExecSpace::Threads(64),
+            ExecSpace::device(GpuDevice::with_capacity("test", 1 << 30)),
+        ]
+    }
+
     #[test]
     fn parallel_for_visits_every_cell_once() {
-        for space in [ExecSpace::Serial, ExecSpace::Threads(4), ExecSpace::Threads(64)] {
+        for space in all_spaces() {
             let region = Region::cube(8);
-            let counts: Vec<AtomicUsize> = (0..region.volume()).map(|_| AtomicUsize::new(0)).collect();
-            parallel_for(space, region, |c| {
+            let counts: Vec<AtomicUsize> =
+                (0..region.volume()).map(|_| AtomicUsize::new(0)).collect();
+            parallel_for(&space, region, |c| {
                 counts[region.linear_index(c)].fetch_add(1, Ordering::Relaxed);
             });
             assert!(
@@ -217,27 +450,41 @@ mod tests {
         // A float map whose sum depends on association order if slabs were
         // combined nondeterministically.
         let map = |c: IntVector| ((c.x * 37 + c.y * 11 + c.z) as f64).sin() * 1e3;
-        let serial = parallel_reduce(ExecSpace::Serial, region, 0.0f64, map, |a, b| a + b);
+        let serial = parallel_reduce(&ExecSpace::Serial, region, 0.0f64, map, |a, b| a + b);
         for n in [2usize, 3, 8, 32] {
-            let par = parallel_reduce(ExecSpace::Threads(n), region, 0.0f64, map, |a, b| a + b);
+            let par = parallel_reduce(&ExecSpace::Threads(n), region, 0.0f64, map, |a, b| a + b);
             assert_eq!(serial.to_bits(), par.to_bits(), "Threads({n}) diverged");
         }
+        let dev = parallel_reduce(
+            &ExecSpace::device(GpuDevice::with_capacity("test", 1 << 20)),
+            region,
+            0.0f64,
+            map,
+            |a, b| a + b,
+        );
+        assert_eq!(serial.to_bits(), dev.to_bits(), "Device diverged");
     }
 
     #[test]
     fn fill_matches_serial_fill() {
         let region = Region::cube(9);
         let f = |c: IntVector| (c.x + 100 * c.y + 10_000 * c.z) as f64 * 0.1;
-        let serial = parallel_fill(ExecSpace::Serial, region, f);
-        let par = parallel_fill(ExecSpace::Threads(5), region, f);
+        let serial = parallel_fill(&ExecSpace::Serial, region, f);
+        let par = parallel_fill(&ExecSpace::Threads(5), region, f);
         assert_eq!(serial, par);
+        let dev = parallel_fill(
+            &ExecSpace::device(GpuDevice::with_capacity("test", 1 << 20)),
+            region,
+            f,
+        );
+        assert_eq!(serial, dev);
     }
 
     #[test]
     fn max_reduce() {
         let region = Region::cube(6);
         let m = parallel_reduce(
-            ExecSpace::Threads(3),
+            &ExecSpace::Threads(3),
             region,
             i64::MIN,
             |c| (c.x * c.y * c.z) as i64,
@@ -247,16 +494,95 @@ mod tests {
     }
 
     #[test]
+    fn map_is_order_preserving_on_every_space() {
+        for space in all_spaces() {
+            for n in [0usize, 1, 5, 17] {
+                let out = parallel_map(&space, n, |i| i * i);
+                assert_eq!(out, (0..n).map(|i| i * i).collect::<Vec<_>>(), "{space:?}");
+            }
+        }
+    }
+
+    #[test]
     fn degenerate_and_thin_regions() {
         // Fewer z-planes than threads, and a single-plane region.
         let thin = Region::new(IntVector::ZERO, IntVector::new(4, 4, 1));
-        let sum = parallel_reduce(ExecSpace::Threads(16), thin, 0usize, |_| 1usize, |a, b| a + b);
+        let sum = parallel_reduce(&ExecSpace::Threads(16), thin, 0usize, |_| 1usize, |a, b| a + b);
         assert_eq!(sum, 16);
         let count = std::sync::atomic::AtomicUsize::new(0);
-        parallel_for(ExecSpace::Threads(9), thin, |_| {
+        parallel_for(&ExecSpace::Threads(9), thin, |_| {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn zero_and_negative_extent_regions_dispatch_nothing() {
+        // Regression (satellite): a zero- or negative-extent region must
+        // dispatch zero kernel invocations on every space — explicitly,
+        // not via downstream clamping — and must not record a device
+        // kernel launch.
+        let degenerate = [
+            Region::new(IntVector::ZERO, IntVector::ZERO),
+            Region::new(IntVector::ZERO, IntVector::new(4, 4, 0)),
+            Region::new(IntVector::ZERO, IntVector::new(0, 4, 4)),
+            Region::new(IntVector::splat(3), IntVector::splat(-3)),
+            Region::new(IntVector::new(0, 0, 5), IntVector::new(8, 8, 2)),
+        ];
+        for region in degenerate {
+            assert!(slabs(region, 8).is_empty(), "{region:?} produced slabs");
+            let device = GpuDevice::with_capacity("test", 1 << 20);
+            let spaces = [
+                ExecSpace::Serial,
+                ExecSpace::Threads(7),
+                ExecSpace::device(device.clone()),
+            ];
+            for space in &spaces {
+                let count = AtomicUsize::new(0);
+                parallel_for(space, region, |_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+                assert_eq!(count.load(Ordering::Relaxed), 0, "{space:?} {region:?}");
+                let sum = parallel_reduce(space, region, 0usize, |_| 1usize, |a, b| a + b);
+                assert_eq!(sum, 0);
+                let filled = parallel_fill(space, region, |_| 1.0f64);
+                assert_eq!(filled.len(), 0);
+            }
+            assert_eq!(
+                device.counters().kernels,
+                0,
+                "degenerate dispatch must not launch kernels"
+            );
+        }
+    }
+
+    #[test]
+    fn device_dispatch_meters_kernel_stats() {
+        let device = GpuDevice::with_capacity("test", 1 << 20);
+        let space = ExecSpace::device(device.clone());
+        let region = Region::cube(4);
+        let _ = parallel_fill(&space, region, |c| (c.x + c.y + c.z) as f64);
+        parallel_for(&space, region, |_| {});
+        let _ = parallel_reduce(&space, region, 0.0f64, |_| 1.0, |a, b| a + b);
+        let _ = parallel_map(&space, 10, |i| i);
+        let ks = space.kernel_stats().expect("device space has stats");
+        assert_eq!(ks.launches, 4);
+        assert_eq!(ks.invocations, 3 * 64 + 10);
+        assert_eq!(ks.bytes_moved, 64 * 8, "fill output bytes only");
+        // One launch per dispatch is also what the device counted.
+        assert_eq!(device.counters().kernels, 4);
+        // Host spaces have no kernel stats.
+        assert!(ExecSpace::Serial.kernel_stats().is_none());
+        assert!(ExecSpace::Threads(4).kernel_stats().is_none());
+    }
+
+    #[test]
+    fn cloned_device_spaces_share_stats() {
+        let space = DeviceSpace::new(GpuDevice::with_capacity("test", 1 << 20));
+        let clone = ExecSpace::Device(space.clone());
+        let _ = parallel_fill(&clone, Region::cube(2), |_| 0u8);
+        assert_eq!(space.kernel_stats().launches, 1);
+        assert_eq!(space.kernel_stats().invocations, 8);
     }
 
     #[test]
@@ -264,5 +590,11 @@ mod tests {
         assert_eq!(ExecSpace::Serial.concurrency(), 1);
         assert_eq!(ExecSpace::Threads(8).concurrency(), 8);
         assert_eq!(ExecSpace::Threads(0).concurrency(), 1);
+        assert_eq!(ExecSpace::host(1).concurrency(), 1);
+        assert!(matches!(ExecSpace::host(1), ExecSpace::Serial));
+        assert!(matches!(ExecSpace::host(6), ExecSpace::Threads(6)));
+        let d = ExecSpace::device(GpuDevice::with_capacity("test", 1024));
+        assert_eq!(d.concurrency(), 16); // one lane per device stream
+        assert!(d.is_device());
     }
 }

@@ -47,6 +47,29 @@ pub struct CopyEngineStats {
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub struct Stream(pub u32);
 
+/// One coherent snapshot of a device's counters, taken with
+/// [`GpuDevice::counters`] — the one-stop replacement for the former
+/// per-counter getters. Harness binaries print these tables directly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeviceCounters {
+    /// Kernel launches.
+    pub kernels: u64,
+    /// Host→device bytes through copy engine 0.
+    pub h2d_bytes: u64,
+    /// Host→device transfer count.
+    pub h2d_transfers: u64,
+    /// Device→host bytes through copy engine 1.
+    pub d2h_bytes: u64,
+    /// Device→host transfer count.
+    pub d2h_transfers: u64,
+    /// Allocations rejected at capacity.
+    pub alloc_failures: u64,
+    /// Bytes currently allocated.
+    pub used: u64,
+    /// High-water mark of device memory.
+    pub peak: u64,
+}
+
 #[derive(Debug)]
 struct DeviceInner {
     name: &'static str,
@@ -167,28 +190,24 @@ impl GpuDevice {
         Stream((s % self.inner.num_streams as u64) as u32)
     }
 
-    pub fn h2d_bytes(&self) -> u64 {
-        self.inner.h2d.bytes.load(Ordering::Relaxed)
+    /// Number of hardware stream queues.
+    #[inline]
+    pub fn num_streams(&self) -> u32 {
+        self.inner.num_streams
     }
 
-    pub fn h2d_transfers(&self) -> u64 {
-        self.inner.h2d.transfers.load(Ordering::Relaxed)
-    }
-
-    pub fn d2h_bytes(&self) -> u64 {
-        self.inner.d2h.bytes.load(Ordering::Relaxed)
-    }
-
-    pub fn d2h_transfers(&self) -> u64 {
-        self.inner.d2h.transfers.load(Ordering::Relaxed)
-    }
-
-    pub fn kernels_launched(&self) -> u64 {
-        self.inner.kernels.load(Ordering::Relaxed)
-    }
-
-    pub fn alloc_failures(&self) -> u64 {
-        self.inner.alloc_failures.load(Ordering::Relaxed)
+    /// Snapshot every counter at once.
+    pub fn counters(&self) -> DeviceCounters {
+        DeviceCounters {
+            kernels: self.inner.kernels.load(Ordering::Relaxed),
+            h2d_bytes: self.inner.h2d.bytes.load(Ordering::Relaxed),
+            h2d_transfers: self.inner.h2d.transfers.load(Ordering::Relaxed),
+            d2h_bytes: self.inner.d2h.bytes.load(Ordering::Relaxed),
+            d2h_transfers: self.inner.d2h.transfers.load(Ordering::Relaxed),
+            alloc_failures: self.inner.alloc_failures.load(Ordering::Relaxed),
+            used: self.inner.used.load(Ordering::Relaxed) as u64,
+            peak: self.inner.peak.load(Ordering::Relaxed) as u64,
+        }
     }
 }
 
@@ -220,7 +239,7 @@ mod tests {
         d.release(600);
         assert_eq!(d.used(), 0);
         assert_eq!(d.peak(), 600);
-        assert_eq!(d.alloc_failures(), 1);
+        assert_eq!(d.counters().alloc_failures, 1);
     }
 
     #[test]
@@ -229,10 +248,33 @@ mod tests {
         d.record_h2d(100);
         d.record_h2d(50);
         d.record_d2h(7);
-        assert_eq!(d.h2d_transfers(), 2);
-        assert_eq!(d.h2d_bytes(), 150);
-        assert_eq!(d.d2h_transfers(), 1);
-        assert_eq!(d.d2h_bytes(), 7);
+        let c = d.counters();
+        assert_eq!(c.h2d_transfers, 2);
+        assert_eq!(c.h2d_bytes, 150);
+        assert_eq!(c.d2h_transfers, 1);
+        assert_eq!(c.d2h_bytes, 7);
+    }
+
+    #[test]
+    fn counter_snapshot_is_complete() {
+        let d = GpuDevice::with_capacity("test", 1000);
+        d.try_reserve(300).unwrap();
+        d.record_h2d(300);
+        d.launch_kernel();
+        let c = d.counters();
+        assert_eq!(
+            c,
+            DeviceCounters {
+                kernels: 1,
+                h2d_bytes: 300,
+                h2d_transfers: 1,
+                d2h_bytes: 0,
+                d2h_transfers: 0,
+                alloc_failures: 0,
+                used: 300,
+                peak: 300,
+            }
+        );
     }
 
     #[test]

@@ -77,7 +77,7 @@ struct LevelEntry {
 /// }).unwrap();
 /// let b = dw.ensure_level(ABSKG, 0, || unreachable!("already resident")).unwrap();
 /// assert!(std::sync::Arc::ptr_eq(&a, &b));
-/// assert_eq!(dw.device().h2d_transfers(), 1);
+/// assert_eq!(dw.device().counters().h2d_transfers, 1);
 /// ```
 pub struct GpuDataWarehouse {
     device: GpuDevice,
@@ -361,7 +361,7 @@ mod tests {
         assert_eq!(dw.patch_entries(), 0);
         assert!(dw.take_patch_to_host(DIVQ, p).is_none());
         // D2H was metered once.
-        assert_eq!(dw.device().d2h_transfers(), 1);
+        assert_eq!(dw.device().counters().d2h_transfers, 1);
     }
 
     #[test]
@@ -377,9 +377,9 @@ mod tests {
         let b = dw.ensure_level(ABSKG, 0, || panic!("second upload")).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "tasks must share one device copy");
         assert_eq!(calls, 1);
-        assert_eq!(dw.device().h2d_transfers(), 1);
+        assert_eq!(dw.device().counters().h2d_transfers, 1);
         let bytes = 16usize.pow(3) * 8;
-        assert_eq!(dw.device().h2d_bytes(), bytes as u64);
+        assert_eq!(dw.device().counters().h2d_bytes, bytes as u64);
         assert_eq!(dw.device().used(), bytes);
     }
 
@@ -389,7 +389,7 @@ mod tests {
         let a = dw.ensure_level(ABSKG, 0, || field(16, 0.9)).unwrap();
         let b = dw.ensure_level(ABSKG, 0, || field(16, 0.9)).unwrap();
         assert!(!Arc::ptr_eq(&a, &b));
-        assert_eq!(dw.device().h2d_transfers(), 2);
+        assert_eq!(dw.device().counters().h2d_transfers, 2);
         assert_eq!(dw.device().used(), 2 * 16usize.pow(3) * 8);
     }
 
@@ -431,8 +431,8 @@ mod tests {
         }
         assert_eq!(with.device().used(), field_bytes);
         assert_eq!(without.device().used(), 32 * field_bytes);
-        assert_eq!(with.device().h2d_bytes(), field_bytes as u64);
-        assert_eq!(without.device().h2d_bytes(), (32 * field_bytes) as u64);
+        assert_eq!(with.device().counters().h2d_bytes, field_bytes as u64);
+        assert_eq!(without.device().counters().h2d_bytes, (32 * field_bytes) as u64);
     }
 
     #[test]
@@ -447,7 +447,7 @@ mod tests {
                 });
             }
         });
-        assert_eq!(dw.device().h2d_transfers(), 1, "exactly one upload");
+        assert_eq!(dw.device().counters().h2d_transfers, 1, "exactly one upload");
     }
 
     #[test]
@@ -461,7 +461,7 @@ mod tests {
     fn fresh_replica_persists_across_timesteps_when_unchanged() {
         let dw = GpuDataWarehouse::new(GpuDevice::k20x());
         let a = dw.ensure_level_fresh(ABSKG, 0, || field(16, 0.9)).unwrap();
-        assert_eq!(dw.device().h2d_transfers(), 1);
+        assert_eq!(dw.device().counters().h2d_transfers, 1);
         // Same step: producer must not run again.
         let b = dw.ensure_level_fresh(ABSKG, 0, || panic!("fresh entry")).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
@@ -470,7 +470,7 @@ mod tests {
         assert_eq!(dw.level_entry_epoch(ABSKG, 0), Some(0), "stale until revalidated");
         let c = dw.ensure_level_fresh(ABSKG, 0, || field(16, 0.9)).unwrap();
         assert!(Arc::ptr_eq(&a, &c), "unchanged replica is kept");
-        assert_eq!(dw.device().h2d_transfers(), 1, "no second upload");
+        assert_eq!(dw.device().counters().h2d_transfers, 1, "no second upload");
         assert_eq!(dw.level_entry_epoch(ABSKG, 0), Some(1));
         // And within the new step it is trusted without the producer.
         let d = dw.ensure_level_fresh(ABSKG, 0, || panic!("revalidated")).unwrap();
@@ -492,8 +492,8 @@ mod tests {
                 DeviceData::F64(f)
             })
             .unwrap();
-        assert_eq!(dw.device().h2d_transfers(), 2);
-        assert_eq!(dw.device().h2d_bytes(), (full + 8) as u64, "8-byte diff upload");
+        assert_eq!(dw.device().counters().h2d_transfers, 2);
+        assert_eq!(dw.device().counters().h2d_bytes, (full + 8) as u64, "8-byte diff upload");
         assert_eq!(dw.device().used(), full, "in-place overwrite, no extra memory");
     }
 
@@ -519,7 +519,7 @@ mod tests {
         dw.begin_timestep();
         let b = dw.ensure_level_fresh(ABSKG, 0, || field(16, 0.9)).unwrap();
         assert!(!Arc::ptr_eq(&a, &b));
-        assert_eq!(dw.device().h2d_transfers(), 2, "no persistence without the DB");
-        assert_eq!(dw.device().h2d_bytes(), 2 * 16u64.pow(3) * 8);
+        assert_eq!(dw.device().counters().h2d_transfers, 2, "no persistence without the DB");
+        assert_eq!(dw.device().counters().h2d_bytes, 2 * 16u64.pow(3) * 8);
     }
 }

@@ -23,5 +23,5 @@
 pub mod device;
 pub mod dw;
 
-pub use device::{CopyEngineStats, GpuDevice, GpuError, Stream};
+pub use device::{CopyEngineStats, DeviceCounters, GpuDevice, GpuError, Stream};
 pub use dw::{DeviceData, DeviceVar, GpuDataWarehouse};

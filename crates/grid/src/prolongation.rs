@@ -10,70 +10,87 @@ use crate::index::IntVector;
 use crate::region::Region;
 use crate::variable::CcVariable;
 
+/// Per-cell kernel for piecewise-constant prolongation: fine cell `fc`
+/// copies its coarse parent's value.
+#[inline]
+pub fn prolong_constant_cell(coarse: &CcVariable<f64>, rr: IntVector, fc: IntVector) -> f64 {
+    coarse[fc.div_floor(rr)]
+}
+
+/// Per-cell kernel for trilinear prolongation from coarse cell centres,
+/// clamped at the coarse data's boundary (no extrapolation past the
+/// outermost centres).
+#[inline]
+pub fn prolong_linear_cell(coarse: &CcVariable<f64>, rr: IntVector, fc: IntVector) -> f64 {
+    let cr = coarse.region();
+    // Fine cell centre in coarse index space (coarse cell centres sit
+    // at integer + 0.5).
+    let mut w = [0.0f64; 3];
+    let mut base = IntVector::ZERO;
+    for a in 0..3 {
+        let x = (fc[a] as f64 + 0.5) / rr[a] as f64 - 0.5;
+        let lo = x.floor();
+        let mut b = lo as i32;
+        let mut t = x - lo;
+        // Clamp to the coarse region so interpolation never reads
+        // outside the data.
+        if b < cr.lo()[a] {
+            b = cr.lo()[a];
+            t = 0.0;
+        }
+        if b >= cr.hi()[a] - 1 {
+            b = cr.hi()[a] - 1;
+            t = if cr.extent()[a] > 1 { 1.0 } else { 0.0 };
+            if t == 1.0 {
+                b = cr.hi()[a] - 2;
+            }
+        }
+        base[a] = b;
+        w[a] = t;
+    }
+    let mut v = 0.0;
+    for dz in 0..2 {
+        for dy in 0..2 {
+            for dx in 0..2 {
+                let c = base + IntVector::new(dx, dy, dz);
+                let c = IntVector::new(
+                    c.x.clamp(cr.lo().x, cr.hi().x - 1),
+                    c.y.clamp(cr.lo().y, cr.hi().y - 1),
+                    c.z.clamp(cr.lo().z, cr.hi().z - 1),
+                );
+                let weight = (if dx == 1 { w[0] } else { 1.0 - w[0] })
+                    * (if dy == 1 { w[1] } else { 1.0 - w[1] })
+                    * (if dz == 1 { w[2] } else { 1.0 - w[2] });
+                v += weight * coarse[c];
+            }
+        }
+    }
+    v
+}
+
 /// Piecewise-constant prolongation: every fine child copies its coarse
 /// parent's value. `coarse` must cover `fine_window.coarsened(rr)`.
+///
+/// Serial reference; hot paths dispatch the same kernel through
+/// `uintah-exec::ops::prolong_constant`.
 pub fn prolong_constant(
     coarse: &CcVariable<f64>,
     rr: IntVector,
     fine_window: Region,
 ) -> CcVariable<f64> {
     let mut out = CcVariable::new(fine_window);
-    for fc in fine_window.cells() {
-        out[fc] = coarse[fc.div_floor(rr)];
-    }
+    out.fill_with(|fc| prolong_constant_cell(coarse, rr, fc));
     out
 }
 
 /// Trilinear prolongation from coarse cell centres, clamped at the coarse
 /// data's boundary (no extrapolation past the outermost centres).
+///
+/// Serial reference; hot paths dispatch the same kernel through
+/// `uintah-exec::ops::prolong_linear`.
 pub fn prolong_linear(coarse: &CcVariable<f64>, rr: IntVector, fine_window: Region) -> CcVariable<f64> {
-    let cr = coarse.region();
     let mut out = CcVariable::new(fine_window);
-    for fc in fine_window.cells() {
-        // Fine cell centre in coarse index space (coarse cell centres sit
-        // at integer + 0.5).
-        let mut w = [0.0f64; 3];
-        let mut base = IntVector::ZERO;
-        for a in 0..3 {
-            let x = (fc[a] as f64 + 0.5) / rr[a] as f64 - 0.5;
-            let lo = x.floor();
-            let mut b = lo as i32;
-            let mut t = x - lo;
-            // Clamp to the coarse region so interpolation never reads
-            // outside the data.
-            if b < cr.lo()[a] {
-                b = cr.lo()[a];
-                t = 0.0;
-            }
-            if b >= cr.hi()[a] - 1 {
-                b = cr.hi()[a] - 1;
-                t = if cr.extent()[a] > 1 { 1.0 } else { 0.0 };
-                if t == 1.0 {
-                    b = cr.hi()[a] - 2;
-                }
-            }
-            base[a] = b;
-            w[a] = t;
-        }
-        let mut v = 0.0;
-        for dz in 0..2 {
-            for dy in 0..2 {
-                for dx in 0..2 {
-                    let c = base + IntVector::new(dx, dy, dz);
-                    let c = IntVector::new(
-                        c.x.clamp(cr.lo().x, cr.hi().x - 1),
-                        c.y.clamp(cr.lo().y, cr.hi().y - 1),
-                        c.z.clamp(cr.lo().z, cr.hi().z - 1),
-                    );
-                    let weight = (if dx == 1 { w[0] } else { 1.0 - w[0] })
-                        * (if dy == 1 { w[1] } else { 1.0 - w[1] })
-                        * (if dz == 1 { w[2] } else { 1.0 - w[2] });
-                    v += weight * coarse[c];
-                }
-            }
-        }
-        out[fc] = v;
-    }
+    out.fill_with(|fc| prolong_linear_cell(coarse, rr, fc));
     out
 }
 

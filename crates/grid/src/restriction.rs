@@ -11,52 +11,67 @@ use crate::level::Level;
 use crate::region::Region;
 use crate::variable::CcVariable;
 
+/// Per-cell restriction kernel: volume-weighted average of the `rr³` fine
+/// children of coarse cell `cc`. The region versions here and the
+/// exec-dispatched versions in `uintah-exec::ops` are both thin wrappers
+/// over this kernel, so every execution space runs identical arithmetic.
+#[inline]
+pub fn restrict_average_cell(fine: &CcVariable<f64>, rr: IntVector, cc: IntVector) -> f64 {
+    let child_lo = cc.comp_mul(rr);
+    let child = Region::new(child_lo, child_lo + rr);
+    let mut sum = 0.0;
+    for fc in child.cells() {
+        sum += fine[fc];
+    }
+    sum / rr.volume() as f64
+}
+
+/// Per-cell kernel for integer cell types: the first non-zero fine child
+/// wins (any-boundary rule), so coarse cells never lose wall information.
+#[inline]
+pub fn restrict_cell_type_cell(fine: &CcVariable<u8>, rr: IntVector, cc: IntVector) -> u8 {
+    let child_lo = cc.comp_mul(rr);
+    let child = Region::new(child_lo, child_lo + rr);
+    for fc in child.cells() {
+        let t = fine[fc];
+        if t != 0 {
+            return t;
+        }
+    }
+    0
+}
+
 /// Volume-weighted average of the fine cells under each coarse cell.
 ///
 /// `fine` must cover `coarse_window.refined(rr)`; the output variable covers
 /// `coarse_window`. For a regular refinement ratio every fine child has equal
 /// volume, so this is the arithmetic mean of the `rr³` children.
+///
+/// Serial reference; hot paths dispatch the same kernel through
+/// `uintah-exec::ops::restrict_average`.
 pub fn restrict_average(
     fine: &CcVariable<f64>,
     rr: IntVector,
     coarse_window: Region,
 ) -> CcVariable<f64> {
     let mut out = CcVariable::new(coarse_window);
-    let inv = 1.0 / rr.volume() as f64;
-    for cc in coarse_window.cells() {
-        let child_lo = cc.comp_mul(rr);
-        let child = Region::new(child_lo, child_lo + rr);
-        let mut sum = 0.0;
-        for fc in child.cells() {
-            sum += fine[fc];
-        }
-        out[cc] = sum * inv;
-    }
+    out.fill_with(|cc| restrict_average_cell(fine, rr, cc));
     out
 }
 
 /// Restriction for integer cell types: a coarse cell is a boundary
 /// (non-zero) if *any* of its fine children is, reproducing Uintah's
 /// conservative treatment of walls on the coarse radiation mesh.
+///
+/// Serial reference; hot paths dispatch the same kernel through
+/// `uintah-exec::ops::restrict_cell_type`.
 pub fn restrict_cell_type(
     fine: &CcVariable<u8>,
     rr: IntVector,
     coarse_window: Region,
 ) -> CcVariable<u8> {
     let mut out = CcVariable::new(coarse_window);
-    for cc in coarse_window.cells() {
-        let child_lo = cc.comp_mul(rr);
-        let child = Region::new(child_lo, child_lo + rr);
-        let mut ty = 0u8;
-        for fc in child.cells() {
-            let t = fine[fc];
-            if t != 0 {
-                ty = t;
-                break;
-            }
-        }
-        out[cc] = ty;
-    }
+    out.fill_with(|cc| restrict_cell_type_cell(fine, rr, cc));
     out
 }
 

@@ -31,6 +31,7 @@ use std::time::{Duration, Instant};
 use uintah_comm::{
     Communicator, Message, MutexRequestVec, RacyRequestVec, RequestStore, Tag, WaitFreeRequestStore,
 };
+use uintah_exec::{DeviceSpace, ExecSpace, KernelStats};
 use uintah_gpu::GpuDataWarehouse;
 use uintah_grid::Grid;
 
@@ -81,6 +82,11 @@ pub struct ExecStats {
     /// Host→device bytes transferred during this step (delta of the GPU
     /// device counter across the call; 0 without a GPU warehouse).
     pub gpu_h2d_bytes: u64,
+    /// Kernel metering for this step's `Device` execution space: launches,
+    /// cell invocations, logical bytes and wall time inside device
+    /// dispatches (all zero without a GPU warehouse). Feeds the titan-sim
+    /// cost-model calibration.
+    pub kernel_stats: KernelStats,
     /// Per-declaration breakdown: (task name, executions, time in body).
     pub per_task: Vec<(&'static str, usize, Duration)>,
 }
@@ -114,6 +120,16 @@ impl ExecStats {
             self.bytes_sent,
             self.gpu_h2d_bytes,
         );
+        if self.kernel_stats.launches > 0 {
+            let ks = &self.kernel_stats;
+            let _ = writeln!(
+                out,
+                "device kernels {} launches | {} cells | {:.3} ms in kernels",
+                ks.launches,
+                ks.invocations,
+                ms(ks.wall()),
+            );
+        }
         for (name, count, time) in &self.per_task {
             let _ = writeln!(out, "  {name:<24} {count:>6}x {:>10.3} ms", ms(*time));
         }
@@ -172,7 +188,11 @@ impl Scheduler {
         phase: u8,
     ) -> ExecStats {
         let t_start = Instant::now();
-        let h2d_bytes_before = gpu.map(|g| g.device().h2d_bytes()).unwrap_or(0);
+        let h2d_bytes_before = gpu.map(|g| g.device().counters().h2d_bytes).unwrap_or(0);
+        // The step's execution spaces: one shared, metered Device space for
+        // every GPU task (kernel stats aggregate across workers), and a
+        // host space for CPU tasks. One code path picks per task below.
+        let device_space = gpu.map(|g| DeviceSpace::new(g.device().clone()));
         let n = graph.instances.len();
         let deps: Vec<AtomicUsize> = graph
             .instances
@@ -265,6 +285,7 @@ impl Scheduler {
                 let signal = &signal;
                 let per_decl_count = &per_decl_count;
                 let per_decl_ns = &per_decl_ns;
+                let device_space = &device_space;
                 let comm = self.comm.clone();
                 scope.spawn(move || {
                     let notify = |ids: &[usize]| {
@@ -328,17 +349,23 @@ impl Scheduler {
                                 let di = inst.decl.expect("non-gather instance has a decl");
                                 let decl = &decls[di];
                                 let patch = grid.patch(inst.patch.expect("patch instance"));
-                                if decl.kind == TaskKind::Gpu {
-                                    if let Some(g) = gpu {
-                                        g.device().launch_kernel();
-                                    }
-                                }
+                                // One code path picks the space per task:
+                                // GPU tasks dispatch their kernels on the
+                                // metered Device space, everything else on
+                                // the host (each worker already owns a
+                                // whole patch task, so intra-task host
+                                // dispatch is serial).
+                                let space = match (decl.kind, device_space.as_ref()) {
+                                    (TaskKind::Gpu, Some(ds)) => ExecSpace::Device(ds.clone()),
+                                    _ => ExecSpace::host(1),
+                                };
                                 let mut ctx = TaskContext {
                                     grid,
                                     patch,
                                     dw,
                                     gpu,
                                     rank: comm.rank(),
+                                    space,
                                 };
                                 let t0 = Instant::now();
                                 (decl.func)(&mut ctx);
@@ -423,8 +450,11 @@ impl Scheduler {
             parks: parks.load(Ordering::Relaxed),
             graph_compile: Duration::ZERO,
             gpu_h2d_bytes: gpu
-                .map(|g| g.device().h2d_bytes() - h2d_bytes_before)
+                .map(|g| g.device().counters().h2d_bytes - h2d_bytes_before)
                 .unwrap_or(0),
+            kernel_stats: device_space
+                .map(|ds| ds.kernel_stats())
+                .unwrap_or_default(),
             per_task: decls
                 .iter()
                 .enumerate()

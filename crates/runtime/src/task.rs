@@ -2,6 +2,7 @@
 
 use crate::dw::DataWarehouse;
 use std::sync::Arc;
+use uintah_exec::ExecSpace;
 use uintah_grid::{CcVariable, FieldData, Grid, LevelIndex, Patch, Region, VarLabel};
 use uintah_gpu::GpuDataWarehouse;
 
@@ -111,6 +112,7 @@ pub struct TaskContext<'a> {
     pub(crate) dw: &'a DataWarehouse,
     pub(crate) gpu: Option<&'a GpuDataWarehouse>,
     pub(crate) rank: usize,
+    pub(crate) space: ExecSpace,
 }
 
 impl<'a> TaskContext<'a> {
@@ -127,6 +129,14 @@ impl<'a> TaskContext<'a> {
     #[inline]
     pub fn rank(&self) -> usize {
         self.rank
+    }
+
+    /// The execution space the scheduler picked for this task (GPU tasks
+    /// get the rank's metered `Device` space, CPU tasks a host space).
+    /// Task bodies dispatch every cell-region kernel through this.
+    #[inline]
+    pub fn exec_space(&self) -> &ExecSpace {
+        &self.space
     }
 
     /// The GPU data warehouse, when executing on a GPU-capable rank.

@@ -1,5 +1,7 @@
 //! Hardware constants of the modeled machine.
 
+use uintah_exec::KernelStats;
+
 
 /// Which request-store implementation the modeled runtime uses; scales the
 /// per-message CPU cost and its serialization across threads (calibrated
@@ -108,6 +110,37 @@ impl MachineParams {
     pub fn steps_per_ray(&self, roi_cells_1d: f64, coarse_1d: f64) -> f64 {
         0.75 * roi_cells_1d + 0.5 * coarse_1d
     }
+
+    /// Calibrate the GPU throughput constant from a measured exec-layer
+    /// [`KernelStats`] snapshot — the single calibration path shared by
+    /// the host and Device spaces now that every hot loop dispatches
+    /// through `uintah-exec`.
+    ///
+    /// `cellsteps_per_invocation` converts the dispatch's invocation count
+    /// (cells visited) into modeled DDA cell-steps (rays/cell × mean steps
+    /// per ray for the benchmark geometry). `device_multiplier` scales the
+    /// host-measured rate up to the modeled accelerator (a K20X sustains
+    /// roughly 30× one Opteron core on this memory-latency-bound kernel);
+    /// pass 1.0 when the stats came from the Device space of the target
+    /// machine itself. Also refreshes `cpu_cellsteps_per_s` with the raw
+    /// measured host rate so both march models share one measurement.
+    ///
+    /// Stats with zero wall time or zero invocations are ignored (the
+    /// params keep their pinned defaults).
+    pub fn calibrate_from_kernel_stats(
+        &mut self,
+        ks: &KernelStats,
+        cellsteps_per_invocation: f64,
+        device_multiplier: f64,
+    ) {
+        let wall = ks.wall().as_secs_f64();
+        if wall <= 0.0 || ks.invocations == 0 {
+            return;
+        }
+        let measured = ks.invocations as f64 * cellsteps_per_invocation / wall;
+        self.cpu_cellsteps_per_s = measured;
+        self.gpu_cellsteps_per_s = measured * device_multiplier;
+    }
 }
 
 #[cfg(test)]
@@ -136,6 +169,27 @@ mod tests {
         assert!(ratio > 3.0 && ratio < 10.0, "Summit/Titan GPU ratio {ratio}");
         assert!(s.pcie_bw > t.pcie_bw);
         assert!(s.net_latency < t.net_latency);
+    }
+
+    #[test]
+    fn calibration_from_kernel_stats_updates_both_march_rates() {
+        let mut m = MachineParams::titan();
+        // 1e6 invocations, 200 cell-steps each, over 0.5 s → 4e8 host
+        // cell-steps/s; a 30x device multiplier puts the GPU at 1.2e10.
+        let ks = KernelStats {
+            launches: 8,
+            invocations: 1_000_000,
+            bytes_moved: 0,
+            wall_ns: 500_000_000,
+        };
+        m.calibrate_from_kernel_stats(&ks, 200.0, 30.0);
+        assert!((m.cpu_cellsteps_per_s - 4.0e8).abs() < 1.0);
+        assert!((m.gpu_cellsteps_per_s - 1.2e10).abs() < 10.0);
+
+        // Degenerate stats leave the pinned defaults untouched.
+        let mut d = MachineParams::titan();
+        d.calibrate_from_kernel_stats(&KernelStats::default(), 200.0, 30.0);
+        assert!((d.gpu_cellsteps_per_s - MachineParams::titan().gpu_cellsteps_per_s).abs() < 1.0);
     }
 
     #[test]

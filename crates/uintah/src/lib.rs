@@ -30,13 +30,16 @@ pub mod prelude {
         RmcrtPipeline,
     };
     pub use rmcrt_core::{
-        div_q_for_cell, solve_region, trace_ray, BurnsChriston, CellRng, LevelProps, RmcrtParams,
-        TraceLevel,
+        div_q_for_cell, solve_region, solve_region_exec, trace_ray, BurnsChriston, CellRng,
+        LevelProps, RmcrtParams, TraceLevel,
     };
     pub use titan_sim::{simulate_timestep, MachineParams, StoreModel};
     pub use uintah_comm::{CommWorld, Communicator, Tag, WaitFreePool};
-    pub use uintah_exec::{parallel_fill, parallel_for, parallel_reduce, ExecSpace};
-    pub use uintah_gpu::{GpuDataWarehouse, GpuDevice};
+    pub use uintah_exec::{
+        ops, parallel_fill, parallel_for, parallel_map, parallel_reduce, DeviceSpace, ExecSpace,
+        KernelStats,
+    };
+    pub use uintah_gpu::{DeviceCounters, GpuDataWarehouse, GpuDevice};
     pub use uintah_grid::{
         CcVariable, DistributionPolicy, FieldData, Grid, IntVector, PatchDistribution, Point,
         Region, VarLabel, Vector,

@@ -213,7 +213,7 @@ fn gpu_level_db_concurrent_hammer() {
             });
         }
     });
-    assert_eq!(dw.device().h2d_transfers(), 1, "exactly one upload");
+    assert_eq!(dw.device().counters().h2d_transfers, 1, "exactly one upload");
     handles.clear();
     dw.clear_level_db();
     assert_eq!(dw.device().used(), 0);

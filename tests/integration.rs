@@ -131,13 +131,14 @@ fn gpu_pipeline_matches_cpu_pipeline() {
             .iter()
             .filter(|&&pid| grid.patch(pid).level_index() == grid.fine_level_index())
             .count() as u64;
-        assert_eq!(gdw.device().kernels_launched(), local_fine);
+        let counters = gdw.device().counters();
+        assert_eq!(counters.kernels, local_fine);
         // Level DB: the 3 coarse replicas were uploaded exactly once each.
         assert_eq!(gdw.level_entries(), 3);
         // Per-patch H2D: 3 inputs; replicas once; divQ is device-produced
         // (no H2D) and crosses back once per patch (D2H).
-        assert_eq!(gdw.device().d2h_transfers(), local_fine);
-        assert_eq!(gdw.device().h2d_transfers(), 3 + 3 * local_fine);
+        assert_eq!(counters.d2h_transfers, local_fine);
+        assert_eq!(counters.h2d_transfers, 3 + 3 * local_fine);
     }
 }
 
@@ -176,8 +177,8 @@ fn level_db_reduces_pcie_traffic_end_to_end() {
                 ..Default::default()
             },
         );
-        let d = result.ranks[0].gpu.as_ref().unwrap().device().clone();
-        (d.h2d_bytes(), d.peak() as u64)
+        let c = result.ranks[0].gpu.as_ref().unwrap().device().counters();
+        (c.h2d_bytes, c.peak)
     };
     let (with_bytes, with_peak) = run(true);
     let (without_bytes, without_peak) = run(false);
