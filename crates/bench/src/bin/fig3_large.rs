@@ -52,6 +52,6 @@ fn main() {
     println!("\nBreakdown at 16384 GPUs (16³ patches):");
     println!(
         "  props {:.4}s | all-to-all comm {:.4}s | GPU pipeline {:.4}s",
-        p16k.breakdown.props, p16k.breakdown.comm, p16k.breakdown.gpu
+        p16k.breakdown.props, p16k.breakdown.comm, p16k.breakdown.compute
     );
 }

@@ -49,6 +49,11 @@ fn main() {
                     nthreads: 4,
                     gpu_capacity: Some(4 << 30),
                     gpu_level_db: level_db,
+                    // Synchronous drains: async D2H releases device memory
+                    // when the engine thread finishes, so the peak column
+                    // would vary run to run. The ablation isolates the
+                    // level DB; the drain policy is studied in d2h_overlap.
+                    gpu_async_d2h: false,
                     ..Default::default()
                 },
             );
@@ -106,6 +111,7 @@ fn main() {
             nthreads: 4,
             timesteps: 4,
             gpu_capacity: Some(4 << 30),
+            gpu_async_d2h: false,
             ..Default::default()
         },
     );

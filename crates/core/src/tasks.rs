@@ -212,13 +212,20 @@ fn trace_decl(pipeline: RmcrtPipeline, fine_li: LevelIndex, coarse_levels: Vec<L
             let div_q = trace_patch(ctx, &pipeline, &cl);
             gdw.alloc_patch_output(DIVQ, pid, FieldData::F64(div_q))
                 .expect("device OOM for divQ");
-            // Output crosses PCIe back; inputs are dropped in place.
-            let out = gdw.take_patch_to_host(DIVQ, pid).expect("divQ staged above");
+            // Output crosses PCIe back on the D2H copy engine: the drain is
+            // posted asynchronously (or completed inline in the synchronous
+            // ablation) and the task returns without blocking — the first
+            // downstream consumer materializes the host data, paying only
+            // the part of the drain compute didn't hide. Inputs are dropped
+            // in place.
+            let out = gdw
+                .take_patch_to_host_async(DIVQ, pid)
+                .expect("divQ staged above");
             for l in PROP_LABELS {
                 gdw.drop_patch(l, pid);
             }
             drop(staged); // release this task's claim on the replicas
-            ctx.put(DIVQ, out);
+            ctx.put_pending(DIVQ, out);
         } else {
             let div_q = trace_patch(ctx, &pipeline, &cl);
             ctx.put(DIVQ, FieldData::F64(div_q));

@@ -14,11 +14,12 @@
 //! PCIe traffic and device memory by the number of resident patch tasks —
 //! which is exactly what blew the 6 GB K20X budget in the paper.
 
-use crate::device::{GpuDevice, GpuError};
+use crate::device::{GpuDevice, GpuError, Stream};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 use uintah_grid::{LevelIndex, PatchId, VarLabel};
 
 /// Device-resident variable payload (same representation as host fields;
@@ -55,6 +56,86 @@ impl Drop for DeviceVar {
 type PatchKey = (VarLabel, PatchId);
 type LevelKey = (VarLabel, LevelIndex);
 
+/// Shared completion state between a [`PendingD2H`] handle and the copy
+/// engine draining it: the materialized host data plus the measured drain
+/// duration, posted under the mutex and announced on the condvar.
+#[derive(Default)]
+struct PendingShared {
+    slot: Mutex<Option<(DeviceData, Duration)>>,
+    done: Condvar,
+}
+
+/// Completion handle for an asynchronous device→host transfer posted by
+/// [`GpuDataWarehouse::take_patch_to_host_async`].
+///
+/// The drain (the PCIe memcpy — here the real `clone` of the device bytes)
+/// proceeds on the D2H copy-engine thread while the scheduler keeps
+/// executing ready tasks; the host data materializes on first use via
+/// [`Self::wait`] / [`Self::wait_timed`]. Device memory for the variable is
+/// released when the drain completes, not when the handle is created —
+/// exactly the lifetime a `cudaMemcpyAsync` imposes.
+pub struct PendingD2H {
+    shared: Arc<PendingShared>,
+    bytes: usize,
+    stream: Stream,
+    /// True when the warehouse is in synchronous-fallback mode and the
+    /// drain completed inline at post time: the caller is charged the full
+    /// drain as blocked time (overlap is zero by construction).
+    inline: bool,
+}
+
+impl std::fmt::Debug for PendingD2H {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingD2H")
+            .field("bytes", &self.bytes)
+            .field("stream", &self.stream)
+            .field("inline", &self.inline)
+            .field("complete", &self.is_complete())
+            .finish()
+    }
+}
+
+impl PendingD2H {
+    /// Transfer size in bytes.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The stream the transfer was posted on.
+    #[inline]
+    pub fn stream(&self) -> Stream {
+        self.stream
+    }
+
+    /// Whether the drain has already completed (non-blocking).
+    pub fn is_complete(&self) -> bool {
+        self.shared.slot.lock().unwrap().is_some()
+    }
+
+    /// Block until the drain completes and take the host data.
+    pub fn wait(self) -> DeviceData {
+        self.wait_timed().0
+    }
+
+    /// Block until the drain completes; returns `(data, drain, blocked)`
+    /// where `drain` is the wall time the copy engine spent moving the
+    /// bytes and `blocked` is how long *this call* stalled the consumer.
+    /// A transfer that finished before first use reports `blocked ≈ 0`, so
+    /// `drain - blocked` is the wall time hidden behind compute — the
+    /// overlap the two-copy-engine pipeline exists to win.
+    pub fn wait_timed(self) -> (DeviceData, Duration, Duration) {
+        let t0 = Instant::now();
+        let mut slot = self.shared.slot.lock().unwrap();
+        while slot.is_none() {
+            slot = self.shared.done.wait(slot).unwrap();
+        }
+        let (data, drain) = slot.take().expect("slot filled above");
+        let blocked = if self.inline { drain } else { t0.elapsed() };
+        (data, drain, blocked)
+    }
+}
+
 /// A level-database slot: the device-resident replica plus the timestep
 /// epoch at which it was last validated against host data.
 struct LevelEntry {
@@ -84,6 +165,11 @@ pub struct GpuDataWarehouse {
     patch_db: RwLock<HashMap<PatchKey, Arc<DeviceVar>>>,
     level_db: RwLock<HashMap<LevelKey, LevelEntry>>,
     level_db_enabled: bool,
+    /// When true (the default), [`Self::take_patch_to_host_async`] posts the
+    /// drain to the D2H copy engine and returns immediately; when false it
+    /// completes inline — same handle API, same bytes, zero overlap — so the
+    /// synchronous baseline runs the identical task-body code.
+    async_d2h: bool,
     /// Timestep epoch: bumped by [`Self::begin_timestep`]. Level-DB entries
     /// stamped with an older epoch are *stale* — still device-resident, but
     /// requiring revalidation (diff + incremental re-upload) before reuse
@@ -99,11 +185,17 @@ impl GpuDataWarehouse {
 
     /// Control the level database explicitly (the E4 ablation disables it).
     pub fn with_level_db(device: GpuDevice, level_db_enabled: bool) -> Self {
+        Self::with_options(device, level_db_enabled, true)
+    }
+
+    /// Full construction: level database and async-D2H pipelining flags.
+    pub fn with_options(device: GpuDevice, level_db_enabled: bool, async_d2h: bool) -> Self {
         Self {
             device,
             patch_db: RwLock::new(HashMap::new()),
             level_db: RwLock::new(HashMap::new()),
             level_db_enabled,
+            async_d2h,
             epoch: AtomicU64::new(0),
         }
     }
@@ -131,6 +223,12 @@ impl GpuDataWarehouse {
         self.level_db_enabled
     }
 
+    /// Whether D2H drains are posted asynchronously to the copy engine.
+    #[inline]
+    pub fn async_d2h(&self) -> bool {
+        self.async_d2h
+    }
+
     fn upload(&self, data: DeviceData) -> Result<Arc<DeviceVar>, GpuError> {
         let bytes = data.size_bytes();
         self.device.try_reserve(bytes)?;
@@ -140,6 +238,16 @@ impl GpuDataWarehouse {
             bytes,
             device: self.device.clone(),
         }))
+    }
+
+    /// Materialize host data through `producer`, charging the wall time to
+    /// copy engine 0's occupancy: the host-side staging/revalidation window
+    /// is what occupies the H2D engine in this model.
+    fn produce_timed(&self, producer: impl FnOnce() -> DeviceData) -> DeviceData {
+        let t0 = Instant::now();
+        let data = producer();
+        self.device.record_h2d_busy(t0.elapsed());
+        data
     }
 
     /// Allocate a kernel *output* variable on the device (no host→device
@@ -179,11 +287,65 @@ impl GpuDataWarehouse {
     }
 
     /// Copy a per-patch variable device→host and drop it from the device
-    /// (the task-output path: e.g. `divQ` after the RMCRT kernel).
+    /// (the task-output path: e.g. `divQ` after the RMCRT kernel). Blocks
+    /// the calling thread for the whole drain; prefer
+    /// [`Self::take_patch_to_host_async`] from task bodies.
     pub fn take_patch_to_host(&self, label: VarLabel, patch: PatchId) -> Option<DeviceData> {
         let var = self.patch_db.write().remove(&(label, patch))?;
         self.device.record_d2h(var.size_bytes());
-        Some(var.data().clone())
+        let t0 = Instant::now();
+        let data = var.data().clone();
+        self.device.record_d2h_busy(t0.elapsed());
+        Some(data)
+    }
+
+    /// Post the device→host copy of a per-patch variable to the D2H copy
+    /// engine and return a [`PendingD2H`] completion handle; the entry is
+    /// removed from the patch DB immediately (the task is done with it) but
+    /// its device memory stays reserved until the drain completes. The
+    /// drain — the actual memcpy of the bytes — runs on the engine thread,
+    /// overlapping whatever the scheduler executes next; the first consumer
+    /// to `wait()` blocks only for the part of the drain not already hidden.
+    ///
+    /// In synchronous-fallback mode (`async_d2h == false`) the drain
+    /// completes inline before returning: identical data, identical
+    /// counters, `blocked == drain` so the reported overlap is zero.
+    pub fn take_patch_to_host_async(&self, label: VarLabel, patch: PatchId) -> Option<PendingD2H> {
+        let var = self.patch_db.write().remove(&(label, patch))?;
+        let bytes = var.size_bytes();
+        let shared = Arc::new(PendingShared::default());
+        if !self.async_d2h {
+            self.device.record_d2h(bytes);
+            let t0 = Instant::now();
+            let data = var.data().clone();
+            let drain = t0.elapsed();
+            self.device.record_d2h_busy(drain);
+            drop(var);
+            *shared.slot.lock().unwrap() = Some((data, drain));
+            return Some(PendingD2H {
+                shared,
+                bytes,
+                stream: self.device.next_stream(),
+                inline: true,
+            });
+        }
+        let sh = Arc::clone(&shared);
+        let stream = self.device.post_d2h(bytes, move || {
+            let t0 = Instant::now();
+            let data = var.data().clone();
+            let drain = t0.elapsed();
+            // Device memory is released here, when the engine finishes the
+            // drain — not at post time.
+            drop(var);
+            *sh.slot.lock().unwrap() = Some((data, drain));
+            sh.done.notify_all();
+        });
+        Some(PendingD2H {
+            shared,
+            bytes,
+            stream,
+            inline: false,
+        })
     }
 
     /// Drop a per-patch input without a device→host transfer (inputs are
@@ -205,7 +367,7 @@ impl GpuDataWarehouse {
         producer: impl FnOnce() -> DeviceData,
     ) -> Result<Arc<DeviceVar>, GpuError> {
         if !self.level_db_enabled {
-            return self.upload(producer());
+            return self.upload(self.produce_timed(producer));
         }
         if let Some(e) = self.level_db.read().get(&(label, level)) {
             return Ok(Arc::clone(&e.var));
@@ -217,7 +379,7 @@ impl GpuDataWarehouse {
         if let Some(e) = db.get(&(label, level)) {
             return Ok(Arc::clone(&e.var));
         }
-        let var = self.upload(producer())?;
+        let var = self.upload(self.produce_timed(producer))?;
         db.insert(
             (label, level),
             LevelEntry {
@@ -250,7 +412,7 @@ impl GpuDataWarehouse {
         producer: impl FnOnce() -> DeviceData,
     ) -> Result<Arc<DeviceVar>, GpuError> {
         if !self.level_db_enabled {
-            return self.upload(producer());
+            return self.upload(self.produce_timed(producer));
         }
         let now = self.epoch();
         if let Some(e) = self.level_db.read().get(&(label, level)) {
@@ -263,24 +425,31 @@ impl GpuDataWarehouse {
             Some(e) if e.epoch == now => Ok(Arc::clone(&e.var)),
             Some(e) => {
                 // Stale resident replica: revalidate against host data.
-                let host = producer();
+                let host = self.produce_timed(producer);
                 let changed = e.var.data().diff_bytes(&host);
                 if changed == 0 {
                     e.epoch = now;
                     return Ok(Arc::clone(&e.var));
                 }
-                // Overwrite in place when this DB holds the only handle
-                // (device-side update, no reallocation); otherwise replace
-                // the entry — concurrent holders keep the old bytes alive
-                // until they drop. Either way only the changed bytes cross
-                // PCIe.
-                self.device.record_h2d(changed);
                 let same_size = host.size_bytes() == e.var.size_bytes();
                 match Arc::get_mut(&mut e.var) {
-                    Some(var) if same_size => var.data = host,
+                    Some(var) if same_size => {
+                        // Overwrite in place: this DB holds the only handle,
+                        // so the update happens device-side and only the
+                        // changed bytes cross PCIe.
+                        self.device.record_h2d(changed);
+                        var.data = host;
+                    }
                     _ => {
+                        // Replace: concurrent holders keep the old bytes
+                        // alive until they drop, so the *whole* new buffer
+                        // crosses PCIe into a fresh allocation. Reserve
+                        // first — an OOM here must leave the counters and
+                        // the stale epoch untouched — then meter the full
+                        // replacement buffer, not just the diff.
                         let bytes = host.size_bytes();
                         self.device.try_reserve(bytes)?;
+                        self.device.record_h2d(bytes);
                         e.var = Arc::new(DeviceVar {
                             data: host,
                             bytes,
@@ -292,7 +461,7 @@ impl GpuDataWarehouse {
                 Ok(Arc::clone(&e.var))
             }
             None => {
-                let var = self.upload(producer())?;
+                let var = self.upload(self.produce_timed(producer))?;
                 db.insert(
                     (label, level),
                     LevelEntry {
@@ -510,6 +679,90 @@ mod tests {
         assert_eq!(dw.device().used(), 2 * field_bytes, "both copies resident");
         drop(old);
         assert_eq!(dw.device().used(), field_bytes, "old copy released on drop");
+    }
+
+    #[test]
+    fn oom_mid_revalidate_leaves_counters_and_epoch_untouched() {
+        // Regression: the replace path used to meter record_h2d(changed)
+        // *before* try_reserve, so an OOM inflated the H2D counters for a
+        // transfer that never happened and left the entry stamped stale
+        // after metering. Counters must be bit-identical before/after a
+        // failed revalidate (alloc_failures aside).
+        let field_bytes = 8usize.pow(3) * 8;
+        let device = GpuDevice::with_capacity("tiny", field_bytes + 512);
+        let dw = GpuDataWarehouse::new(device.clone());
+        let old = dw.ensure_level_fresh(ABSKG, 0, || field(8, 0.5)).unwrap();
+        let before = device.counters();
+        dw.begin_timestep();
+        // The live handle forces the replace path; no room left → OOM.
+        let err = dw.ensure_level_fresh(ABSKG, 0, || field(8, 0.7)).unwrap_err();
+        assert!(matches!(err, GpuError::OutOfMemory { .. }));
+        let after = device.counters();
+        assert_eq!(after.h2d_bytes, before.h2d_bytes, "no phantom H2D bytes on OOM");
+        assert_eq!(after.h2d_transfers, before.h2d_transfers);
+        assert_eq!(after.used, before.used);
+        assert_eq!(after.alloc_failures, before.alloc_failures + 1);
+        assert_eq!(
+            dw.level_entry_epoch(ABSKG, 0),
+            Some(0),
+            "entry stays stale after a failed revalidate"
+        );
+        // The resident replica is untouched and still usable.
+        assert_eq!(old.data().as_f64()[uintah_grid::IntVector::ZERO], 0.5);
+    }
+
+    #[test]
+    fn live_handle_replacement_meters_full_buffer() {
+        // A replacement upload moves the whole new buffer across PCIe (the
+        // old allocation is pinned by live handles), not just the diff.
+        let dw = GpuDataWarehouse::new(GpuDevice::k20x());
+        let full = 8u64.pow(3) * 8;
+        let old = dw.ensure_level_fresh(ABSKG, 0, || field(8, 0.5)).unwrap();
+        dw.begin_timestep();
+        let _new = dw.ensure_level_fresh(ABSKG, 0, || field(8, 0.7)).unwrap();
+        assert_eq!(
+            dw.device().counters().h2d_bytes,
+            2 * full,
+            "replacement meters the full buffer"
+        );
+        assert_eq!(dw.device().counters().h2d_transfers, 2);
+        drop(old);
+    }
+
+    #[test]
+    fn async_take_matches_sync_take_and_releases_on_drain() {
+        let device = GpuDevice::k20x();
+        let dw = GpuDataWarehouse::new(device.clone());
+        let p = PatchId(7);
+        dw.put_patch(DIVQ, p, field(8, 2.5)).unwrap();
+        let pending = dw.take_patch_to_host_async(DIVQ, p).unwrap();
+        assert_eq!(dw.patch_entries(), 0, "entry removed at post time");
+        assert_eq!(pending.bytes(), 8usize.pow(3) * 8);
+        let (data, drain, _blocked) = pending.wait_timed();
+        assert_eq!(data.as_f64()[uintah_grid::IntVector::ZERO], 2.5);
+        assert!(drain > Duration::ZERO);
+        device.sync_d2h();
+        assert_eq!(device.used(), 0, "device memory released when drain completes");
+        let c = device.counters();
+        assert_eq!(c.d2h_transfers, 1);
+        assert_eq!(c.d2h_bytes, 8u64.pow(3) * 8);
+        assert!(c.d2h_busy_ns > 0, "engine occupancy metered");
+        assert!(dw.take_patch_to_host_async(DIVQ, p).is_none());
+    }
+
+    #[test]
+    fn sync_fallback_reports_blocked_equals_drain() {
+        let dw = GpuDataWarehouse::with_options(GpuDevice::k20x(), true, false);
+        assert!(!dw.async_d2h());
+        let p = PatchId(1);
+        dw.put_patch(DIVQ, p, field(8, 1.0)).unwrap();
+        let pending = dw.take_patch_to_host_async(DIVQ, p).unwrap();
+        assert!(pending.is_complete(), "inline drain completes at post time");
+        assert_eq!(dw.device().used(), 0, "inline drain releases immediately");
+        let (data, drain, blocked) = pending.wait_timed();
+        assert_eq!(data.as_f64()[uintah_grid::IntVector::ZERO], 1.0);
+        assert_eq!(blocked, drain, "no overlap in synchronous mode");
+        assert_eq!(dw.device().counters().d2h_inflight, 0);
     }
 
     #[test]

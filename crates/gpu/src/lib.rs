@@ -11,8 +11,9 @@
 //! device model for CUDA (see DESIGN.md §2):
 //!
 //! * [`GpuDevice`] — device-memory accounting against a byte capacity,
-//!   per-direction copy-engine transfer metering, kernel-launch counters and
-//!   stream handles;
+//!   per-direction copy-engine *timelines* (transfer/byte/occupancy metering
+//!   plus a real worker thread draining posted D2H copies asynchronously),
+//!   kernel-launch counters and stream handles;
 //! * [`GpuDataWarehouse`] — the per-device variable store with a *patch
 //!   database* and the paper's new *level database*, which keeps exactly one
 //!   shared copy of each per-level variable that all concurrent patch tasks
@@ -24,4 +25,4 @@ pub mod device;
 pub mod dw;
 
 pub use device::{CopyEngineStats, DeviceCounters, GpuDevice, GpuError, Stream};
-pub use dw::{DeviceData, DeviceVar, GpuDataWarehouse};
+pub use dw::{DeviceData, DeviceVar, GpuDataWarehouse, PendingD2H};

@@ -27,6 +27,11 @@ pub struct WorldConfig {
     pub gpu_capacity: Option<usize>,
     /// Keep one shared per-level copy on the GPU (the paper's level DB).
     pub gpu_level_db: bool,
+    /// Post device→host drains to the copy engine asynchronously so the
+    /// scheduler overlaps them with remaining compute (the paper's
+    /// transfer/kernel pipelining). `false` drains inline inside task
+    /// bodies — the synchronous baseline; results are bit-identical.
+    pub gpu_async_d2h: bool,
     /// Bundle all whole-level windows per (producer instance, destination
     /// rank) into one message (Uintah's rank-pair message packing).
     pub aggregate_level_windows: bool,
@@ -48,6 +53,7 @@ impl Default for WorldConfig {
             timesteps: 1,
             gpu_capacity: None,
             gpu_level_db: true,
+            gpu_async_d2h: true,
             aggregate_level_windows: false,
             persistent: true,
         }
@@ -111,9 +117,10 @@ pub fn run_world(grid: Arc<Grid>, decls: Arc<Vec<TaskDecl>>, cfg: WorldConfig) -
             let comm = world.communicator(rank);
             let dw = Arc::new(DataWarehouse::new(Arc::clone(&grid)));
             let gpu = cfg.gpu_capacity.map(|cap| {
-                Arc::new(GpuDataWarehouse::with_level_db(
+                Arc::new(GpuDataWarehouse::with_options(
                     GpuDevice::with_capacity("K20X-sim", cap),
                     cfg.gpu_level_db,
+                    cfg.gpu_async_d2h,
                 ))
             });
             let sched = Scheduler::new(comm, cfg.nthreads, cfg.store);

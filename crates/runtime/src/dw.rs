@@ -14,11 +14,23 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+use uintah_gpu::PendingD2H;
 use uintah_grid::{CcVariable, FieldData, Grid, LevelIndex, Patch, PatchId, Region, VarLabel};
 use uintah_mem::{AllocTracker, BufferRecycler};
 
 type PatchKey = (VarLabel, PatchId);
 type LevelKey = (VarLabel, LevelIndex);
+
+/// A deferred per-patch slot: the D2H completion handle for a variable
+/// whose bytes are still draining on the GPU copy engine. The handle is
+/// consumed (and the data promoted into the ordinary patch store) by the
+/// first consumer under the slot mutex; losing racers fall through to the
+/// promoted entry.
+struct PendingSlot {
+    epoch: u64,
+    handle: Mutex<Option<PendingD2H>>,
+}
 
 struct LevelAccum {
     data: FieldData,
@@ -46,6 +58,14 @@ pub struct DataWarehouse {
     /// Timestep epoch; bumped by [`Self::begin_timestep`].
     epoch: AtomicU64,
     patch_vars: RwLock<HashMap<PatchKey, Stamped>>,
+    /// Per-patch variables whose host data is still in flight on the GPU's
+    /// D2H copy engine; materialized into `patch_vars` on first use.
+    pending_d2h: RwLock<HashMap<PatchKey, Arc<PendingSlot>>>,
+    /// Wall time consumers spent blocked on in-flight D2H transfers.
+    d2h_wait_ns: AtomicU64,
+    /// D2H drain wall time hidden behind compute (drain − blocked, summed
+    /// per transfer).
+    d2h_overlap_ns: AtomicU64,
     /// Ghost windows received from remote patches, keyed by the *destination*
     /// patch (the local patch whose halo they fill).
     foreign: RwLock<HashMap<PatchKey, Vec<(Region, FieldData)>>>,
@@ -69,6 +89,9 @@ impl DataWarehouse {
             grid,
             epoch: AtomicU64::new(0),
             patch_vars: RwLock::new(HashMap::new()),
+            pending_d2h: RwLock::new(HashMap::new()),
+            d2h_wait_ns: AtomicU64::new(0),
+            d2h_overlap_ns: AtomicU64::new(0),
             foreign: RwLock::new(HashMap::new()),
             accums: Mutex::new(HashMap::new()),
             sealed: RwLock::new(HashMap::new()),
@@ -127,6 +150,10 @@ impl DataWarehouse {
     /// simply dropped (its heap allocation dies when the last reader does).
     pub fn begin_timestep(&self) {
         self.epoch.fetch_add(1, Ordering::SeqCst);
+        // Any still-pending D2H handle is from a past epoch now; dropping it
+        // discards the drain result without blocking (the engine finishes
+        // into the void).
+        self.pending_d2h.write().clear();
         let patch_vars: Vec<Stamped> =
             self.patch_vars.write().drain().map(|(_, e)| e).collect();
         for e in patch_vars {
@@ -163,15 +190,109 @@ impl DataWarehouse {
         self.patch_vars.write().insert((label, patch), self.stamped(data));
     }
 
-    /// Fetch a per-patch variable published this timestep. Entries from an
-    /// earlier epoch never match.
+    /// Publish a per-patch variable whose bytes are still draining on the
+    /// GPU's D2H copy engine. The scheduler keeps executing ready tasks;
+    /// the first consumer (a downstream task's `get_patch` or the
+    /// send-posting path) blocks only for whatever part of the drain wasn't
+    /// already hidden behind compute, then promotes the data into the
+    /// ordinary patch store.
+    pub fn put_patch_pending(&self, label: VarLabel, patch: PatchId, pending: PendingD2H) {
+        self.pending_d2h.write().insert(
+            (label, patch),
+            Arc::new(PendingSlot {
+                epoch: self.epoch(),
+                handle: Mutex::new(Some(pending)),
+            }),
+        );
+    }
+
+    /// Fetch a per-patch variable published this timestep, materializing it
+    /// first if its D2H drain is still in flight. Entries from an earlier
+    /// epoch never match.
     pub fn get_patch(&self, label: VarLabel, patch: PatchId) -> Option<Arc<FieldData>> {
         let now = self.epoch();
+        if let Some(d) = self
+            .patch_vars
+            .read()
+            .get(&(label, patch))
+            .filter(|e| e.epoch == now)
+            .map(|e| Arc::clone(&e.data))
+        {
+            return Some(d);
+        }
+        self.materialize_pending(label, patch, now)
+    }
+
+    /// Consume the pending D2H handle for `(label, patch)` if one exists,
+    /// metering blocked/overlap time and promoting the host data into
+    /// `patch_vars`; then re-read the patch store (covers racers that lost
+    /// the handle and drains that published concurrently).
+    fn materialize_pending(
+        &self,
+        label: VarLabel,
+        patch: PatchId,
+        now: u64,
+    ) -> Option<Arc<FieldData>> {
+        let slot = self
+            .pending_d2h
+            .read()
+            .get(&(label, patch))
+            .filter(|s| s.epoch == now)
+            .map(Arc::clone);
+        if let Some(slot) = slot {
+            if let Some(p) = slot.handle.lock().take() {
+                self.settle_pending(label, patch, p);
+            }
+        }
         self.patch_vars
             .read()
             .get(&(label, patch))
             .filter(|e| e.epoch == now)
             .map(|e| Arc::clone(&e.data))
+    }
+
+    fn settle_pending(&self, label: VarLabel, patch: PatchId, p: PendingD2H) {
+        let (data, drain, blocked) = p.wait_timed();
+        self.d2h_wait_ns
+            .fetch_add(blocked.as_nanos() as u64, Ordering::Relaxed);
+        self.d2h_overlap_ns.fetch_add(
+            drain.saturating_sub(blocked).as_nanos() as u64,
+            Ordering::Relaxed,
+        );
+        self.patch_vars.write().insert((label, patch), self.stamped(data));
+    }
+
+    /// Materialize every still-pending D2H transfer of the current epoch —
+    /// the scheduler's end-of-step synchronization point (the
+    /// `cudaDeviceSynchronize` analogue), so step stats are coherent and no
+    /// completion handle leaks across a step boundary. Returns how many
+    /// transfers had not yet been consumed.
+    pub fn drain_pending_d2h(&self) -> usize {
+        let now = self.epoch();
+        let slots: Vec<(PatchKey, Arc<PendingSlot>)> =
+            self.pending_d2h.write().drain().collect();
+        let mut drained = 0;
+        for ((label, patch), slot) in slots {
+            if slot.epoch != now {
+                continue;
+            }
+            if let Some(p) = slot.handle.lock().take() {
+                self.settle_pending(label, patch, p);
+                drained += 1;
+            }
+        }
+        drained
+    }
+
+    /// Cumulative wall time consumers spent blocked on in-flight D2H
+    /// transfers (the un-hidden part of the drains).
+    pub fn d2h_wait(&self) -> Duration {
+        Duration::from_nanos(self.d2h_wait_ns.load(Ordering::Relaxed))
+    }
+
+    /// Cumulative D2H drain wall time hidden behind compute.
+    pub fn d2h_overlap(&self) -> Duration {
+        Duration::from_nanos(self.d2h_overlap_ns.load(Ordering::Relaxed))
     }
 
     /// Deposit a ghost window received from a remote patch for `dst_patch`.
@@ -305,6 +426,7 @@ impl DataWarehouse {
     /// [`Self::begin_timestep`] between timesteps to keep the pools warm).
     pub fn clear(&self) {
         self.patch_vars.write().clear();
+        self.pending_d2h.write().clear();
         self.foreign.write().clear();
         self.accums.lock().clear();
         self.sealed.write().clear();

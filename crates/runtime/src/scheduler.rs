@@ -82,6 +82,16 @@ pub struct ExecStats {
     /// Host→device bytes transferred during this step (delta of the GPU
     /// device counter across the call; 0 without a GPU warehouse).
     pub gpu_h2d_bytes: u64,
+    /// Device→host bytes transferred during this step (delta of the GPU
+    /// device counter; 0 without a GPU warehouse).
+    pub gpu_d2h_bytes: u64,
+    /// Wall time consumers spent blocked on in-flight D2H drains this step
+    /// (the un-hidden part of the copies).
+    pub gpu_d2h_wait: Duration,
+    /// D2H drain wall time hidden behind task execution this step — the
+    /// overlap won by posting drains to the copy engine instead of blocking
+    /// the worker inside the task body. Zero on the synchronous path.
+    pub gpu_d2h_overlap: Duration,
     /// Kernel metering for this step's `Device` execution space: launches,
     /// cell invocations, logical bytes and wall time inside device
     /// dispatches (all zero without a GPU warehouse). Feeds the titan-sim
@@ -112,13 +122,16 @@ impl ExecStats {
         );
         let _ = writeln!(
             out,
-            "tasks {} (+{} gathers) | msgs {} sent / {} recv, {} B | h2d {} B",
+            "tasks {} (+{} gathers) | msgs {} sent / {} recv, {} B | h2d {} B | d2h {} B (wait {:.3} ms, overlap {:.3} ms)",
             self.tasks_executed,
             self.gathers_executed,
             self.messages_sent,
             self.messages_received,
             self.bytes_sent,
             self.gpu_h2d_bytes,
+            self.gpu_d2h_bytes,
+            ms(self.gpu_d2h_wait),
+            ms(self.gpu_d2h_overlap),
         );
         if self.kernel_stats.launches > 0 {
             let ks = &self.kernel_stats;
@@ -189,6 +202,9 @@ impl Scheduler {
     ) -> ExecStats {
         let t_start = Instant::now();
         let h2d_bytes_before = gpu.map(|g| g.device().counters().h2d_bytes).unwrap_or(0);
+        let d2h_bytes_before = gpu.map(|g| g.device().counters().d2h_bytes).unwrap_or(0);
+        let d2h_wait_before = dw.d2h_wait();
+        let d2h_overlap_before = dw.d2h_overlap();
         // The step's execution spaces: one shared, metered Device space for
         // every GPU task (kernel stats aggregate across workers), and a
         // host space for CPU tasks. One code path picks per task below.
@@ -296,7 +312,16 @@ impl Scheduler {
                         }
                     };
                     let mut handle_msg = |msg: Message| {
-                        let ri = recv_map[&(msg.src, msg.tag)];
+                        let ri = *recv_map.get(&(msg.src, msg.tag)).unwrap_or_else(|| {
+                            panic!(
+                                "misrouted message: no posted receive matches src rank {} \
+                                 tag {:?} in phase {} ({} receives posted)",
+                                msg.src,
+                                msg.tag,
+                                phase,
+                                recv_map.len(),
+                            )
+                        });
                         let entry = &graph.recvs[ri];
                         match entry.action {
                             RecvAction::Foreign { label, dst_patch } => {
@@ -437,6 +462,15 @@ impl Scheduler {
             }
         });
 
+        // End-of-step device synchronization (the `cudaDeviceSynchronize`
+        // analogue): settle every D2H drain no consumer touched and wait
+        // for the copy-engine timeline to empty, so the stats below are
+        // coherent and no completion handle leaks across the step boundary.
+        dw.drain_pending_d2h();
+        if let Some(g) = gpu {
+            g.device().sync_d2h();
+        }
+
         ExecStats {
             tasks_executed: tasks_executed.load(Ordering::Relaxed),
             gathers_executed: gathers_executed.load(Ordering::Relaxed),
@@ -452,6 +486,11 @@ impl Scheduler {
             gpu_h2d_bytes: gpu
                 .map(|g| g.device().counters().h2d_bytes - h2d_bytes_before)
                 .unwrap_or(0),
+            gpu_d2h_bytes: gpu
+                .map(|g| g.device().counters().d2h_bytes - d2h_bytes_before)
+                .unwrap_or(0),
+            gpu_d2h_wait: dw.d2h_wait().saturating_sub(d2h_wait_before),
+            gpu_d2h_overlap: dw.d2h_overlap().saturating_sub(d2h_overlap_before),
             kernel_stats: device_space
                 .map(|ds| ds.kernel_stats())
                 .unwrap_or_default(),

@@ -141,6 +141,30 @@ impl MachineParams {
         self.cpu_cellsteps_per_s = measured;
         self.gpu_cellsteps_per_s = measured * device_multiplier;
     }
+
+    /// Calibrate the effective PCIe bandwidth from a measured copy-engine
+    /// timeline: `bytes` moved while the engine was occupied for `busy`
+    /// wall time (the `d2h_bytes` / `d2h_busy_ns` pair of the executor's
+    /// `DeviceCounters`, passed as plain values so this crate stays
+    /// decoupled from the GPU layer). `bandwidth_multiplier` scales the
+    /// host-measured drain rate to the modeled bus (a real PCIe gen2 link
+    /// is far slower than a host memcpy); pass 1.0 when the timeline came
+    /// from the target machine itself.
+    ///
+    /// Degenerate timelines (zero bytes or zero busy time) are ignored and
+    /// the pinned default is kept.
+    pub fn calibrate_pcie_from_engine_timelines(
+        &mut self,
+        bytes: u64,
+        busy: std::time::Duration,
+        bandwidth_multiplier: f64,
+    ) {
+        let secs = busy.as_secs_f64();
+        if secs <= 0.0 || bytes == 0 {
+            return;
+        }
+        self.pcie_bw = bytes as f64 / secs * bandwidth_multiplier;
+    }
 }
 
 #[cfg(test)]
@@ -190,6 +214,25 @@ mod tests {
         let mut d = MachineParams::titan();
         d.calibrate_from_kernel_stats(&KernelStats::default(), 200.0, 30.0);
         assert!((d.gpu_cellsteps_per_s - MachineParams::titan().gpu_cellsteps_per_s).abs() < 1.0);
+    }
+
+    #[test]
+    fn pcie_calibration_from_engine_timeline() {
+        let mut m = MachineParams::titan();
+        // 80 MB drained in 10 ms of engine occupancy → 8 GB/s measured;
+        // a 0.75 multiplier models the bus at 6 GB/s.
+        m.calibrate_pcie_from_engine_timelines(
+            80_000_000,
+            std::time::Duration::from_millis(10),
+            0.75,
+        );
+        assert!((m.pcie_bw - 6.0e9).abs() < 1.0, "pcie_bw {}", m.pcie_bw);
+
+        // Degenerate timelines keep the pinned default.
+        let mut d = MachineParams::titan();
+        d.calibrate_pcie_from_engine_timelines(0, std::time::Duration::from_millis(1), 1.0);
+        d.calibrate_pcie_from_engine_timelines(1000, std::time::Duration::ZERO, 1.0);
+        assert!((d.pcie_bw - 6e9).abs() < 1.0);
     }
 
     #[test]

@@ -26,8 +26,20 @@ pub struct Breakdown {
     /// All-to-all window exchange: NIC + message processing until the
     /// level replicas are sealed.
     pub comm: f64,
-    /// GPU staging + kernels + readback.
-    pub gpu: f64,
+    /// Ray-march phase: GPU staging + kernels + readback in the GPU model,
+    /// the threaded host march in [`simulate_timestep_cpu`]. (Formerly
+    /// named `gpu`, which mislabeled the CPU mode's march time.)
+    pub compute: f64,
+}
+
+impl Breakdown {
+    /// Deprecated alias for [`Breakdown::compute`], kept for callers written
+    /// against the old field name; the march phase is not GPU time in the
+    /// CPU-mode model.
+    #[deprecated(note = "renamed to the `compute` field")]
+    pub fn gpu(&self) -> f64 {
+        self.compute
+    }
 }
 
 /// One point of a strong-scaling curve.
@@ -162,7 +174,7 @@ pub fn simulate_timestep(
         breakdown: Breakdown {
             props: props_end,
             comm: (gather_done - props_end).max(0.0),
-            gpu: (done - gather_done).max(0.0),
+            compute: (done - gather_done).max(0.0),
         },
         census,
     }
@@ -201,7 +213,7 @@ pub fn simulate_timestep_cpu(
         breakdown: Breakdown {
             props: gpu_pt.breakdown.props,
             comm: gpu_pt.breakdown.comm,
-            gpu: (done - gather_done).max(0.0),
+            compute: (done - gather_done).max(0.0),
         },
         census,
     }
@@ -341,7 +353,7 @@ mod tests {
         let g = grid(128, 16);
         let p = MachineParams::titan();
         let pt = simulate_timestep(&g, 64, 4, &p, StoreModel::WaitFreePool);
-        let sum = pt.breakdown.props + pt.breakdown.comm + pt.breakdown.gpu;
+        let sum = pt.breakdown.props + pt.breakdown.comm + pt.breakdown.compute;
         assert!((sum - pt.time).abs() < 1e-9 * pt.time.max(1.0));
     }
 }

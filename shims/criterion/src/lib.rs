@@ -76,6 +76,23 @@ impl Bencher {
         times.sort_by(|a, b| a.partial_cmp(b).unwrap());
         self.median_ns = times[times.len() / 2];
     }
+
+    /// Timed sampling with a caller-supplied measurement, mirroring real
+    /// criterion's `iter_custom`: the routine runs `iters` iterations of
+    /// the workload and returns the `Duration` it wants attributed to them
+    /// (e.g. only the portion of the work on the critical path). The
+    /// reported figure is the median per-iteration value across samples.
+    pub fn iter_custom<F: FnMut(u64) -> std::time::Duration>(&mut self, mut routine: F) {
+        for _ in 0..2 {
+            black_box(routine(1));
+        }
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            times.push(routine(1).as_nanos() as f64);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.median_ns = times[times.len() / 2];
+    }
 }
 
 struct BenchResult {
@@ -239,5 +256,17 @@ mod tests {
         assert_eq!(g.results.len(), 2);
         assert!(g.results.iter().all(|r| r.median_ns >= 0.0));
         assert!(g.results[0].throughput_per_sec.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn iter_custom_records_caller_supplied_duration() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim_selftest_custom");
+        g.sample_size(5);
+        g.bench_function("fixed", |b| {
+            b.iter_custom(|iters| std::time::Duration::from_micros(3 * iters))
+        });
+        assert_eq!(g.results.len(), 1);
+        assert!((g.results[0].median_ns - 3_000.0).abs() < 1.0);
     }
 }

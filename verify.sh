@@ -5,4 +5,5 @@ cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
-cargo clippy --workspace -- -D warnings
+cargo test --doc -q
+cargo clippy --workspace --all-targets -- -D warnings
