@@ -1,0 +1,64 @@
+//! Criterion benchmark for the regrid/rebalance subsystem: a 4-step
+//! multi-rank timestep loop with a forced mid-run ownership flip
+//! (`rotate`) or a cost-weighted rebalance (`sfc`) against the same loop
+//! with regridding off. The gap is the full regrid bill: the collective
+//! cost exchange, patch-data migration between ranks, GPU state eviction
+//! plus re-upload, and the one extra graph compile.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use uintah::prelude::*;
+use uintah::runtime::TaskDecl;
+
+const TIMESTEPS: usize = 4;
+
+fn run(
+    grid: &Arc<Grid>,
+    decls: &Arc<Vec<TaskDecl>>,
+    regrid: Option<RebalancePolicy>,
+) -> u64 {
+    let result = run_world(
+        Arc::clone(grid),
+        Arc::clone(decls),
+        WorldConfig {
+            nranks: 2,
+            nthreads: 2,
+            timesteps: TIMESTEPS,
+            persistent: true,
+            regrid_interval: regrid.map(|_| 2),
+            regrid_policy: regrid.unwrap_or(RebalancePolicy::CostedSfc),
+            ..Default::default()
+        },
+    );
+    result.total_bytes()
+}
+
+fn bench_regrid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regrid");
+    group.sample_size(10);
+    let grid = Arc::new(BurnsChriston::small_grid(16, 4));
+    let pipeline = RmcrtPipeline {
+        params: RmcrtParams {
+            nrays: 4,
+            threshold: 1e-3,
+            ..Default::default()
+        },
+        halo: 2,
+        problem: BurnsChriston::default(),
+    };
+    let decls = Arc::new(multilevel_decls(&grid, pipeline, false));
+    let cases = [
+        ("off", None),
+        ("rotate", Some(RebalancePolicy::Rotate(1))),
+        ("sfc", Some(RebalancePolicy::CostedSfc)),
+    ];
+    for (mode, regrid) in cases {
+        group.bench_with_input(BenchmarkId::new("steps4", mode), &regrid, |b, &regrid| {
+            b.iter(|| std::hint::black_box(run(&grid, &decls, regrid)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_regrid);
+criterion_main!(benches);

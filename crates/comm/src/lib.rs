@@ -31,7 +31,7 @@ pub mod signal;
 pub mod store;
 pub mod world;
 
-pub use collective::{AllReduce, WorldBarrier};
+pub use collective::{AllReduce, AllReduceVec, WorldBarrier};
 pub use message::{Message, RecvRequest, SendRequest, Tag};
 pub use pool::{PoolIterator, WaitFreePool};
 pub use signal::WorkSignal;

@@ -494,6 +494,30 @@ impl GpuDataWarehouse {
         self.patch_db.write().clear();
     }
 
+    /// Evict everything for a regrid: wait for the D2H copy-engine timeline
+    /// to drain (releasing in-flight device memory), then drop every
+    /// per-patch and per-level entry so `ensure_level_fresh` repopulates
+    /// from the post-regrid host data instead of trusting a poisoned cache.
+    /// Returns `(patch_entries, level_entries)` evicted. Entries whose
+    /// `Arc<DeviceVar>` is still held by a task release their device memory
+    /// when that last handle drops.
+    pub fn invalidate_for_regrid(&self) -> (usize, usize) {
+        self.device.sync_d2h();
+        let patches = {
+            let mut db = self.patch_db.write();
+            let n = db.len();
+            db.clear();
+            n
+        };
+        let levels = {
+            let mut db = self.level_db.write();
+            let n = db.len();
+            db.clear();
+            n
+        };
+        (patches, levels)
+    }
+
     /// Number of live per-level entries.
     pub fn level_entries(&self) -> usize {
         self.level_db.read().len()
@@ -727,6 +751,30 @@ mod tests {
         );
         assert_eq!(dw.device().counters().h2d_transfers, 2);
         drop(old);
+    }
+
+    #[test]
+    fn invalidate_for_regrid_evicts_and_releases() {
+        let device = GpuDevice::k20x();
+        let dw = GpuDataWarehouse::new(device.clone());
+        dw.put_patch(DIVQ, PatchId(0), field(8, 1.0)).unwrap();
+        dw.put_patch(DIVQ, PatchId(1), field(8, 2.0)).unwrap();
+        let lvl = dw.ensure_level_fresh(ABSKG, 0, || field(16, 0.9)).unwrap();
+        drop(lvl);
+        // An in-flight async drain must be synced before eviction counts.
+        let pending = dw.take_patch_to_host_async(DIVQ, PatchId(0)).unwrap();
+        let (patches, levels) = dw.invalidate_for_regrid();
+        assert_eq!((patches, levels), (1, 1));
+        assert!(pending.is_complete(), "drain synced by invalidate");
+        drop(pending.wait());
+        assert_eq!(dw.patch_entries(), 0);
+        assert_eq!(dw.level_entries(), 0);
+        assert_eq!(device.used(), 0, "all device memory released");
+        assert_eq!(device.counters().d2h_inflight, 0);
+        // The next ensure pays a fresh upload — no poisoned cache.
+        let before = device.counters().h2d_transfers;
+        let _ = dw.ensure_level_fresh(ABSKG, 0, || field(16, 0.9)).unwrap();
+        assert_eq!(device.counters().h2d_transfers, before + 1);
     }
 
     #[test]

@@ -31,6 +31,16 @@ pub struct PatchDistribution {
     owned: Vec<Vec<PatchId>>,
 }
 
+impl PartialEq for PatchDistribution {
+    /// Two distributions are equal when they assign every patch to the same
+    /// rank (the `owned` lists are derived data whose order is irrelevant).
+    fn eq(&self, other: &Self) -> bool {
+        self.nranks == other.nranks && self.rank_of == other.rank_of
+    }
+}
+
+impl Eq for PatchDistribution {}
+
 impl PatchDistribution {
     /// Distribute all patches of `grid` over `nranks` ranks.
     pub fn new(grid: &Grid, nranks: usize, policy: DistributionPolicy) -> Self {
@@ -71,6 +81,31 @@ impl PatchDistribution {
             rank_of,
             owned,
         }
+    }
+
+    /// Build from an explicit patch→rank map (a regridder's output).
+    /// `rank_of[i]` is the rank of the patch with dense id `i`.
+    pub fn from_rank_of(nranks: usize, rank_of: Vec<u32>) -> Self {
+        assert!(nranks > 0, "need at least one rank");
+        let mut owned = vec![Vec::new(); nranks];
+        for (i, &r) in rank_of.iter().enumerate() {
+            assert!(
+                (r as usize) < nranks,
+                "patch {i} assigned to rank {r} of {nranks}"
+            );
+            owned[r as usize].push(PatchId(i as u32));
+        }
+        Self {
+            nranks,
+            rank_of,
+            owned,
+        }
+    }
+
+    /// The dense patch→rank map, indexed by patch id.
+    #[inline]
+    pub fn rank_map(&self) -> &[u32] {
+        &self.rank_of
     }
 
     #[inline]

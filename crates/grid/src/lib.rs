@@ -27,6 +27,7 @@ pub mod label;
 pub mod level;
 pub mod patch;
 pub mod prolongation;
+pub mod regrid;
 pub mod region;
 pub mod restriction;
 pub mod variable;
@@ -38,5 +39,6 @@ pub use index::IntVector;
 pub use label::VarLabel;
 pub use level::{Level, LevelIndex, RefinementRatio};
 pub use patch::{Patch, PatchId};
+pub use regrid::{PatchCosts, RebalancePolicy, RegridOutcome, Regridder};
 pub use region::Region;
 pub use variable::{CcVariable, FieldData};

@@ -24,11 +24,27 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-size free-list pool of `Vec<T>` buffers with tracker accounting.
+///
+/// Buffers are stamped with the pool's *distribution generation* when
+/// parked. [`BufferRecycler::bump_generation`] (called by the warehouse at
+/// a regrid) invalidates everything parked earlier: stale buffers are
+/// dropped lazily at their next acquire instead of being handed out. The
+/// bins are keyed by size alone, so without the stamp a patch id recycled
+/// by a regrid could be served storage retired under the previous
+/// ownership — the pool must provably never cross that boundary.
+/// Free-list bin: buffers of one size, each stamped with the distribution
+/// generation it was parked under.
+type StampedBin<T> = Vec<(u64, Vec<T>)>;
+
 pub struct BufferRecycler<T> {
-    bins: Mutex<HashMap<usize, Vec<Vec<T>>>>,
+    bins: Mutex<HashMap<usize, StampedBin<T>>>,
     tracker: AllocTracker,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Distribution generation; buffers parked under an older one are dead.
+    generation: AtomicU64,
+    /// Stale-generation buffers dropped at acquire time.
+    stale_drops: AtomicU64,
     /// Cap per bin so a pathological step can't pin unbounded memory.
     max_per_bin: usize,
 }
@@ -44,15 +60,34 @@ impl<T: Copy + Default> BufferRecycler<T> {
             tracker,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            stale_drops: AtomicU64::new(0),
             max_per_bin,
         }
     }
 
     /// A zeroed buffer of exactly `len` elements, recycled when possible.
+    /// Buffers parked before the last [`Self::bump_generation`] are dropped
+    /// (with tracker credit) rather than reused.
     pub fn acquire(&self, len: usize) -> Vec<T> {
-        if let Some(mut v) = self.bins.lock().get_mut(&len).and_then(Vec::pop) {
+        let gen = self.generation.load(Ordering::Acquire);
+        let mut bins = self.bins.lock();
+        let found = loop {
+            match bins.get_mut(&len).and_then(Vec::pop) {
+                None => break None,
+                Some((g, v)) => {
+                    self.tracker
+                        .on_free(AllocCategory::GridVariable, Self::bytes(len));
+                    if g == gen {
+                        break Some(v);
+                    }
+                    self.stale_drops.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        };
+        drop(bins);
+        if let Some(mut v) = found {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            self.tracker.on_free(AllocCategory::GridVariable, Self::bytes(len));
             v.fill(T::default());
             return v;
         }
@@ -67,20 +102,38 @@ impl<T: Copy + Default> BufferRecycler<T> {
         if len == 0 {
             return;
         }
+        let gen = self.generation.load(Ordering::Acquire);
         let mut bins = self.bins.lock();
         let bin = bins.entry(len).or_default();
         if bin.len() < self.max_per_bin {
-            bin.push(v);
+            bin.push((gen, v));
             drop(bins);
             self.tracker
                 .on_alloc(AllocCategory::GridVariable, Self::bytes(len));
         }
     }
 
+    /// Open a new distribution generation (a regrid boundary): everything
+    /// parked so far becomes stale and is dropped at its next acquire.
+    /// Returns the new generation.
+    pub fn bump_generation(&self) -> u64 {
+        self.generation.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Current distribution generation.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Stale-generation buffers dropped instead of reused.
+    pub fn stale_drops(&self) -> u64 {
+        self.stale_drops.load(Ordering::Relaxed)
+    }
+
     /// Drop every pooled buffer, crediting the tracker.
     pub fn clear(&self) {
-        let drained: Vec<Vec<T>> = self.bins.lock().drain().flat_map(|(_, b)| b).collect();
-        for v in &drained {
+        let drained: Vec<(u64, Vec<T>)> = self.bins.lock().drain().flat_map(|(_, b)| b).collect();
+        for (_, v) in &drained {
             self.tracker
                 .on_free(AllocCategory::GridVariable, Self::bytes(v.len()));
         }
@@ -96,13 +149,14 @@ impl<T: Copy + Default> BufferRecycler<T> {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Bytes currently parked in bins (excludes buffers out on loan).
+    /// Bytes currently parked in bins (excludes buffers out on loan;
+    /// includes stale-generation buffers not yet swept by an acquire).
     pub fn pooled_bytes(&self) -> u64 {
         self.bins
             .lock()
             .values()
             .flatten()
-            .map(|v| Self::bytes(v.len()))
+            .map(|(_, v)| Self::bytes(v.len()))
             .sum()
     }
 
@@ -158,6 +212,47 @@ mod tests {
         r.clear();
         assert_eq!(t.snapshot(AllocCategory::GridVariable).live_bytes, 0);
         assert_eq!(r.pooled_bytes(), 0);
+    }
+
+    #[test]
+    fn generation_bump_invalidates_parked_buffers() {
+        let t = AllocTracker::new();
+        let r = BufferRecycler::<f64>::new(t.clone());
+        let v = r.acquire(64);
+        let ptr = v.as_ptr();
+        r.retire(v);
+        assert_eq!(r.bump_generation(), 1);
+        // The parked buffer predates the bump: it must be dropped, not
+        // reused, and the tracker credited.
+        let v2 = r.acquire(64);
+        assert_ne!(v2.as_ptr(), ptr, "stale-generation buffer reused");
+        assert_eq!(r.hits(), 0);
+        assert_eq!(r.stale_drops(), 1);
+        assert_eq!(t.snapshot(AllocCategory::GridVariable).live_bytes, 0);
+        // Buffers retired after the bump recycle normally.
+        let ptr2 = v2.as_ptr();
+        r.retire(v2);
+        let v3 = r.acquire(64);
+        assert_eq!(v3.as_ptr(), ptr2, "current-generation buffer reusable");
+        assert_eq!(r.hits(), 1);
+    }
+
+    #[test]
+    fn acquire_skips_stale_to_reach_fresh() {
+        let r = BufferRecycler::<u8>::new(AllocTracker::new());
+        r.retire(vec![0u8; 16]); // generation 0
+        r.bump_generation();
+        r.retire(vec![0u8; 16]); // generation 1 — on top of the stale one
+        r.retire(vec![0u8; 16]);
+        // Both fresh buffers pop before the stale one underneath.
+        let _ = r.acquire(16);
+        let _ = r.acquire(16);
+        assert_eq!(r.hits(), 2);
+        assert_eq!(r.stale_drops(), 0);
+        // The third acquire reaches the stale buffer and drops it.
+        let _ = r.acquire(16);
+        assert_eq!(r.stale_drops(), 1);
+        assert_eq!(r.misses(), 1);
     }
 
     #[test]

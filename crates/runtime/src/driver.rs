@@ -9,9 +9,11 @@ use crate::scheduler::{ExecStats, Scheduler, StoreKind};
 use crate::task::TaskDecl;
 use std::sync::Arc;
 use std::time::Instant;
-use uintah_comm::CommWorld;
+use uintah_comm::{AllReduceVec, CommWorld};
 use uintah_gpu::{GpuDataWarehouse, GpuDevice};
-use uintah_grid::{DistributionPolicy, Grid, PatchDistribution};
+use uintah_grid::{
+    DistributionPolicy, Grid, PatchCosts, PatchDistribution, RebalancePolicy, Regridder,
+};
 
 /// Configuration of a simulated job.
 #[derive(Clone, Debug)]
@@ -41,6 +43,15 @@ pub struct WorldConfig {
     /// pre-optimization baseline, kept as the control for equivalence tests
     /// and the `timestep_loop` benchmark.
     pub persistent: bool,
+    /// Rebalance ownership every `k` timesteps from measured per-patch
+    /// costs: all ranks exchange their cost vectors (an all-reduce), run
+    /// the deterministic [`Regridder`] and adopt the agreed distribution —
+    /// migrating warehouse contents and recompiling the graph on the
+    /// persistent path. `None` keeps the initial distribution for the whole
+    /// run.
+    pub regrid_interval: Option<usize>,
+    /// Which rebalance policy the regridder applies at each interval.
+    pub regrid_policy: RebalancePolicy,
 }
 
 impl Default for WorldConfig {
@@ -56,6 +67,8 @@ impl Default for WorldConfig {
             gpu_async_d2h: true,
             aggregate_level_windows: false,
             persistent: true,
+            regrid_interval: None,
+            regrid_policy: RebalancePolicy::CostedSfc,
         }
     }
 }
@@ -69,10 +82,14 @@ pub struct RankResult {
     pub dw: Arc<DataWarehouse>,
     /// The rank's GPU data warehouse, if any.
     pub gpu: Option<Arc<GpuDataWarehouse>>,
+    /// The distribution this rank finished under (differs from the initial
+    /// one when regrids ran; identical across ranks by construction).
+    pub dist: Arc<PatchDistribution>,
 }
 
 /// Result of the whole job.
 pub struct WorldResult {
+    /// The distribution the final timestep ran under.
     pub dist: Arc<PatchDistribution>,
     pub ranks: Vec<RankResult>,
 }
@@ -105,6 +122,11 @@ impl WorldResult {
 pub fn run_world(grid: Arc<Grid>, decls: Arc<Vec<TaskDecl>>, cfg: WorldConfig) -> WorldResult {
     let world = CommWorld::new(cfg.nranks);
     let dist = Arc::new(PatchDistribution::new(&grid, cfg.nranks, cfg.policy));
+    // The pre-rebalance cost exchange: each rank contributes measured
+    // per-patch task time (zeros for patches it does not own) and reads back
+    // the identical global vector, so every rank runs the deterministic
+    // regridder on the same input and all agree on the new ownership.
+    let cost_reduce = cfg.regrid_interval.map(|_| AllReduceVec::new(cfg.nranks));
 
     let mut handles = Vec::with_capacity(cfg.nranks);
     for rank in 0..cfg.nranks {
@@ -113,6 +135,7 @@ pub fn run_world(grid: Arc<Grid>, decls: Arc<Vec<TaskDecl>>, cfg: WorldConfig) -
         let decls = Arc::clone(&decls);
         let dist = Arc::clone(&dist);
         let cfg = cfg.clone();
+        let cost_reduce = cost_reduce.clone();
         handles.push(std::thread::spawn(move || {
             let comm = world.communicator(rank);
             let dw = Arc::new(DataWarehouse::new(Arc::clone(&grid)));
@@ -125,6 +148,33 @@ pub fn run_world(grid: Arc<Grid>, decls: Arc<Vec<TaskDecl>>, cfg: WorldConfig) -
             });
             let sched = Scheduler::new(comm, cfg.nthreads, cfg.store);
             let mut stats = Vec::with_capacity(cfg.timesteps);
+            let regridder = Regridder::new(cfg.regrid_policy);
+            // Measured per-patch cost since the last rebalance (seconds in
+            // task bodies; zeros for patches this rank does not own).
+            let mut step_cost = vec![0.0f64; grid.num_patches()];
+            // Returns the agreed post-exchange distribution for step `ts`,
+            // or `None` when no rebalance is due. Collective: every rank
+            // calls it at the same steps, so the all-reduce can't skew.
+            let agree_on_rebalance =
+                |ts: usize, step_cost: &mut Vec<f64>, current: &PatchDistribution| {
+                    let (Some(k), Some(reduce)) = (cfg.regrid_interval, &cost_reduce) else {
+                        return None;
+                    };
+                    if ts == 0 || !ts.is_multiple_of(k) {
+                        return None;
+                    }
+                    let global = reduce.sum(step_cost);
+                    let costs = if global.iter().sum::<f64>() > 0.0 {
+                        PatchCosts::from_values((*global).clone())
+                    } else {
+                        // Degenerate timing (all-zero measurements): fall
+                        // back to cell counts so the decision stays sound.
+                        PatchCosts::from_cells(&grid)
+                    };
+                    step_cost.fill(0.0);
+                    Some(Arc::new(regridder.rebalance(&grid, &costs, current)))
+                };
+            let final_dist;
             if cfg.persistent {
                 let mut exec = PersistentExecutor::new(
                     Arc::clone(&grid),
@@ -135,13 +185,26 @@ pub fn run_world(grid: Arc<Grid>, decls: Arc<Vec<TaskDecl>>, cfg: WorldConfig) -
                     gpu.clone(),
                     cfg.aggregate_level_windows,
                 );
-                for _ in 0..cfg.timesteps {
-                    stats.push(exec.step());
+                for ts in 0..cfg.timesteps {
+                    if let Some(next) = agree_on_rebalance(ts, &mut step_cost, exec.dist()) {
+                        exec.regrid(next);
+                    }
+                    let s = exec.step();
+                    for &(pid, d) in &s.per_patch {
+                        step_cost[pid.index()] += d.as_secs_f64();
+                    }
+                    stats.push(s);
                 }
+                final_dist = Arc::clone(exec.dist());
             } else {
                 // Rebuild-everything baseline: fresh graph, cold warehouse
-                // and cold GPU level DB every step.
+                // and cold GPU level DB every step. A rebalance here is just
+                // a distribution swap — no migration, nothing persists.
+                let mut dist = dist;
                 for ts in 0..cfg.timesteps {
+                    if let Some(next) = agree_on_rebalance(ts, &mut step_cost, &dist) {
+                        dist = next;
+                    }
                     if ts > 0 {
                         dw.clear();
                         if let Some(g) = &gpu {
@@ -161,21 +224,29 @@ pub fn run_world(grid: Arc<Grid>, decls: Arc<Vec<TaskDecl>>, cfg: WorldConfig) -
                     let compile_time = t0.elapsed();
                     let mut s = sched.execute(&grid, &decls, &cg, &dw, gpu.as_deref());
                     s.graph_compile = compile_time;
+                    for &(pid, d) in &s.per_patch {
+                        step_cost[pid.index()] += d.as_secs_f64();
+                    }
                     stats.push(s);
                 }
+                final_dist = dist;
             }
             RankResult {
                 rank,
                 stats,
                 dw,
                 gpu,
+                dist: final_dist,
             }
         }));
     }
-    let ranks = handles
+    let ranks: Vec<RankResult> = handles
         .into_iter()
         .map(|h| h.join().expect("rank thread panicked"))
         .collect();
+    // Every rank finishes under the same distribution (the regridder is
+    // deterministic on the all-reduced costs); report it as the world's.
+    let dist = ranks.first().map(|r| Arc::clone(&r.dist)).unwrap_or(dist);
     WorldResult { dist, ranks }
 }
 

@@ -29,6 +29,11 @@ type LevelKey = (VarLabel, LevelIndex);
 /// promoted entry.
 struct PendingSlot {
     epoch: u64,
+    /// Distribution generation at park time. A regrid bumps the warehouse
+    /// generation, so a slot parked under the old ownership can never
+    /// satisfy a request for a recycled patch id afterwards — the slots are
+    /// keyed by patch id alone, which is not unique across regrids.
+    generation: u64,
     handle: Mutex<Option<PendingD2H>>,
 }
 
@@ -57,6 +62,12 @@ pub struct DataWarehouse {
     grid: Arc<Grid>,
     /// Timestep epoch; bumped by [`Self::begin_timestep`].
     epoch: AtomicU64,
+    /// Patch-distribution generation; bumped by [`Self::begin_regrid`].
+    generation: AtomicU64,
+    /// Gets that found an entry present under the right key but stamped
+    /// with a stale epoch or generation. Tests assert this stays zero in
+    /// correct runs ("no stale-epoch DW hits").
+    stale_hits: AtomicU64,
     patch_vars: RwLock<HashMap<PatchKey, Stamped>>,
     /// Per-patch variables whose host data is still in flight on the GPU's
     /// D2H copy engine; materialized into `patch_vars` on first use.
@@ -88,6 +99,8 @@ impl DataWarehouse {
         Self {
             grid,
             epoch: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            stale_hits: AtomicU64::new(0),
             patch_vars: RwLock::new(HashMap::new()),
             pending_d2h: RwLock::new(HashMap::new()),
             d2h_wait_ns: AtomicU64::new(0),
@@ -110,6 +123,32 @@ impl DataWarehouse {
     #[inline]
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Current patch-distribution generation.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Gets that found a stale-stamped entry (wrong epoch or generation).
+    /// Zero in a correct run: a stale hit means some path almost served
+    /// old data and only the stamp check stopped it.
+    #[inline]
+    pub fn stale_hits(&self) -> u64 {
+        self.stale_hits.load(Ordering::Relaxed)
+    }
+
+    /// Open a new distribution generation (a regrid): pending-D2H slots
+    /// parked under the old ownership and pooled recycler buffers from
+    /// before the regrid can no longer satisfy requests — patch ids are
+    /// recycled by the regrid and no longer mean what they did. Returns
+    /// the new generation.
+    pub fn begin_regrid(&self) -> u64 {
+        let gen = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        self.recycle_f64.bump_generation();
+        self.recycle_u8.bump_generation();
+        gen
     }
 
     /// The tracker accounting pooled field-buffer bytes.
@@ -201,6 +240,7 @@ impl DataWarehouse {
             (label, patch),
             Arc::new(PendingSlot {
                 epoch: self.epoch(),
+                generation: self.generation(),
                 handle: Mutex::new(Some(pending)),
             }),
         );
@@ -208,17 +248,17 @@ impl DataWarehouse {
 
     /// Fetch a per-patch variable published this timestep, materializing it
     /// first if its D2H drain is still in flight. Entries from an earlier
-    /// epoch never match.
+    /// epoch never match (and are counted as [`Self::stale_hits`]).
     pub fn get_patch(&self, label: VarLabel, patch: PatchId) -> Option<Arc<FieldData>> {
         let now = self.epoch();
-        if let Some(d) = self
-            .patch_vars
-            .read()
-            .get(&(label, patch))
-            .filter(|e| e.epoch == now)
-            .map(|e| Arc::clone(&e.data))
         {
-            return Some(d);
+            let vars = self.patch_vars.read();
+            if let Some(e) = vars.get(&(label, patch)) {
+                if e.epoch == now {
+                    return Some(Arc::clone(&e.data));
+                }
+                self.stale_hits.fetch_add(1, Ordering::Relaxed);
+            }
         }
         self.materialize_pending(label, patch, now)
     }
@@ -233,15 +273,17 @@ impl DataWarehouse {
         patch: PatchId,
         now: u64,
     ) -> Option<Arc<FieldData>> {
-        let slot = self
-            .pending_d2h
-            .read()
-            .get(&(label, patch))
-            .filter(|s| s.epoch == now)
-            .map(Arc::clone);
+        let gen = self.generation();
+        let slot = self.pending_d2h.read().get(&(label, patch)).map(Arc::clone);
         if let Some(slot) = slot {
-            if let Some(p) = slot.handle.lock().take() {
-                self.settle_pending(label, patch, p);
+            if slot.epoch == now && slot.generation == gen {
+                if let Some(p) = slot.handle.lock().take() {
+                    self.settle_pending(label, patch, p);
+                }
+            } else {
+                // A slot parked before a regrid (or a missed drain) under a
+                // patch id that now means something else: never serve it.
+                self.stale_hits.fetch_add(1, Ordering::Relaxed);
             }
         }
         self.patch_vars
@@ -269,11 +311,12 @@ impl DataWarehouse {
     /// transfers had not yet been consumed.
     pub fn drain_pending_d2h(&self) -> usize {
         let now = self.epoch();
+        let gen = self.generation();
         let slots: Vec<(PatchKey, Arc<PendingSlot>)> =
             self.pending_d2h.write().drain().collect();
         let mut drained = 0;
         for ((label, patch), slot) in slots {
-            if slot.epoch != now {
+            if slot.epoch != now || slot.generation != gen {
                 continue;
             }
             if let Some(p) = slot.handle.lock().take() {
@@ -347,6 +390,42 @@ impl DataWarehouse {
     /// later allocation of the same size (typically next timestep's).
     pub fn recycle(&self, data: FieldData) {
         self.recycle_field(data);
+    }
+
+    /// Remove and return every current-epoch per-patch entry for `patch`,
+    /// sorted by label id (a deterministic wire order) — the sender side of
+    /// an ownership migration. Stale-epoch entries under the patch are
+    /// retired into the recyclers instead of returned.
+    pub fn take_patch_entries(&self, patch: PatchId) -> Vec<(VarLabel, Arc<FieldData>)> {
+        let now = self.epoch();
+        let mut vars = self.patch_vars.write();
+        let keys: Vec<PatchKey> = vars
+            .keys()
+            .filter(|&&(_, p)| p == patch)
+            .copied()
+            .collect();
+        let mut out = Vec::with_capacity(keys.len());
+        for k in keys {
+            let e = vars.remove(&k).expect("key listed above");
+            if e.epoch == now {
+                out.push((k.0, e.data));
+            } else if let Ok(data) = Arc::try_unwrap(e.data) {
+                self.recycle_field(data);
+            }
+        }
+        drop(vars);
+        out.sort_by_key(|(l, _)| l.id());
+        out
+    }
+
+    /// A pooled zeroed `f64` buffer (the migration decode path reuses
+    /// recycler storage instead of allocating fresh for every payload).
+    pub(crate) fn acquire_f64(&self, len: usize) -> Vec<f64> {
+        self.recycle_f64.acquire(len)
+    }
+
+    pub(crate) fn acquire_u8(&self, len: usize) -> Vec<u8> {
+        self.recycle_u8.acquire(len)
     }
 
     /// Deposit a restriction window into the whole-level accumulator for
@@ -633,6 +712,52 @@ mod tests {
         // Steady state: one miss (the first step), hits thereafter.
         assert_eq!(dw.recycle_misses(), 1);
         assert_eq!(dw.recycle_hits(), 2);
+    }
+
+    #[test]
+    fn take_patch_entries_moves_current_epoch_data() {
+        let g = grid2();
+        let dw = DataWarehouse::new(g.clone());
+        let fine = g.fine_level();
+        let p = fine.patches()[0].id();
+        let q = fine.patches()[1].id();
+        dw.put_patch(KAPPA, p, FieldData::F64(CcVariable::filled(Region::cube(8), 0.5)));
+        dw.put_patch(CELLTYPE, p, FieldData::U8(CcVariable::filled(Region::cube(8), 2)));
+        dw.put_patch(KAPPA, q, FieldData::F64(CcVariable::filled(Region::cube(8), 1.5)));
+        let entries = dw.take_patch_entries(p);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, KAPPA, "sorted by label id");
+        assert_eq!(entries[1].0, CELLTYPE);
+        assert!(dw.get_patch(KAPPA, p).is_none(), "entries moved out");
+        assert!(dw.get_patch(KAPPA, q).is_some(), "other patches untouched");
+    }
+
+    #[test]
+    fn regrid_generation_blocks_stale_pending_slots_and_pool() {
+        let g = grid2();
+        let dw = DataWarehouse::new(g.clone());
+        let p = g.fine_level().patches()[0].id();
+        // Park an async D2H handle for the patch.
+        let gpu = uintah_gpu::GpuDataWarehouse::new(uintah_gpu::GpuDevice::k20x());
+        gpu.put_patch(KAPPA, p, FieldData::F64(CcVariable::filled(Region::cube(8), 0.5)))
+            .unwrap();
+        dw.put_patch_pending(KAPPA, p, gpu.take_patch_to_host_async(KAPPA, p).unwrap());
+        // Park a recycler buffer of the patch's size.
+        dw.recycle(FieldData::F64(CcVariable::filled(Region::cube(8), 9.0)));
+        assert_eq!(dw.stale_hits(), 0);
+
+        assert_eq!(dw.begin_regrid(), 1);
+        assert_eq!(dw.generation(), 1);
+        // The slot predates the regrid: the same patch id may now name a
+        // different patch, so the get must miss — and be counted.
+        assert!(dw.get_patch(KAPPA, p).is_none());
+        assert!(dw.stale_hits() > 0, "blocked stale slot must be counted");
+        assert_eq!(dw.drain_pending_d2h(), 0, "stale slot not drained as current");
+        // Pooled storage from before the regrid is not reused either.
+        let misses = dw.recycle_misses();
+        let _ = dw.alloc_f64(Region::cube(8));
+        assert_eq!(dw.recycle_misses(), misses + 1, "stale pool buffer dropped");
+        gpu.device().sync_d2h();
     }
 
     #[test]

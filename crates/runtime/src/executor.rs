@@ -27,6 +27,7 @@
 
 use crate::dw::DataWarehouse;
 use crate::graph::{self, CompiledGraph};
+use crate::regrid::{self, RegridEvent};
 use crate::scheduler::{ExecStats, Scheduler};
 use crate::task::TaskDecl;
 use std::sync::Arc;
@@ -49,6 +50,10 @@ pub struct PersistentExecutor {
     cached: Option<(u64, CompiledGraph)>,
     step: u64,
     compiles: usize,
+    /// Regrid cost accumulated since the last step, folded into the next
+    /// step's stats (a regrid between steps N and N+1 is charged to N+1,
+    /// the first step that runs under the new distribution).
+    pending_regrid: Option<RegridEvent>,
 }
 
 impl PersistentExecutor {
@@ -73,6 +78,7 @@ impl PersistentExecutor {
             cached: None,
             step: 0,
             compiles: 0,
+            pending_regrid: None,
         }
     }
 
@@ -118,8 +124,78 @@ impl PersistentExecutor {
             self.sched
                 .execute_phase(&self.grid, &self.decls, cg, &self.dw, self.gpu.as_deref(), phase);
         stats.graph_compile = compile_time;
+        if let Some(ev) = self.pending_regrid.take() {
+            stats.regrids = 1;
+            stats.regrid_compile = compile_time;
+            stats.migrated_bytes = ev.migrated_bytes;
+            stats.migrate_wall = ev.migrate_wall;
+        }
         self.step += 1;
         stats
+    }
+
+    /// Adopt a new patch distribution between timesteps: settle in-flight
+    /// D2H traffic, migrate the warehouse contents of every patch whose
+    /// owner changed (symmetric — every rank of the world must call this
+    /// with the same distribution), evict GPU state whose residency keying
+    /// assumed the old ownership, and invalidate the cached graph. Returns
+    /// `None` (and does nothing) when ownership is unchanged.
+    ///
+    /// Must be called between [`Self::step`]s, in lockstep across ranks.
+    /// The regrid's cost is folded into the next step's stats.
+    pub fn regrid(&mut self, new: Arc<PatchDistribution>) -> Option<RegridEvent> {
+        assert_eq!(new.nranks(), self.dist.nranks(), "regrid cannot change the world size");
+        assert_eq!(
+            new.rank_map().len(),
+            self.grid.num_patches(),
+            "distribution does not cover the grid"
+        );
+        if new.rank_map() == self.dist.rank_map() {
+            return None;
+        }
+        let t0 = Instant::now();
+        // 1. Settle the copy engine: every parked D2H handle materializes
+        //    (or is retired) before ownership moves, so migration reads
+        //    complete host data and no drain lands under a recycled id.
+        let drained_d2h = self.dw.drain_pending_d2h();
+        if let Some(g) = &self.gpu {
+            g.device().sync_d2h();
+        }
+        // 2. Open the new distribution generation: pending slots and pooled
+        //    buffers from the old ownership can no longer satisfy requests.
+        let generation = self.dw.begin_regrid();
+        // 3. Move lost patches' data to their new owners (collective).
+        let labels = regrid::label_map(&self.decls);
+        let (patches_out, patches_in, migrated_bytes) = regrid::migrate_patch_vars(
+            self.sched.comm(),
+            &self.dw,
+            &self.dist,
+            &new,
+            &labels,
+            generation,
+        );
+        // 4. Evict device state: per-patch staging and level replicas both
+        //    key freshness by patch/level content under the old ownership.
+        let (gpu_patch_evicted, gpu_level_evicted) = self
+            .gpu
+            .as_ref()
+            .map(|g| g.invalidate_for_regrid())
+            .unwrap_or((0, 0));
+        // 5. Adopt the distribution and force a recompile.
+        self.dist = new;
+        self.invalidate();
+        let ev = RegridEvent {
+            generation,
+            patches_out,
+            patches_in,
+            migrated_bytes,
+            migrate_wall: t0.elapsed(),
+            drained_d2h,
+            gpu_patch_evicted,
+            gpu_level_evicted,
+        };
+        self.pending_regrid = Some(ev.clone());
+        Some(ev)
     }
 
     /// Drop the cached graph; the next [`Self::step`] recompiles. The hook
@@ -145,6 +221,13 @@ impl PersistentExecutor {
     #[inline]
     pub fn dw(&self) -> &Arc<DataWarehouse> {
         &self.dw
+    }
+
+    /// The distribution currently executing (post-regrid once
+    /// [`Self::regrid`] adopts a new one).
+    #[inline]
+    pub fn dist(&self) -> &Arc<PatchDistribution> {
+        &self.dist
     }
 
     #[inline]

@@ -24,6 +24,9 @@
 //!   graph across timesteps (phase re-stamped at post time), retires
 //!   warehouse storage into recyclers, and keeps GPU level replicas
 //!   device-resident between steps;
+//! * [`regrid`] — ownership migration after a load-balancer regrid: lost
+//!   patches' warehouse contents move to their new owners over the fabric
+//!   under a reserved tag namespace ([`PersistentExecutor::regrid`]);
 //! * [`driver`] — a harness running all ranks of a world in one process.
 //!
 //! [`RequestStore`]: uintah_comm::RequestStore
@@ -34,6 +37,7 @@ pub mod driver;
 pub mod dw;
 pub mod executor;
 pub mod graph;
+pub mod regrid;
 pub mod scheduler;
 pub mod task;
 
@@ -42,5 +46,6 @@ pub use driver::{run_world, WorldConfig, WorldResult};
 pub use dw::DataWarehouse;
 pub use executor::PersistentExecutor;
 pub use graph::{graph_signature, CompiledGraph, GraphStats};
+pub use regrid::RegridEvent;
 pub use scheduler::{ExecStats, Scheduler, StoreKind};
 pub use task::{Computes, Requirement, TaskContext, TaskDecl, TaskFn, TaskKind};

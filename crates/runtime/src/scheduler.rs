@@ -97,8 +97,22 @@ pub struct ExecStats {
     /// dispatches (all zero without a GPU warehouse). Feeds the titan-sim
     /// cost-model calibration.
     pub kernel_stats: KernelStats,
+    /// Regrids folded into this step (the persistent executor charges a
+    /// regrid to the step that runs under the new distribution).
+    pub regrids: usize,
+    /// Graph recompile time attributable to a regrid this step (equals
+    /// `graph_compile` when `regrids > 0`; zero otherwise).
+    pub regrid_compile: Duration,
+    /// Migration payload bytes this rank sent during regrids this step.
+    pub migrated_bytes: u64,
+    /// Wall time of the migration exchange(s) this step.
+    pub migrate_wall: Duration,
     /// Per-declaration breakdown: (task name, executions, time in body).
     pub per_task: Vec<(&'static str, usize, Duration)>,
+    /// Per-patch time in task bodies this step — the measured cost vector
+    /// the load balancer's cost exchange feeds on. Only patches that ran
+    /// tasks on this rank appear.
+    pub per_patch: Vec<(uintah_grid::PatchId, Duration)>,
 }
 
 impl ExecStats {
@@ -133,6 +147,16 @@ impl ExecStats {
             ms(self.gpu_d2h_wait),
             ms(self.gpu_d2h_overlap),
         );
+        if self.regrids > 0 {
+            let _ = writeln!(
+                out,
+                "regrids {} | recompile {:.3} ms | migrated {} B in {:.3} ms",
+                self.regrids,
+                ms(self.regrid_compile),
+                self.migrated_bytes,
+                ms(self.migrate_wall),
+            );
+        }
         if self.kernel_stats.launches > 0 {
             let ks = &self.kernel_stats;
             let _ = writeln!(
@@ -170,6 +194,12 @@ impl Scheduler {
     #[inline]
     pub fn rank(&self) -> usize {
         self.comm.rank()
+    }
+
+    /// The rank's communicator (the migration path posts its own traffic).
+    #[inline]
+    pub(crate) fn comm(&self) -> &Communicator {
+        &self.comm
     }
 
     /// Execute one compiled graph to completion under its own phase byte.
@@ -252,20 +282,7 @@ impl Scheduler {
         let recv_map = &recv_map;
 
         // Var-id → label map for self-describing bundle entries.
-        let mut label_map: HashMap<u8, uintah_grid::VarLabel> = HashMap::new();
-        for d in decls {
-            for c in &d.computes {
-                let l = match *c {
-                    crate::task::Computes::PatchVar(l) => l,
-                    crate::task::Computes::LevelWindow(l, _) => l,
-                };
-                label_map.insert(l.id(), l);
-            }
-            for r in &d.requires {
-                let l = r.label();
-                label_map.insert(l.id(), l);
-            }
-        }
+        let label_map = crate::regrid::label_map(decls);
         let label_map = &label_map;
 
         // Aggregated counters (nanoseconds for the durations).
@@ -280,6 +297,10 @@ impl Scheduler {
         let parks = AtomicUsize::new(0);
         let per_decl_count: Vec<AtomicUsize> = decls.iter().map(|_| AtomicUsize::new(0)).collect();
         let per_decl_ns: Vec<AtomicU64> = decls.iter().map(|_| AtomicU64::new(0)).collect();
+        // Per-patch task time: the measured cost vector the load balancer
+        // exchanges before a rebalance (Uintah's forecaster input).
+        let per_patch_ns: Vec<AtomicU64> =
+            (0..grid.num_patches()).map(|_| AtomicU64::new(0)).collect();
 
         std::thread::scope(|scope| {
             for _ in 0..self.nthreads {
@@ -301,6 +322,7 @@ impl Scheduler {
                 let signal = &signal;
                 let per_decl_count = &per_decl_count;
                 let per_decl_ns = &per_decl_ns;
+                let per_patch_ns = &per_patch_ns;
                 let device_space = &device_space;
                 let comm = self.comm.clone();
                 scope.spawn(move || {
@@ -398,6 +420,7 @@ impl Scheduler {
                                 task_ns.fetch_add(ns, Ordering::Relaxed);
                                 per_decl_ns[di].fetch_add(ns, Ordering::Relaxed);
                                 per_decl_count[di].fetch_add(1, Ordering::Relaxed);
+                                per_patch_ns[patch.id().index()].fetch_add(ns, Ordering::Relaxed);
                                 tasks_executed.fetch_add(1, Ordering::Relaxed);
                             }
                             // Post this instance's sends ourselves (the
@@ -494,6 +517,21 @@ impl Scheduler {
             kernel_stats: device_space
                 .map(|ds| ds.kernel_stats())
                 .unwrap_or_default(),
+            regrids: 0,
+            regrid_compile: Duration::ZERO,
+            migrated_bytes: 0,
+            migrate_wall: Duration::ZERO,
+            per_patch: per_patch_ns
+                .iter()
+                .enumerate()
+                .filter(|(_, ns)| ns.load(Ordering::Relaxed) > 0)
+                .map(|(i, ns)| {
+                    (
+                        uintah_grid::PatchId(i as u32),
+                        Duration::from_nanos(ns.load(Ordering::Relaxed)),
+                    )
+                })
+                .collect(),
             per_task: decls
                 .iter()
                 .enumerate()

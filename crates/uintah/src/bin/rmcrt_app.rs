@@ -81,6 +81,8 @@ fn main() {
             timesteps: cfg.timesteps,
             gpu_capacity: cfg.gpu.then_some(6 << 30),
             aggregate_level_windows: cfg.aggregate,
+            regrid_interval: (cfg.regrid_interval > 0).then_some(cfg.regrid_interval),
+            regrid_policy: cfg.regrid_policy,
             ..Default::default()
         },
     );

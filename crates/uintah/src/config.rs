@@ -26,6 +26,7 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::str::FromStr;
+use uintah_grid::RebalancePolicy;
 use uintah_runtime::StoreKind;
 
 /// A parsed run specification.
@@ -47,6 +48,11 @@ pub struct RunConfig {
     pub sampling: rmcrt_core::RaySampling,
     /// Bundle level windows per rank pair (Uintah message packing).
     pub aggregate: bool,
+    /// Rebalance ownership every `k` timesteps from measured per-patch
+    /// costs; 0 disables regridding.
+    pub regrid_interval: usize,
+    /// Rebalance policy applied at each regrid interval.
+    pub regrid_policy: RebalancePolicy,
     pub output: Option<PathBuf>,
 }
 
@@ -74,6 +80,8 @@ impl Default for RunConfig {
             timesteps: 1,
             sampling: rmcrt_core::RaySampling::Independent,
             aggregate: false,
+            regrid_interval: 0,
+            regrid_policy: RebalancePolicy::CostedSfc,
             output: None,
         }
     }
@@ -129,6 +137,8 @@ impl RunConfig {
                     "store" => "store",
                     "gpu" => "gpu",
                     "aggregate" => "aggregate",
+                    "regrid_interval" => "regrid_interval",
+                    "regrid_policy" => "regrid_policy",
                     "timesteps" => "timesteps",
                     "sampling" => "sampling",
                     "output" => "output",
@@ -193,6 +203,15 @@ impl RunConfig {
                         "true" | "yes" | "1" => true,
                         "false" | "no" | "0" => false,
                         v => return Err(bad(format!("invalid bool '{v}'"))),
+                    }
+                }
+                "regrid_interval" => cfg.regrid_interval = num(value, key, line_no)?,
+                "regrid_policy" => {
+                    cfg.regrid_policy = match value {
+                        "sfc" => RebalancePolicy::CostedSfc,
+                        "lpt" => RebalancePolicy::CostedLpt,
+                        "rotate" => RebalancePolicy::Rotate(1),
+                        v => return Err(bad(format!("unknown regrid_policy '{v}'"))),
                     }
                 }
                 "sampling" => {
@@ -291,6 +310,17 @@ mod tests {
         let err = RunConfig::parse("nrayz = 8").unwrap_err();
         assert_eq!(err.line, 1);
         assert!(err.message.contains("unknown key"));
+    }
+
+    #[test]
+    fn parses_regrid_keys() {
+        let cfg = RunConfig::parse("regrid_interval = 5\nregrid_policy = lpt").unwrap();
+        assert_eq!(cfg.regrid_interval, 5);
+        assert_eq!(cfg.regrid_policy, RebalancePolicy::CostedLpt);
+        let cfg = RunConfig::parse("regrid_policy = rotate").unwrap();
+        assert_eq!(cfg.regrid_policy, RebalancePolicy::Rotate(1));
+        assert_eq!(cfg.regrid_interval, 0, "regridding off by default");
+        assert!(RunConfig::parse("regrid_policy = magic").is_err());
     }
 
     #[test]

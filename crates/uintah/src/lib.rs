@@ -41,10 +41,10 @@ pub mod prelude {
     };
     pub use uintah_gpu::{DeviceCounters, GpuDataWarehouse, GpuDevice};
     pub use uintah_grid::{
-        CcVariable, DistributionPolicy, FieldData, Grid, IntVector, PatchDistribution, Point,
-        Region, VarLabel, Vector,
+        CcVariable, DistributionPolicy, FieldData, Grid, IntVector, PatchCosts,
+        PatchDistribution, Point, RebalancePolicy, Region, Regridder, VarLabel, Vector,
     };
-    pub use uintah_runtime::{run_world, StoreKind, WorldConfig};
+    pub use uintah_runtime::{run_world, RegridEvent, StoreKind, WorldConfig};
 }
 
 #[cfg(test)]

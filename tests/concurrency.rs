@@ -239,3 +239,81 @@ mod parking_lot_handles {
         }
     }
 }
+
+/// Regrid racing async D2H: PendingD2H handles are parked in the runtime
+/// warehouse while reader threads hammer `get_patch` and a regrid thread
+/// runs the executor's pre-migration sequence (drain parked slots → device
+/// sync → generation bump → GPU eviction). The run must complete without
+/// deadlock, readers must only ever observe correct data, and no device
+/// bytes may stay resident or in flight afterwards.
+#[test]
+fn regrid_racing_async_d2h_drains_without_deadlock_or_leaks() {
+    use uintah::runtime::DataWarehouse;
+    let grid = Arc::new(
+        Grid::builder()
+            .fine_cells(IntVector::splat(16))
+            .num_levels(1)
+            .fine_patch_size(IntVector::splat(8))
+            .build(),
+    );
+    let patches: Vec<_> = grid.fine_level().patches().iter().map(|p| p.id()).collect();
+    for _round in 0..10 {
+        let dw = Arc::new(DataWarehouse::new(Arc::clone(&grid)));
+        let gpu = Arc::new(GpuDataWarehouse::new(GpuDevice::k20x()));
+        for &p in &patches {
+            gpu.put_patch(DIVQ, p, FieldData::F64(CcVariable::filled(Region::cube(8), p.0 as f64)))
+                .unwrap();
+            dw.put_patch_pending(DIVQ, p, gpu.take_patch_to_host_async(DIVQ, p).unwrap());
+        }
+        std::thread::scope(|s| {
+            let patches = &patches;
+            for t in 0..3usize {
+                let dw = Arc::clone(&dw);
+                s.spawn(move || {
+                    for i in 0..400usize {
+                        let p = patches[(i + t) % patches.len()];
+                        // Either this get materializes the drain itself or
+                        // it sees the promoted entry; a miss is legal only
+                        // once the generation bump has landed.
+                        if let Some(v) = dw.get_patch(DIVQ, p) {
+                            assert_eq!(v.as_f64().as_slice()[0], p.0 as f64);
+                        }
+                    }
+                });
+            }
+            let dw = Arc::clone(&dw);
+            let gpu = Arc::clone(&gpu);
+            s.spawn(move || {
+                // The executor's regrid prologue, verbatim order.
+                dw.drain_pending_d2h();
+                gpu.device().sync_d2h();
+                dw.begin_regrid();
+                gpu.invalidate_for_regrid();
+            });
+        });
+        // Every parked field was drained before the bump and survives it.
+        for &p in &patches {
+            let v = dw.get_patch(DIVQ, p).expect("drained before generation bump");
+            assert_eq!(v.as_f64().as_slice()[0], p.0 as f64);
+        }
+        assert_eq!(dw.drain_pending_d2h(), 0, "nothing left parked");
+        assert_eq!(gpu.device().counters().d2h_inflight, 0, "copy engine idle");
+        assert_eq!(gpu.device().used(), 0, "no leaked device bytes");
+    }
+
+    // The missed-drain race: a handle parked and NOT drained before the
+    // generation bump must never satisfy a get — and must not leak device
+    // memory when the discarded drain completes.
+    let dw = DataWarehouse::new(Arc::clone(&grid));
+    let gpu = GpuDataWarehouse::new(GpuDevice::k20x());
+    let p = patches[0];
+    gpu.put_patch(CELLTYPE, p, FieldData::U8(CcVariable::filled(Region::cube(8), 7)))
+        .unwrap();
+    dw.put_patch_pending(CELLTYPE, p, gpu.take_patch_to_host_async(CELLTYPE, p).unwrap());
+    dw.begin_regrid();
+    assert!(dw.get_patch(CELLTYPE, p).is_none(), "stale slot must not serve");
+    assert!(dw.stale_hits() > 0, "blocked stale slot is counted");
+    assert_eq!(dw.drain_pending_d2h(), 0, "stale slot not drained as current");
+    gpu.device().sync_d2h();
+    assert_eq!(gpu.device().used(), 0, "discarded drain still releases device bytes");
+}

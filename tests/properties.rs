@@ -247,4 +247,124 @@ proptest! {
         let t2 = Tag::compose(v2, p2, d2, ph2);
         prop_assert_eq!(t1 == t2, (v1, p1, d1, ph1) == (v2, p2, d2, ph2));
     }
+
+    /// Arbitrary refinement-flag sets map to fine regions that are
+    /// ratio-aligned, pairwise disjoint, and cover exactly the flagged
+    /// cells' fine footprints (out-of-level flags and duplicates ignored).
+    #[test]
+    fn refine_regions_aligned_disjoint_covering(
+        raw in proptest::collection::vec((-2..6i32, -2..6i32, -2..6i32), 0..24),
+    ) {
+        let grid = BurnsChriston::small_grid(16, 4);
+        let coarse = grid.level(0).cell_region();
+        let rr = grid.level(1).ratio_to_coarser().as_ivec();
+        let flags: Vec<IntVector> =
+            raw.iter().map(|&(x, y, z)| IntVector::new(x, y, z)).collect();
+        let regions = Regridder::refine_regions(&grid, 0, &flags);
+
+        for r in &regions {
+            // Aligned to the refinement ratio on both corners.
+            prop_assert_eq!(r.lo().x % rr.x, 0);
+            prop_assert_eq!(r.lo().y % rr.y, 0);
+            prop_assert_eq!(r.lo().z % rr.z, 0);
+            prop_assert_eq!(r.hi().x % rr.x, 0);
+            prop_assert_eq!(r.hi().y % rr.y, 0);
+            prop_assert_eq!(r.hi().z % rr.z, 0);
+        }
+        for (i, a) in regions.iter().enumerate() {
+            for b in &regions[i + 1..] {
+                prop_assert!(a.intersect(b).is_empty(), "{a:?} overlaps {b:?}");
+            }
+        }
+        // Coverage is exact: every in-level flag's fine box lies in some
+        // region, and the total volume is one fine box per unique flag.
+        let mut unique: Vec<IntVector> =
+            flags.iter().copied().filter(|c| coarse.contains(*c)).collect();
+        unique.sort_unstable_by_key(|c| (c.z, c.y, c.x));
+        unique.dedup();
+        for c in &unique {
+            let lo = IntVector::new(c.x * rr.x, c.y * rr.y, c.z * rr.z);
+            let fine_box = Region::new(lo, lo + rr);
+            prop_assert!(
+                regions.iter().any(|r| r.contains_region(&fine_box)),
+                "flag {c:?} not covered"
+            );
+        }
+        let total: usize = regions.iter().map(|r| r.volume()).sum();
+        prop_assert_eq!(total, unique.len() * (rr.x * rr.y * rr.z) as usize);
+    }
+
+    /// Any cost vector under any policy yields a valid distribution: every
+    /// patch owned exactly once, by a rank inside the world.
+    #[test]
+    fn rebalance_distribution_valid(
+        nranks in 1..6usize,
+        policy_idx in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        let grid = BurnsChriston::small_grid(16, 4);
+        let policy = match policy_idx {
+            0 => RebalancePolicy::CostedSfc,
+            1 => RebalancePolicy::CostedLpt,
+            _ => RebalancePolicy::Rotate(1 + (seed % 7) as usize),
+        };
+        let costs = PatchCosts::from_values(synth_costs(&grid, seed));
+        let current = PatchDistribution::new(&grid, nranks, DistributionPolicy::MortonSfc);
+        let next = Regridder::new(policy).rebalance(&grid, &costs, &current);
+
+        prop_assert_eq!(next.rank_map().len(), grid.num_patches());
+        let mut owned_total = 0;
+        for rank in 0..nranks {
+            for &pid in next.owned_by(rank) {
+                prop_assert_eq!(next.rank_of(pid), rank);
+                owned_total += 1;
+            }
+        }
+        // rank_of < nranks everywhere and the owned lists partition the
+        // patch set exactly once.
+        prop_assert!(next.rank_map().iter().all(|&r| (r as usize) < nranks));
+        prop_assert_eq!(owned_total, grid.num_patches());
+    }
+
+    /// Both costed policies keep every rank's load within the bound they
+    /// advertise: `Σ_levels (level_total / nranks + level_max)`.
+    #[test]
+    fn costed_rebalance_respects_advertised_bound(
+        nranks in 1..6usize,
+        lpt in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let grid = BurnsChriston::small_grid(16, 4);
+        let policy = if lpt { RebalancePolicy::CostedLpt } else { RebalancePolicy::CostedSfc };
+        let regridder = Regridder::new(policy);
+        let costs = PatchCosts::from_values(synth_costs(&grid, seed));
+        let current = PatchDistribution::new(&grid, nranks, DistributionPolicy::MortonSfc);
+        let next = regridder.rebalance(&grid, &costs, &current);
+        let bound = regridder
+            .advertised_bound(&grid, &costs, nranks)
+            .expect("costed policies advertise a bound");
+        for rank in 0..nranks {
+            let load: f64 = next.owned_by(rank).iter().map(|&p| costs.get(p)).sum();
+            prop_assert!(
+                load <= bound * (1.0 + 1e-12),
+                "rank {rank} load {load} exceeds advertised bound {bound}"
+            );
+        }
+    }
+}
+
+/// Deterministic pseudo-random per-patch costs in [0, 10), with a sprinkle
+/// of exact zeros (the all-zero and mixed-zero edge cases both occur).
+fn synth_costs(grid: &Grid, seed: u64) -> Vec<f64> {
+    (0..grid.num_patches())
+        .map(|i| {
+            let x = (seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_mul(0xD134_2543_DE82_EF95);
+            if x.is_multiple_of(5) {
+                0.0
+            } else {
+                (x % 1000) as f64 / 100.0
+            }
+        })
+        .collect()
 }

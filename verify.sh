@@ -5,5 +5,9 @@ cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
+# The regrid suite is the acceptance gate for mid-run redistribution
+# (bit-identical divQ across a forced ownership flip); run it by name so
+# a filtered `cargo test -q` invocation can never silently skip it.
+cargo test -q -p uintah --test regrid
 cargo test --doc -q
 cargo clippy --workspace --all-targets -- -D warnings
