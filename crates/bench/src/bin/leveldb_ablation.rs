@@ -137,4 +137,48 @@ fn main() {
     );
     println!("\nSteps 2+ must move strictly fewer bytes than the cold step: the coarse");
     println!("replicas crossed PCIe once and stayed resident.");
+
+    // ---- fleet sweep -------------------------------------------------------
+    // §V at fleet scale: with N devices per rank the level DB keeps one
+    // replica per level per *device* (N uploads total), while without it
+    // every patch task still stages a private copy — the saving per GPU is
+    // unchanged, and the per-device peak shrinks as patches spread.
+    println!("\n[device-count sweep, 8^3 patches: per-GPU level-DB saving per fleet size]");
+    println!(
+        "{:>8} | {:>14} {:>14} {:>8} | {:>14} {:>14}",
+        "devices", "H2D w/ LDB", "H2D w/o LDB", "ratio", "max peak w/", "max peak w/o"
+    );
+    for devices in [1usize, 2, 4, 6] {
+        let run = |level_db: bool| {
+            let result = run_world(
+                Arc::clone(&grid),
+                Arc::new(multilevel_decls(&grid, pipeline, true)),
+                WorldConfig {
+                    nranks: 1,
+                    nthreads: 4,
+                    gpu_capacity: Some(4 << 30),
+                    gpus_per_rank: devices,
+                    gpu_level_db: level_db,
+                    gpu_async_d2h: false,
+                    ..Default::default()
+                },
+            );
+            result.ranks[0].gpu.as_ref().unwrap().counters_per_device()
+        };
+        let with_ldb = run(true);
+        let without = run(false);
+        let h2d = |cs: &[DeviceCounters]| cs.iter().map(|c| c.h2d_bytes).sum::<u64>();
+        let peak = |cs: &[DeviceCounters]| cs.iter().map(|c| c.peak).max().unwrap_or(0);
+        println!(
+            "{:>8} | {:>12} B {:>12} B {:>7.2}x | {:>12} B {:>12} B",
+            devices,
+            h2d(&with_ldb),
+            h2d(&without),
+            h2d(&without) as f64 / h2d(&with_ldb) as f64,
+            peak(&with_ldb),
+            peak(&without)
+        );
+    }
+    println!("\nWith-LDB H2D grows only by one replica set per extra device; without the");
+    println!("DB it stays per-patch — the per-GPU saving survives any fleet size.");
 }

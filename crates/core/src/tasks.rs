@@ -188,12 +188,16 @@ fn trace_decl(pipeline: RmcrtPipeline, fine_li: LevelIndex, coarse_levels: Vec<L
             // of resident patch tasks. The epoch-aware variant keeps the
             // replica device-resident across timesteps, re-uploading only
             // bytes that actually changed since the last radiation solve.
+            // Replicas land on the device this task's kernels dispatch to
+            // (its patch's home device in the fleet): one shared copy per
+            // level per *device*, never one per patch task.
+            let dev = ctx.device_id();
             let mut staged = Vec::new();
             for &li in &cl {
                 for l in PROP_LABELS {
                     let host = ctx.get_level(l, li);
                     staged.push(
-                        gdw.ensure_level_fresh(l, li, || (*host).clone())
+                        gdw.ensure_level_fresh_on(dev, l, li, || (*host).clone())
                             .expect("device OOM staging level replica"),
                     );
                 }
@@ -293,9 +297,10 @@ fn single_level_trace_decl(pipeline: RmcrtPipeline, fine_li: LevelIndex, gpu: bo
     let body: uintah_runtime::TaskFn = Arc::new(move |ctx: &mut TaskContext| {
         let level = ctx.grid().level(fine_li);
         if let (true, Some(gdw)) = (gpu, ctx.gpu()) {
+            let dev = ctx.device_id();
             for l in PROP_LABELS {
                 let host = ctx.get_level(l, fine_li);
-                gdw.ensure_level_fresh(l, fine_li, || (*host).clone())
+                gdw.ensure_level_fresh_on(dev, l, fine_li, || (*host).clone())
                     .expect("device OOM staging fine replica");
             }
         }

@@ -72,6 +72,24 @@ impl KernelStats {
     pub fn wall(&self) -> Duration {
         Duration::from_nanos(self.wall_ns)
     }
+
+    /// Fold another snapshot into this one (per-device stats rolling up
+    /// into a fleet aggregate).
+    pub fn accumulate(&mut self, other: &KernelStats) {
+        self.launches += other.launches;
+        self.invocations += other.invocations;
+        self.bytes_moved += other.bytes_moved;
+        self.wall_ns += other.wall_ns;
+    }
+
+    /// Sum a set of per-device snapshots into one aggregate.
+    pub fn sum<'a>(stats: impl IntoIterator<Item = &'a KernelStats>) -> KernelStats {
+        let mut total = KernelStats::default();
+        for s in stats {
+            total.accumulate(s);
+        }
+        total
+    }
 }
 
 #[derive(Debug, Default)]
@@ -100,20 +118,33 @@ impl KernelStatsAccum {
     }
 }
 
-/// The device execution space: a handle on a simulated [`GpuDevice`] plus
-/// a shared [`KernelStats`] accumulator. Cheap to clone — clones share the
-/// device and the stats, so a scheduler can hand one space to every GPU
-/// task of a timestep and read one aggregate snapshot afterwards.
+/// The device execution space: a handle on a simulated [`GpuDevice`], its
+/// index within the rank's device fleet, plus a shared [`KernelStats`]
+/// accumulator. Cheap to clone — clones share the device and the stats, so
+/// a scheduler can hand one space per device to the GPU tasks of a
+/// timestep and read one per-device snapshot afterwards. Stream
+/// round-robin state lives on the *device* (its `next_stream` counter), so
+/// clones of one space share a stream sequence while spaces over different
+/// devices advance independently — exactly the CUDA queue model.
 #[derive(Clone, Debug)]
 pub struct DeviceSpace {
     device: GpuDevice,
+    index: usize,
     stats: Arc<KernelStatsAccum>,
 }
 
 impl DeviceSpace {
+    /// A space over fleet device 0 (the single-GPU configuration).
     pub fn new(device: GpuDevice) -> Self {
+        Self::with_index(device, 0)
+    }
+
+    /// A space over the fleet device at `index`, with a fresh stats
+    /// accumulator (one per device per timestep in the scheduler).
+    pub fn with_index(device: GpuDevice, index: usize) -> Self {
         Self {
             device,
+            index,
             stats: Arc::new(KernelStatsAccum::default()),
         }
     }
@@ -121,6 +152,12 @@ impl DeviceSpace {
     #[inline]
     pub fn device(&self) -> &GpuDevice {
         &self.device
+    }
+
+    /// This space's device index within the rank's fleet.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.index
     }
 
     /// Snapshot of everything dispatched through this space (and its
@@ -186,6 +223,15 @@ impl ExecSpace {
     #[inline]
     pub fn is_device(&self) -> bool {
         matches!(self, ExecSpace::Device(_))
+    }
+
+    /// The fleet device index this space dispatches to; `None` for host
+    /// spaces.
+    pub fn device_index(&self) -> Option<usize> {
+        match self {
+            ExecSpace::Device(d) => Some(d.index()),
+            _ => None,
+        }
     }
 
     /// Kernel metering snapshot; `None` for host spaces (host dispatches
@@ -583,6 +629,65 @@ mod tests {
         let _ = parallel_fill(&clone, Region::cube(2), |_| 0u8);
         assert_eq!(space.kernel_stats().launches, 1);
         assert_eq!(space.kernel_stats().invocations, 8);
+    }
+
+    #[test]
+    fn stream_round_robin_is_per_device_not_per_space() {
+        // Regression (satellite audit): stream assignment state lives on
+        // the device, not the space. Clones of one space — and *distinct*
+        // spaces over the same device — must share one round-robin
+        // sequence, while spaces over different devices each start at
+        // stream 0 and advance independently.
+        let dev_a = GpuDevice::with_capacity("a", 1 << 20);
+        let dev_b = GpuDevice::with_capacity("b", 1 << 20);
+        let space_a = DeviceSpace::with_index(dev_a.clone(), 0);
+        let space_a2 = space_a.clone();
+        let space_b = DeviceSpace::with_index(dev_b.clone(), 1);
+        assert_eq!(space_a.index(), 0);
+        assert_eq!(space_a2.index(), 0, "clone keeps its device index");
+        assert_eq!(space_b.index(), 1);
+        // Three launches on device A (two via the clone) consume streams
+        // 0, 1, 2 of A's queue — the clone does not restart the sequence.
+        let exec_a = ExecSpace::Device(space_a);
+        let exec_a2 = ExecSpace::Device(space_a2);
+        parallel_for(&exec_a, Region::cube(2), |_| {});
+        parallel_for(&exec_a2, Region::cube(2), |_| {});
+        parallel_for(&exec_a2, Region::cube(2), |_| {});
+        assert_eq!(dev_a.next_stream().0, 3, "device A consumed streams 0..3");
+        // Device B's sequence is untouched by A's launches.
+        let exec_b = ExecSpace::Device(space_b.clone());
+        parallel_for(&exec_b, Region::cube(2), |_| {});
+        assert_eq!(dev_b.next_stream().0, 1, "device B advanced independently");
+        assert_eq!(exec_b.device_index(), Some(1));
+        assert_eq!(ExecSpace::Serial.device_index(), None);
+        assert_eq!(ExecSpace::Threads(4).device_index(), None);
+        // Stats stayed per-space: A's accumulator saw 3 launches, B's 1.
+        assert_eq!(exec_a.kernel_stats().unwrap().launches, 3);
+        assert_eq!(space_b.kernel_stats().launches, 1);
+    }
+
+    #[test]
+    fn kernel_stats_accumulate_and_sum() {
+        let a = KernelStats {
+            launches: 2,
+            invocations: 100,
+            bytes_moved: 800,
+            wall_ns: 50,
+        };
+        let b = KernelStats {
+            launches: 3,
+            invocations: 50,
+            bytes_moved: 0,
+            wall_ns: 25,
+        };
+        let mut acc = a;
+        acc.accumulate(&b);
+        assert_eq!(acc.launches, 5);
+        assert_eq!(acc.invocations, 150);
+        assert_eq!(acc.bytes_moved, 800);
+        assert_eq!(acc.wall_ns, 75);
+        assert_eq!(KernelStats::sum([&a, &b]), acc);
+        assert_eq!(KernelStats::sum([]), KernelStats::default());
     }
 
     #[test]

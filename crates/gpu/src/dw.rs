@@ -13,8 +13,19 @@
 //! behaviour), every requesting task gets a private copy, multiplying both
 //! PCIe traffic and device memory by the number of resident patch tasks —
 //! which is exactly what blew the 6 GB K20X budget in the paper.
+//!
+//! The warehouse is **fleet-aware**: it wraps a [`DeviceFleet`] and keeps
+//! one patch database and one level database *per device* — the paper's
+//! level DB is "one shared replica per GPU", so a 4-device rank holds at
+//! most 4 replicas of each coarse field, never one per patch task. Patch
+//! variables route to their home device through [`GpuDataWarehouse::
+//! device_for_patch`] (affinity override map, falling back to the sticky
+//! hash), and level staging targets an explicit device via the `_on`
+//! variants. All single-device entry points are preserved: a fleet of one
+//! behaves exactly as before.
 
-use crate::device::{GpuDevice, GpuError, Stream};
+use crate::device::{DeviceCounters, GpuDevice, GpuError, Stream};
+use crate::fleet::{DeviceFleet, DeviceId};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -143,7 +154,16 @@ struct LevelEntry {
     epoch: u64,
 }
 
-/// Per-device variable store: patch database + level database.
+/// One device's variable stores: its patch database and level database.
+/// The owning [`GpuDevice`] lives in the fleet at the same index.
+#[derive(Default)]
+struct DeviceStore {
+    patch_db: RwLock<HashMap<PatchKey, Arc<DeviceVar>>>,
+    level_db: RwLock<HashMap<LevelKey, LevelEntry>>,
+}
+
+/// Fleet-aware variable store: per-device patch databases + per-device
+/// level databases, with patch→device affinity routing.
 ///
 /// ```
 /// use uintah_gpu::{GpuDataWarehouse, GpuDevice};
@@ -161,9 +181,11 @@ struct LevelEntry {
 /// assert_eq!(dw.device().counters().h2d_transfers, 1);
 /// ```
 pub struct GpuDataWarehouse {
-    device: GpuDevice,
-    patch_db: RwLock<HashMap<PatchKey, Arc<DeviceVar>>>,
-    level_db: RwLock<HashMap<LevelKey, LevelEntry>>,
+    fleet: DeviceFleet,
+    stores: Vec<DeviceStore>,
+    /// Patch→device overrides installed by the cost-balanced affinity
+    /// policy; patches absent here fall back to the sticky hash.
+    affinity: RwLock<HashMap<PatchId, DeviceId>>,
     level_db_enabled: bool,
     /// When true (the default), [`Self::take_patch_to_host_async`] posts the
     /// drain to the D2H copy engine and returns immediately; when false it
@@ -173,12 +195,13 @@ pub struct GpuDataWarehouse {
     /// Timestep epoch: bumped by [`Self::begin_timestep`]. Level-DB entries
     /// stamped with an older epoch are *stale* — still device-resident, but
     /// requiring revalidation (diff + incremental re-upload) before reuse
-    /// via [`Self::ensure_level_fresh`].
+    /// via [`Self::ensure_level_fresh`]. One epoch governs every device.
     epoch: AtomicU64,
 }
 
 impl GpuDataWarehouse {
-    /// A data warehouse with the level database enabled (the paper's design).
+    /// A single-device warehouse with the level database enabled (the
+    /// paper's Titan configuration).
     pub fn new(device: GpuDevice) -> Self {
         Self::with_level_db(device, true)
     }
@@ -188,21 +211,28 @@ impl GpuDataWarehouse {
         Self::with_options(device, level_db_enabled, true)
     }
 
-    /// Full construction: level database and async-D2H pipelining flags.
+    /// Full single-device construction: level database and async-D2H flags.
     pub fn with_options(device: GpuDevice, level_db_enabled: bool, async_d2h: bool) -> Self {
+        Self::with_fleet(DeviceFleet::single(device), level_db_enabled, async_d2h)
+    }
+
+    /// Fleet construction: one patch DB + one level DB per device.
+    pub fn with_fleet(fleet: DeviceFleet, level_db_enabled: bool, async_d2h: bool) -> Self {
+        let stores = (0..fleet.num_devices()).map(|_| DeviceStore::default()).collect();
         Self {
-            device,
-            patch_db: RwLock::new(HashMap::new()),
-            level_db: RwLock::new(HashMap::new()),
+            fleet,
+            stores,
+            affinity: RwLock::new(HashMap::new()),
             level_db_enabled,
             async_d2h,
             epoch: AtomicU64::new(0),
         }
     }
 
-    /// Advance the timestep epoch. Level-DB entries persist on the device
-    /// but become stale: the next [`Self::ensure_level_fresh`] revalidates
-    /// them against host data instead of trusting last step's bytes.
+    /// Advance the timestep epoch. Level-DB entries persist on their
+    /// devices but become stale: the next [`Self::ensure_level_fresh`]
+    /// revalidates them against host data instead of trusting last step's
+    /// bytes.
     pub fn begin_timestep(&self) {
         self.epoch.fetch_add(1, Ordering::SeqCst);
     }
@@ -213,9 +243,28 @@ impl GpuDataWarehouse {
         self.epoch.load(Ordering::SeqCst)
     }
 
+    /// Device 0 — the whole fleet for single-device warehouses.
     #[inline]
     pub fn device(&self) -> &GpuDevice {
-        &self.device
+        self.fleet.device(0)
+    }
+
+    /// The device at a fleet index.
+    #[inline]
+    pub fn device_at(&self, id: DeviceId) -> &GpuDevice {
+        self.fleet.device(id)
+    }
+
+    /// The underlying fleet.
+    #[inline]
+    pub fn fleet(&self) -> &DeviceFleet {
+        &self.fleet
+    }
+
+    /// Number of devices in the fleet.
+    #[inline]
+    pub fn num_devices(&self) -> usize {
+        self.fleet.num_devices()
     }
 
     #[inline]
@@ -229,61 +278,99 @@ impl GpuDataWarehouse {
         self.async_d2h
     }
 
-    fn upload(&self, data: DeviceData) -> Result<Arc<DeviceVar>, GpuError> {
+    /// The home device for a patch: the cost-balanced override if one is
+    /// installed, else the deterministic sticky hash. Every patch op on
+    /// this warehouse routes through here, so kernel-side puts and the
+    /// D2H drain of the same patch always land on the same device.
+    pub fn device_for_patch(&self, patch: PatchId) -> DeviceId {
+        if self.fleet.num_devices() > 1 {
+            if let Some(&d) = self.affinity.read().get(&patch) {
+                return d;
+            }
+        }
+        self.fleet.sticky_device(patch)
+    }
+
+    /// Install cost-balanced patch→device overrides (from an LPT pass over
+    /// measured per-patch costs). Replaces the previous override set; a
+    /// patch not mentioned reverts to its sticky home. Safe to call between
+    /// timesteps only — per-patch state is transient within a step, so
+    /// moving a patch's home never strands device-resident data.
+    pub fn set_affinity(&self, assignments: &[(PatchId, DeviceId)]) {
+        let mut map = self.affinity.write();
+        map.clear();
+        for &(p, d) in assignments {
+            debug_assert!(d < self.fleet.num_devices());
+            map.insert(p, d);
+        }
+    }
+
+    /// Number of installed affinity overrides.
+    pub fn affinity_overrides(&self) -> usize {
+        self.affinity.read().len()
+    }
+
+    fn upload_on(&self, dev: DeviceId, data: DeviceData) -> Result<Arc<DeviceVar>, GpuError> {
+        let device = self.fleet.device(dev);
         let bytes = data.size_bytes();
-        self.device.try_reserve(bytes)?;
-        self.device.record_h2d(bytes);
+        device.try_reserve(bytes)?;
+        device.record_h2d(bytes);
         Ok(Arc::new(DeviceVar {
             data,
             bytes,
-            device: self.device.clone(),
+            device: device.clone(),
         }))
     }
 
     /// Materialize host data through `producer`, charging the wall time to
-    /// copy engine 0's occupancy: the host-side staging/revalidation window
-    /// is what occupies the H2D engine in this model.
-    fn produce_timed(&self, producer: impl FnOnce() -> DeviceData) -> DeviceData {
+    /// the target device's H2D engine occupancy: the host-side staging/
+    /// revalidation window is what occupies the H2D engine in this model.
+    fn produce_timed_on(&self, dev: DeviceId, producer: impl FnOnce() -> DeviceData) -> DeviceData {
         let t0 = Instant::now();
         let data = producer();
-        self.device.record_h2d_busy(t0.elapsed());
+        self.fleet.device(dev).record_h2d_busy(t0.elapsed());
         data
     }
 
-    /// Allocate a kernel *output* variable on the device (no host→device
-    /// transfer: the data is produced on the GPU).
+    /// Allocate a kernel *output* variable on the patch's home device (no
+    /// host→device transfer: the data is produced on the GPU).
     pub fn alloc_patch_output(
         &self,
         label: VarLabel,
         patch: PatchId,
         data: DeviceData,
     ) -> Result<Arc<DeviceVar>, GpuError> {
+        let dev = self.device_for_patch(patch);
+        let device = self.fleet.device(dev);
         let bytes = data.size_bytes();
-        self.device.try_reserve(bytes)?;
+        device.try_reserve(bytes)?;
         let var = Arc::new(DeviceVar {
             data,
             bytes,
-            device: self.device.clone(),
+            device: device.clone(),
         });
-        self.patch_db.write().insert((label, patch), Arc::clone(&var));
+        self.stores[dev].patch_db.write().insert((label, patch), Arc::clone(&var));
         Ok(var)
     }
 
-    /// Copy a per-patch variable host→device and register it.
+    /// Copy a per-patch variable host→device and register it on the
+    /// patch's home device.
     pub fn put_patch(
         &self,
         label: VarLabel,
         patch: PatchId,
         data: DeviceData,
     ) -> Result<Arc<DeviceVar>, GpuError> {
-        let var = self.upload(data)?;
-        self.patch_db.write().insert((label, patch), Arc::clone(&var));
+        let dev = self.device_for_patch(patch);
+        let var = self.upload_on(dev, data)?;
+        self.stores[dev].patch_db.write().insert((label, patch), Arc::clone(&var));
         Ok(var)
     }
 
     /// Device-side handle for a per-patch variable.
     pub fn get_patch(&self, label: VarLabel, patch: PatchId) -> Option<Arc<DeviceVar>> {
-        self.patch_db.read().get(&(label, patch)).cloned()
+        let dev = self.device_for_patch(patch);
+        self.stores[dev].patch_db.read().get(&(label, patch)).cloned()
     }
 
     /// Copy a per-patch variable device→host and drop it from the device
@@ -291,46 +378,52 @@ impl GpuDataWarehouse {
     /// the calling thread for the whole drain; prefer
     /// [`Self::take_patch_to_host_async`] from task bodies.
     pub fn take_patch_to_host(&self, label: VarLabel, patch: PatchId) -> Option<DeviceData> {
-        let var = self.patch_db.write().remove(&(label, patch))?;
-        self.device.record_d2h(var.size_bytes());
+        let dev = self.device_for_patch(patch);
+        let device = self.fleet.device(dev);
+        let var = self.stores[dev].patch_db.write().remove(&(label, patch))?;
+        device.record_d2h(var.size_bytes());
         let t0 = Instant::now();
         let data = var.data().clone();
-        self.device.record_d2h_busy(t0.elapsed());
+        device.record_d2h_busy(t0.elapsed());
         Some(data)
     }
 
-    /// Post the device→host copy of a per-patch variable to the D2H copy
-    /// engine and return a [`PendingD2H`] completion handle; the entry is
-    /// removed from the patch DB immediately (the task is done with it) but
-    /// its device memory stays reserved until the drain completes. The
-    /// drain — the actual memcpy of the bytes — runs on the engine thread,
-    /// overlapping whatever the scheduler executes next; the first consumer
-    /// to `wait()` blocks only for the part of the drain not already hidden.
+    /// Post the device→host copy of a per-patch variable to its home
+    /// device's D2H copy engine and return a [`PendingD2H`] completion
+    /// handle; the entry is removed from the patch DB immediately (the task
+    /// is done with it) but its device memory stays reserved until the
+    /// drain completes. The drain — the actual memcpy of the bytes — runs
+    /// on that device's engine thread, overlapping whatever the scheduler
+    /// executes next (including kernels and drains on *other* devices); the
+    /// first consumer to `wait()` blocks only for the part of the drain not
+    /// already hidden.
     ///
     /// In synchronous-fallback mode (`async_d2h == false`) the drain
     /// completes inline before returning: identical data, identical
     /// counters, `blocked == drain` so the reported overlap is zero.
     pub fn take_patch_to_host_async(&self, label: VarLabel, patch: PatchId) -> Option<PendingD2H> {
-        let var = self.patch_db.write().remove(&(label, patch))?;
+        let dev = self.device_for_patch(patch);
+        let device = self.fleet.device(dev);
+        let var = self.stores[dev].patch_db.write().remove(&(label, patch))?;
         let bytes = var.size_bytes();
         let shared = Arc::new(PendingShared::default());
         if !self.async_d2h {
-            self.device.record_d2h(bytes);
+            device.record_d2h(bytes);
             let t0 = Instant::now();
             let data = var.data().clone();
             let drain = t0.elapsed();
-            self.device.record_d2h_busy(drain);
+            device.record_d2h_busy(drain);
             drop(var);
             *shared.slot.lock().unwrap() = Some((data, drain));
             return Some(PendingD2H {
                 shared,
                 bytes,
-                stream: self.device.next_stream(),
+                stream: device.next_stream(),
                 inline: true,
             });
         }
         let sh = Arc::clone(&shared);
-        let stream = self.device.post_d2h(bytes, move || {
+        let stream = device.post_d2h(bytes, move || {
             let t0 = Instant::now();
             let data = var.data().clone();
             let drain = t0.elapsed();
@@ -351,35 +444,50 @@ impl GpuDataWarehouse {
     /// Drop a per-patch input without a device→host transfer (inputs are
     /// discarded after the kernel; only outputs cross PCIe back).
     pub fn drop_patch(&self, label: VarLabel, patch: PatchId) {
-        self.patch_db.write().remove(&(label, patch));
+        let dev = self.device_for_patch(patch);
+        self.stores[dev].patch_db.write().remove(&(label, patch));
     }
 
-    /// Obtain the shared per-level variable, uploading it at most once.
-    ///
-    /// `producer` materializes the host-side data (e.g. the coarsened
-    /// radiative properties) and is only invoked when an upload is needed.
-    /// With the level DB disabled, every call uploads a private copy —
-    /// reproducing the redundant-copy behaviour the paper eliminated.
+    /// Obtain the shared per-level variable on device 0, uploading it at
+    /// most once. See [`Self::ensure_level_on`] for the fleet form.
     pub fn ensure_level(
         &self,
         label: VarLabel,
         level: LevelIndex,
         producer: impl FnOnce() -> DeviceData,
     ) -> Result<Arc<DeviceVar>, GpuError> {
+        self.ensure_level_on(0, label, level, producer)
+    }
+
+    /// Obtain the shared per-level variable *on a specific device*,
+    /// uploading it at most once per device.
+    ///
+    /// `producer` materializes the host-side data (e.g. the coarsened
+    /// radiative properties) and is only invoked when an upload is needed.
+    /// With the level DB disabled, every call uploads a private copy —
+    /// reproducing the redundant-copy behaviour the paper eliminated.
+    pub fn ensure_level_on(
+        &self,
+        dev: DeviceId,
+        label: VarLabel,
+        level: LevelIndex,
+        producer: impl FnOnce() -> DeviceData,
+    ) -> Result<Arc<DeviceVar>, GpuError> {
         if !self.level_db_enabled {
-            return self.upload(self.produce_timed(producer));
+            return self.upload_on(dev, self.produce_timed_on(dev, producer));
         }
-        if let Some(e) = self.level_db.read().get(&(label, level)) {
+        let store = &self.stores[dev];
+        if let Some(e) = store.level_db.read().get(&(label, level)) {
             return Ok(Arc::clone(&e.var));
         }
         // Upload outside the write lock would allow duplicate uploads under
         // contention; take the write lock across the check-and-upload
         // (uploads are rare: once per level variable per timestep).
-        let mut db = self.level_db.write();
+        let mut db = store.level_db.write();
         if let Some(e) = db.get(&(label, level)) {
             return Ok(Arc::clone(&e.var));
         }
-        let var = self.upload(self.produce_timed(producer))?;
+        let var = self.upload_on(dev, self.produce_timed_on(dev, producer))?;
         db.insert(
             (label, level),
             LevelEntry {
@@ -390,7 +498,18 @@ impl GpuDataWarehouse {
         Ok(var)
     }
 
-    /// Like [`Self::ensure_level`], but epoch-aware: a replica persisted
+    /// Epoch-aware [`Self::ensure_level`] on device 0. See
+    /// [`Self::ensure_level_fresh_on`] for the fleet form.
+    pub fn ensure_level_fresh(
+        &self,
+        label: VarLabel,
+        level: LevelIndex,
+        producer: impl FnOnce() -> DeviceData,
+    ) -> Result<Arc<DeviceVar>, GpuError> {
+        self.ensure_level_fresh_on(0, label, level, producer)
+    }
+
+    /// Like [`Self::ensure_level_on`], but epoch-aware: a replica persisted
     /// from an earlier timestep is *revalidated* instead of blindly shared.
     ///
     /// * Entry validated this epoch → share it, zero PCIe traffic, and the
@@ -401,31 +520,36 @@ impl GpuDataWarehouse {
     ///   data is re-uploaded metering only the changed bytes (the
     ///   incremental-update model of §III-C: the coarse radiative properties
     ///   barely move between radiation solves).
-    /// * No entry → full upload, as in [`Self::ensure_level`].
+    /// * No entry → full upload, as in [`Self::ensure_level_on`].
     ///
-    /// With the level DB disabled (E4 ablation) every call is a full private
-    /// upload, every timestep — the pre-optimization behaviour.
-    pub fn ensure_level_fresh(
+    /// Each device revalidates independently: a replica fresh on device 0
+    /// says nothing about device 1's copy. With the level DB disabled (E4
+    /// ablation) every call is a full private upload, every timestep — the
+    /// pre-optimization behaviour.
+    pub fn ensure_level_fresh_on(
         &self,
+        dev: DeviceId,
         label: VarLabel,
         level: LevelIndex,
         producer: impl FnOnce() -> DeviceData,
     ) -> Result<Arc<DeviceVar>, GpuError> {
         if !self.level_db_enabled {
-            return self.upload(self.produce_timed(producer));
+            return self.upload_on(dev, self.produce_timed_on(dev, producer));
         }
+        let device = self.fleet.device(dev);
+        let store = &self.stores[dev];
         let now = self.epoch();
-        if let Some(e) = self.level_db.read().get(&(label, level)) {
+        if let Some(e) = store.level_db.read().get(&(label, level)) {
             if e.epoch == now {
                 return Ok(Arc::clone(&e.var));
             }
         }
-        let mut db = self.level_db.write();
+        let mut db = store.level_db.write();
         match db.get_mut(&(label, level)) {
             Some(e) if e.epoch == now => Ok(Arc::clone(&e.var)),
             Some(e) => {
                 // Stale resident replica: revalidate against host data.
-                let host = self.produce_timed(producer);
+                let host = self.produce_timed_on(dev, producer);
                 let changed = e.var.data().diff_bytes(&host);
                 if changed == 0 {
                     e.epoch = now;
@@ -437,7 +561,7 @@ impl GpuDataWarehouse {
                         // Overwrite in place: this DB holds the only handle,
                         // so the update happens device-side and only the
                         // changed bytes cross PCIe.
-                        self.device.record_h2d(changed);
+                        device.record_h2d(changed);
                         var.data = host;
                     }
                     _ => {
@@ -448,12 +572,12 @@ impl GpuDataWarehouse {
                         // the stale epoch untouched — then meter the full
                         // replacement buffer, not just the diff.
                         let bytes = host.size_bytes();
-                        self.device.try_reserve(bytes)?;
-                        self.device.record_h2d(bytes);
+                        device.try_reserve(bytes)?;
+                        device.record_h2d(bytes);
                         e.var = Arc::new(DeviceVar {
                             data: host,
                             bytes,
-                            device: self.device.clone(),
+                            device: device.clone(),
                         });
                     }
                 }
@@ -461,7 +585,7 @@ impl GpuDataWarehouse {
                 Ok(Arc::clone(&e.var))
             }
             None => {
-                let var = self.upload(self.produce_timed(producer))?;
+                let var = self.upload_on(dev, self.produce_timed_on(dev, producer))?;
                 db.insert(
                     (label, level),
                     LevelEntry {
@@ -474,58 +598,117 @@ impl GpuDataWarehouse {
         }
     }
 
-    /// Look up a level variable without uploading (ignores staleness).
+    /// Look up a level variable on device 0 without uploading.
     pub fn get_level(&self, label: VarLabel, level: LevelIndex) -> Option<Arc<DeviceVar>> {
-        self.level_db.read().get(&(label, level)).map(|e| Arc::clone(&e.var))
+        self.get_level_on(0, label, level)
     }
 
-    /// The epoch a level entry was last validated at, if resident.
+    /// Look up a level variable on a device without uploading (ignores
+    /// staleness).
+    pub fn get_level_on(
+        &self,
+        dev: DeviceId,
+        label: VarLabel,
+        level: LevelIndex,
+    ) -> Option<Arc<DeviceVar>> {
+        self.stores[dev].level_db.read().get(&(label, level)).map(|e| Arc::clone(&e.var))
+    }
+
+    /// The epoch a device-0 level entry was last validated at, if resident.
     pub fn level_entry_epoch(&self, label: VarLabel, level: LevelIndex) -> Option<u64> {
-        self.level_db.read().get(&(label, level)).map(|e| e.epoch)
+        self.level_entry_epoch_on(0, label, level)
     }
 
-    /// Drop every per-level entry (end of radiation timestep).
+    /// The epoch a level entry was last validated at on a device.
+    pub fn level_entry_epoch_on(
+        &self,
+        dev: DeviceId,
+        label: VarLabel,
+        level: LevelIndex,
+    ) -> Option<u64> {
+        self.stores[dev].level_db.read().get(&(label, level)).map(|e| e.epoch)
+    }
+
+    /// Drop every per-level entry on every device (end of radiation
+    /// timestep).
     pub fn clear_level_db(&self) {
-        self.level_db.write().clear();
+        for s in &self.stores {
+            s.level_db.write().clear();
+        }
     }
 
-    /// Drop every per-patch entry.
+    /// Drop every per-patch entry on every device.
     pub fn clear_patch_db(&self) {
-        self.patch_db.write().clear();
+        for s in &self.stores {
+            s.patch_db.write().clear();
+        }
     }
 
-    /// Evict everything for a regrid: wait for the D2H copy-engine timeline
-    /// to drain (releasing in-flight device memory), then drop every
-    /// per-patch and per-level entry so `ensure_level_fresh` repopulates
-    /// from the post-regrid host data instead of trusting a poisoned cache.
-    /// Returns `(patch_entries, level_entries)` evicted. Entries whose
-    /// `Arc<DeviceVar>` is still held by a task release their device memory
-    /// when that last handle drops.
+    /// Evict everything on every device for a regrid. See
+    /// [`Self::invalidate_for_regrid_on`] for the targeted per-device form.
     pub fn invalidate_for_regrid(&self) -> (usize, usize) {
-        self.device.sync_d2h();
-        let patches = {
-            let mut db = self.patch_db.write();
-            let n = db.len();
-            db.clear();
-            n
-        };
-        let levels = {
-            let mut db = self.level_db.write();
-            let n = db.len();
-            db.clear();
-            n
-        };
+        let all: Vec<DeviceId> = (0..self.num_devices()).collect();
+        self.invalidate_for_regrid_on(&all)
+    }
+
+    /// Evict the named devices for a regrid: wait for each device's D2H
+    /// copy-engine timeline to drain (releasing in-flight device memory),
+    /// then drop its per-patch and per-level entries so
+    /// `ensure_level_fresh_on` repopulates from the post-regrid host data
+    /// instead of trusting a poisoned cache. Devices *not* named keep their
+    /// resident replicas — a regrid that only migrates patches homed on
+    /// device 2 must not force devices 0/1/3 to re-upload their level DBs.
+    /// Returns total `(patch_entries, level_entries)` evicted. Entries
+    /// whose `Arc<DeviceVar>` is still held by a task release their device
+    /// memory when that last handle drops.
+    pub fn invalidate_for_regrid_on(&self, devices: &[DeviceId]) -> (usize, usize) {
+        let mut patches = 0;
+        let mut levels = 0;
+        for &dev in devices {
+            self.fleet.device(dev).sync_d2h();
+            let store = &self.stores[dev];
+            {
+                let mut db = store.patch_db.write();
+                patches += db.len();
+                db.clear();
+            }
+            {
+                let mut db = store.level_db.write();
+                levels += db.len();
+                db.clear();
+            }
+        }
         (patches, levels)
     }
 
-    /// Number of live per-level entries.
-    pub fn level_entries(&self) -> usize {
-        self.level_db.read().len()
+    /// Block until every device's D2H copy-engine timeline is empty.
+    pub fn sync_d2h_all(&self) {
+        self.fleet.sync_d2h_all();
     }
 
-    /// Number of live per-patch entries.
+    /// One counter snapshot per device, in device order.
+    pub fn counters_per_device(&self) -> Vec<DeviceCounters> {
+        self.fleet.counters_per_device()
+    }
+
+    /// Number of live per-level entries across all devices.
+    pub fn level_entries(&self) -> usize {
+        self.stores.iter().map(|s| s.level_db.read().len()).sum()
+    }
+
+    /// Number of live per-level entries on one device.
+    pub fn level_entries_on(&self, dev: DeviceId) -> usize {
+        self.stores[dev].level_db.read().len()
+    }
+
+    /// Number of live per-patch entries across all devices.
     pub fn patch_entries(&self) -> usize {
-        self.patch_db.read().len()
+        self.stores.iter().map(|s| s.patch_db.read().len()).sum()
+    }
+
+    /// Number of live per-patch entries on one device.
+    pub fn patch_entries_on(&self, dev: DeviceId) -> usize {
+        self.stores[dev].patch_db.read().len()
     }
 }
 
@@ -822,5 +1005,121 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(dw.device().counters().h2d_transfers, 2, "no persistence without the DB");
         assert_eq!(dw.device().counters().h2d_bytes, 2 * 16u64.pow(3) * 8);
+    }
+
+    // ---- fleet routing -------------------------------------------------
+
+    #[test]
+    fn fleet_routes_patches_to_home_devices() {
+        let fleet = DeviceFleet::with_capacity(4, "test", 1 << 30);
+        let dw = GpuDataWarehouse::with_fleet(fleet, true, true);
+        assert_eq!(dw.num_devices(), 4);
+        // Put 32 patches; each must land on its sticky home device and be
+        // visible only there.
+        for p in 0..32u32 {
+            dw.put_patch(DIVQ, PatchId(p), field(4, p as f64)).unwrap();
+        }
+        for p in 0..32u32 {
+            let home = dw.device_for_patch(PatchId(p));
+            assert_eq!(home, dw.fleet().sticky_device(PatchId(p)));
+            let v = dw.get_patch(DIVQ, PatchId(p)).unwrap();
+            assert_eq!(v.data().as_f64()[uintah_grid::IntVector::ZERO], p as f64);
+        }
+        let per_dev: Vec<usize> = (0..4).map(|d| dw.patch_entries_on(d)).collect();
+        assert_eq!(per_dev.iter().sum::<usize>(), 32);
+        assert!(per_dev.iter().all(|&n| n > 0), "all devices used: {per_dev:?}");
+        // Memory is metered on the owning device only.
+        let used: Vec<usize> = dw.fleet().devices().iter().map(|d| d.used()).collect();
+        let patch_bytes = 4usize.pow(3) * 8;
+        for (d, &n) in per_dev.iter().enumerate() {
+            assert_eq!(used[d], n * patch_bytes, "device {d} meters its own patches");
+        }
+    }
+
+    #[test]
+    fn fleet_level_replicas_are_per_device() {
+        let fleet = DeviceFleet::with_capacity(2, "test", 1 << 30);
+        let dw = GpuDataWarehouse::with_fleet(fleet, true, true);
+        let a0 = dw.ensure_level_fresh_on(0, ABSKG, 0, || field(16, 0.9)).unwrap();
+        let a1 = dw.ensure_level_fresh_on(1, ABSKG, 0, || field(16, 0.9)).unwrap();
+        assert!(!Arc::ptr_eq(&a0, &a1), "each device holds its own replica");
+        // Each device paid exactly one upload; sharing within a device holds.
+        let c = dw.counters_per_device();
+        assert_eq!(c[0].h2d_transfers, 1);
+        assert_eq!(c[1].h2d_transfers, 1);
+        let b0 = dw.ensure_level_fresh_on(0, ABSKG, 0, || panic!("resident on 0")).unwrap();
+        assert!(Arc::ptr_eq(&a0, &b0));
+        assert_eq!(dw.level_entries_on(0), 1);
+        assert_eq!(dw.level_entries_on(1), 1);
+        assert_eq!(dw.level_entries(), 2);
+        // Revalidation is independent per device.
+        dw.begin_timestep();
+        let c0 = dw.ensure_level_fresh_on(0, ABSKG, 0, || field(16, 0.9)).unwrap();
+        assert!(Arc::ptr_eq(&a0, &c0));
+        assert_eq!(dw.level_entry_epoch_on(0, ABSKG, 0), Some(1));
+        assert_eq!(dw.level_entry_epoch_on(1, ABSKG, 0), Some(0), "device 1 not yet revalidated");
+    }
+
+    #[test]
+    fn fleet_targeted_regrid_eviction_spares_other_devices() {
+        let fleet = DeviceFleet::with_capacity(3, "test", 1 << 30);
+        let dw = GpuDataWarehouse::with_fleet(fleet, true, true);
+        for d in 0..3 {
+            dw.ensure_level_fresh_on(d, ABSKG, 0, || field(8, 0.5)).map(drop).unwrap();
+        }
+        let (p, l) = dw.invalidate_for_regrid_on(&[1]);
+        assert_eq!((p, l), (0, 1));
+        assert_eq!(dw.level_entries_on(0), 1, "device 0 replica survives");
+        assert_eq!(dw.level_entries_on(1), 0, "device 1 evicted");
+        assert_eq!(dw.level_entries_on(2), 1, "device 2 replica survives");
+        assert_eq!(dw.device_at(1).used(), 0);
+        assert!(dw.device_at(0).used() > 0);
+    }
+
+    #[test]
+    fn affinity_override_rehomes_patches() {
+        let fleet = DeviceFleet::with_capacity(2, "test", 1 << 30);
+        let dw = GpuDataWarehouse::with_fleet(fleet, true, true);
+        // Find a patch whose sticky home is device 1, then pin it to 0.
+        let p = (0..64u32)
+            .map(PatchId)
+            .find(|&p| dw.fleet().sticky_device(p) == 1)
+            .expect("some patch hashes to device 1");
+        dw.set_affinity(&[(p, 0)]);
+        assert_eq!(dw.device_for_patch(p), 0);
+        dw.put_patch(DIVQ, p, field(4, 3.0)).unwrap();
+        assert_eq!(dw.patch_entries_on(0), 1);
+        assert_eq!(dw.patch_entries_on(1), 0);
+        assert!(dw.device_at(0).used() > 0);
+        assert_eq!(dw.device_at(1).used(), 0);
+        // Take routes through the same override → drains device 0's engine.
+        let _ = dw.take_patch_to_host(DIVQ, p).unwrap();
+        assert_eq!(dw.counters_per_device()[0].d2h_transfers, 1);
+        assert_eq!(dw.counters_per_device()[1].d2h_transfers, 0);
+        // Clearing the overrides restores the sticky home.
+        dw.set_affinity(&[]);
+        assert_eq!(dw.affinity_overrides(), 0);
+        assert_eq!(dw.device_for_patch(p), 1);
+    }
+
+    #[test]
+    fn fleet_async_drains_use_home_device_engines() {
+        let fleet = DeviceFleet::with_capacity(2, "test", 1 << 30);
+        let dw = GpuDataWarehouse::with_fleet(fleet, true, true);
+        let p0 = (0..64u32).map(PatchId).find(|&p| dw.device_for_patch(p) == 0).unwrap();
+        let p1 = (0..64u32).map(PatchId).find(|&p| dw.device_for_patch(p) == 1).unwrap();
+        dw.put_patch(DIVQ, p0, field(8, 1.0)).unwrap();
+        dw.put_patch(DIVQ, p1, field(8, 2.0)).unwrap();
+        let h0 = dw.take_patch_to_host_async(DIVQ, p0).unwrap();
+        let h1 = dw.take_patch_to_host_async(DIVQ, p1).unwrap();
+        assert_eq!(h0.wait().as_f64()[uintah_grid::IntVector::ZERO], 1.0);
+        assert_eq!(h1.wait().as_f64()[uintah_grid::IntVector::ZERO], 2.0);
+        dw.sync_d2h_all();
+        let c = dw.counters_per_device();
+        assert_eq!(c[0].d2h_transfers, 1, "patch 0 drained on device 0's engine");
+        assert_eq!(c[1].d2h_transfers, 1, "patch 1 drained on device 1's engine");
+        assert_eq!(c[0].d2h_inflight, 0);
+        assert_eq!(c[1].d2h_inflight, 0);
+        assert_eq!(dw.fleet().total_used(), 0, "no leaked bytes on any device");
     }
 }

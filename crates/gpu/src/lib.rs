@@ -19,10 +19,16 @@
 //!   shared copy of each per-level variable that all concurrent patch tasks
 //!   reference. Disabling the level DB (the E4 ablation) makes every patch
 //!   task materialize its own copy, reproducing the "before" memory and PCIe
-//!   behaviour.
+//!   behaviour;
+//! * [`DeviceFleet`] — a rank's set of N devices (Summit-style fat nodes),
+//!   each with its own capacity meter, copy-engine timelines, and — inside
+//!   the warehouse — its own patch and level databases, scheduled via
+//!   [`GpuAffinity`] (sticky patch-id hash or measured-cost LPT balancing).
 
 pub mod device;
 pub mod dw;
+pub mod fleet;
 
 pub use device::{CopyEngineStats, DeviceCounters, GpuDevice, GpuError, Stream};
 pub use dw::{DeviceData, DeviceVar, GpuDataWarehouse, PendingD2H};
+pub use fleet::{lpt_assign, sticky_device, DeviceFleet, DeviceId, GpuAffinity};

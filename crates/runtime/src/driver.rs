@@ -10,7 +10,7 @@ use crate::task::TaskDecl;
 use std::sync::Arc;
 use std::time::Instant;
 use uintah_comm::{AllReduceVec, CommWorld};
-use uintah_gpu::{GpuDataWarehouse, GpuDevice};
+use uintah_gpu::{lpt_assign, DeviceFleet, GpuAffinity, GpuDataWarehouse};
 use uintah_grid::{
     DistributionPolicy, Grid, PatchCosts, PatchDistribution, RebalancePolicy, Regridder,
 };
@@ -24,9 +24,17 @@ pub struct WorldConfig {
     pub policy: DistributionPolicy,
     pub store: StoreKind,
     pub timesteps: usize,
-    /// Attach a simulated GPU (one per rank, like Titan) with this capacity;
+    /// Attach a simulated GPU fleet with this capacity *per device*;
     /// `None` runs CPU-only.
     pub gpu_capacity: Option<usize>,
+    /// Devices per rank (1 = the paper's Titan node, 6 = Summit-style).
+    /// Each device gets its own capacity meter, copy-engine timelines, and
+    /// per-level replica DB.
+    pub gpus_per_rank: usize,
+    /// How GPU patch tasks are assigned to fleet devices: `Sticky`
+    /// (deterministic patch-id hash) or `CostBalanced` (LPT over measured
+    /// per-patch costs, refreshed after every step).
+    pub gpu_affinity: GpuAffinity,
     /// Keep one shared per-level copy on the GPU (the paper's level DB).
     pub gpu_level_db: bool,
     /// Post device→host drains to the copy engine asynchronously so the
@@ -63,6 +71,8 @@ impl Default for WorldConfig {
             store: StoreKind::WaitFree,
             timesteps: 1,
             gpu_capacity: None,
+            gpus_per_rank: 1,
+            gpu_affinity: GpuAffinity::Sticky,
             gpu_level_db: true,
             gpu_async_d2h: true,
             aggregate_level_windows: false,
@@ -140,12 +150,26 @@ pub fn run_world(grid: Arc<Grid>, decls: Arc<Vec<TaskDecl>>, cfg: WorldConfig) -
             let comm = world.communicator(rank);
             let dw = Arc::new(DataWarehouse::new(Arc::clone(&grid)));
             let gpu = cfg.gpu_capacity.map(|cap| {
-                Arc::new(GpuDataWarehouse::with_options(
-                    GpuDevice::with_capacity("K20X-sim", cap),
+                Arc::new(GpuDataWarehouse::with_fleet(
+                    DeviceFleet::with_capacity(cfg.gpus_per_rank.max(1), "K20X-sim", cap),
                     cfg.gpu_level_db,
                     cfg.gpu_async_d2h,
                 ))
             });
+            // Cost-balanced affinity: after each step, re-home patches to
+            // devices with an LPT pass over the measured per-patch costs
+            // (the intra-node mirror of the regrid rebalance). Safe between
+            // steps only — per-patch device state is transient in a step.
+            let refresh_affinity = |s: &ExecStats| {
+                if cfg.gpu_affinity != GpuAffinity::CostBalanced {
+                    return;
+                }
+                if let Some(g) = &gpu {
+                    if g.num_devices() > 1 && !s.per_patch.is_empty() {
+                        g.set_affinity(&lpt_assign(&s.per_patch, g.num_devices()));
+                    }
+                }
+            };
             let sched = Scheduler::new(comm, cfg.nthreads, cfg.store);
             let mut stats = Vec::with_capacity(cfg.timesteps);
             let regridder = Regridder::new(cfg.regrid_policy);
@@ -193,6 +217,7 @@ pub fn run_world(grid: Arc<Grid>, decls: Arc<Vec<TaskDecl>>, cfg: WorldConfig) -
                     for &(pid, d) in &s.per_patch {
                         step_cost[pid.index()] += d.as_secs_f64();
                     }
+                    refresh_affinity(&s);
                     stats.push(s);
                 }
                 final_dist = Arc::clone(exec.dist());
@@ -227,6 +252,7 @@ pub fn run_world(grid: Arc<Grid>, decls: Arc<Vec<TaskDecl>>, cfg: WorldConfig) -
                     for &(pid, d) in &s.per_patch {
                         step_cost[pid.index()] += d.as_secs_f64();
                     }
+                    refresh_affinity(&s);
                     stats.push(s);
                 }
                 final_dist = dist;

@@ -33,7 +33,7 @@ use crate::task::TaskDecl;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use uintah_gpu::GpuDataWarehouse;
-use uintah_grid::{Grid, PatchDistribution};
+use uintah_grid::{Grid, PatchDistribution, PatchId};
 
 /// Per-rank executor that persists graphs, warehouse storage and GPU
 /// residency across timesteps. One instance per rank, stepped in lockstep
@@ -154,12 +154,13 @@ impl PersistentExecutor {
             return None;
         }
         let t0 = Instant::now();
-        // 1. Settle the copy engine: every parked D2H handle materializes
-        //    (or is retired) before ownership moves, so migration reads
-        //    complete host data and no drain lands under a recycled id.
+        // 1. Settle the copy engines (every fleet device): every parked D2H
+        //    handle materializes (or is retired) before ownership moves, so
+        //    migration reads complete host data and no drain lands under a
+        //    recycled id.
         let drained_d2h = self.dw.drain_pending_d2h();
         if let Some(g) = &self.gpu {
-            g.device().sync_d2h();
+            g.sync_d2h_all();
         }
         // 2. Open the new distribution generation: pending slots and pooled
         //    buffers from the old ownership can no longer satisfy requests.
@@ -174,12 +175,31 @@ impl PersistentExecutor {
             &labels,
             generation,
         );
-        // 4. Evict device state: per-patch staging and level replicas both
-        //    key freshness by patch/level content under the old ownership.
+        // 4. Evict device state — but only on the fleet devices that are
+        //    home to a patch whose owner changed: per-patch staging and
+        //    level replicas on those devices keyed freshness by content
+        //    under the old ownership, while untouched devices keep their
+        //    resident replicas (revalidated by epoch + diff on first
+        //    post-regrid use anyway).
+        let affected_devices: Vec<usize> = self
+            .gpu
+            .as_ref()
+            .map(|g| {
+                let mut devs = std::collections::BTreeSet::new();
+                for (i, (old_r, new_r)) in
+                    self.dist.rank_map().iter().zip(new.rank_map()).enumerate()
+                {
+                    if old_r != new_r {
+                        devs.insert(g.device_for_patch(PatchId(i as u32)));
+                    }
+                }
+                devs.into_iter().collect()
+            })
+            .unwrap_or_default();
         let (gpu_patch_evicted, gpu_level_evicted) = self
             .gpu
             .as_ref()
-            .map(|g| g.invalidate_for_regrid())
+            .map(|g| g.invalidate_for_regrid_on(&affected_devices))
             .unwrap_or((0, 0));
         // 5. Adopt the distribution and force a recompile.
         self.dist = new;
@@ -193,6 +213,7 @@ impl PersistentExecutor {
             drained_d2h,
             gpu_patch_evicted,
             gpu_level_evicted,
+            gpu_devices_evicted: affected_devices.len(),
         };
         self.pending_regrid = Some(ev.clone());
         Some(ev)

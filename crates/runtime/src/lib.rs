@@ -47,5 +47,5 @@ pub use dw::DataWarehouse;
 pub use executor::PersistentExecutor;
 pub use graph::{graph_signature, CompiledGraph, GraphStats};
 pub use regrid::RegridEvent;
-pub use scheduler::{ExecStats, Scheduler, StoreKind};
+pub use scheduler::{DeviceStepStats, ExecStats, Scheduler, StoreKind};
 pub use task::{Computes, Requirement, TaskContext, TaskDecl, TaskFn, TaskKind};

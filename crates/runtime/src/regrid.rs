@@ -60,6 +60,9 @@ pub struct RegridEvent {
     /// GPU device-resident level replicas evicted (re-uploaded in full on
     /// first post-regrid use).
     pub gpu_level_evicted: usize,
+    /// Fleet devices the eviction touched (only devices home to a patch
+    /// whose owner changed; the rest keep their resident replicas).
+    pub gpu_devices_evicted: usize,
 }
 
 /// Var-id → label map over every label the task list can publish — the

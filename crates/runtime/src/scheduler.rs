@@ -56,6 +56,28 @@ impl StoreKind {
     }
 }
 
+/// One fleet device's share of a step: its kernel metering plus the
+/// per-step deltas of its copy-engine counters and its (absolute)
+/// memory high-water mark.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeviceStepStats {
+    /// Fleet device index.
+    pub device: usize,
+    /// Kernels dispatched on this device this step.
+    pub kernel_stats: KernelStats,
+    /// Host→device bytes this step.
+    pub h2d_bytes: u64,
+    /// Device→host bytes this step.
+    pub d2h_bytes: u64,
+    /// H2D engine occupancy this step, in nanoseconds.
+    pub h2d_busy_ns: u64,
+    /// D2H engine occupancy this step, in nanoseconds.
+    pub d2h_busy_ns: u64,
+    /// The device's memory high-water mark (absolute, not a delta — the
+    /// capacity-meter number that must stay under the 6 GB budget).
+    pub peak_bytes: u64,
+}
+
 /// Execution statistics for one `execute` call on one rank.
 #[derive(Clone, Debug, Default)]
 pub struct ExecStats {
@@ -92,11 +114,16 @@ pub struct ExecStats {
     /// overlap won by posting drains to the copy engine instead of blocking
     /// the worker inside the task body. Zero on the synchronous path.
     pub gpu_d2h_overlap: Duration,
-    /// Kernel metering for this step's `Device` execution space: launches,
-    /// cell invocations, logical bytes and wall time inside device
-    /// dispatches (all zero without a GPU warehouse). Feeds the titan-sim
-    /// cost-model calibration.
+    /// Kernel metering summed over this step's `Device` execution spaces:
+    /// launches, cell invocations, logical bytes and wall time inside
+    /// device dispatches (all zero without a GPU warehouse). Feeds the
+    /// titan-sim cost-model calibration.
     pub kernel_stats: KernelStats,
+    /// Per-device breakdown of the fleet's step: one entry per device in
+    /// fleet order (kernel stats, copy-engine byte/busy deltas, peak
+    /// memory). Empty without a GPU warehouse; `kernel_stats` and the
+    /// `gpu_*_bytes` fields are the sums of these entries.
+    pub per_device: Vec<DeviceStepStats>,
     /// Regrids folded into this step (the persistent executor charges a
     /// regrid to the step that runs under the new distribution).
     pub regrids: usize,
@@ -157,7 +184,26 @@ impl ExecStats {
                 ms(self.migrate_wall),
             );
         }
-        if self.kernel_stats.launches > 0 {
+        if !self.per_device.is_empty() {
+            // One line per fleet device: its launches, PCIe traffic, and
+            // engine occupancy — the aggregate is recoverable by summing.
+            for d in &self.per_device {
+                let _ = writeln!(
+                    out,
+                    "gpu[{}] {} launches | {} cells | {:.3} ms in kernels | h2d {} B ({} ns busy)  d2h {} B ({} ns busy) | peak {} B",
+                    d.device,
+                    d.kernel_stats.launches,
+                    d.kernel_stats.invocations,
+                    ms(d.kernel_stats.wall()),
+                    d.h2d_bytes,
+                    d.h2d_busy_ns,
+                    d.d2h_bytes,
+                    d.d2h_busy_ns,
+                    d.peak_bytes,
+                );
+            }
+        } else if self.kernel_stats.launches > 0 {
+            // Hand-built stats without a per-device breakdown.
             let ks = &self.kernel_stats;
             let _ = writeln!(
                 out,
@@ -231,14 +277,22 @@ impl Scheduler {
         phase: u8,
     ) -> ExecStats {
         let t_start = Instant::now();
-        let h2d_bytes_before = gpu.map(|g| g.device().counters().h2d_bytes).unwrap_or(0);
-        let d2h_bytes_before = gpu.map(|g| g.device().counters().d2h_bytes).unwrap_or(0);
+        let counters_before = gpu.map(|g| g.counters_per_device()).unwrap_or_default();
         let d2h_wait_before = dw.d2h_wait();
         let d2h_overlap_before = dw.d2h_overlap();
-        // The step's execution spaces: one shared, metered Device space for
-        // every GPU task (kernel stats aggregate across workers), and a
-        // host space for CPU tasks. One code path picks per task below.
-        let device_space = gpu.map(|g| DeviceSpace::new(g.device().clone()));
+        // The step's execution spaces: one shared, metered Device space
+        // *per fleet device* (kernel stats aggregate across workers but
+        // stay per-device), and a host space for CPU tasks. Each GPU task
+        // is dispatched on its patch's home device — the same device the
+        // warehouse stages that patch's variables on — so kernel launches
+        // and copy-engine drains on different devices overlap freely.
+        let device_spaces: Vec<DeviceSpace> = gpu
+            .map(|g| {
+                (0..g.num_devices())
+                    .map(|i| DeviceSpace::with_index(g.device_at(i).clone(), i))
+                    .collect()
+            })
+            .unwrap_or_default();
         let n = graph.instances.len();
         let deps: Vec<AtomicUsize> = graph
             .instances
@@ -323,7 +377,7 @@ impl Scheduler {
                 let per_decl_count = &per_decl_count;
                 let per_decl_ns = &per_decl_ns;
                 let per_patch_ns = &per_patch_ns;
-                let device_space = &device_space;
+                let device_spaces = &device_spaces;
                 let comm = self.comm.clone();
                 scope.spawn(move || {
                     let notify = |ids: &[usize]| {
@@ -397,13 +451,18 @@ impl Scheduler {
                                 let decl = &decls[di];
                                 let patch = grid.patch(inst.patch.expect("patch instance"));
                                 // One code path picks the space per task:
-                                // GPU tasks dispatch their kernels on the
-                                // metered Device space, everything else on
-                                // the host (each worker already owns a
-                                // whole patch task, so intra-task host
-                                // dispatch is serial).
-                                let space = match (decl.kind, device_space.as_ref()) {
-                                    (TaskKind::Gpu, Some(ds)) => ExecSpace::Device(ds.clone()),
+                                // a GPU task dispatches its kernels on the
+                                // metered Device space of its patch's home
+                                // device (the same device the warehouse
+                                // routes that patch's variables to),
+                                // everything else on the host (each worker
+                                // already owns a whole patch task, so
+                                // intra-task host dispatch is serial).
+                                let space = match (decl.kind, gpu) {
+                                    (TaskKind::Gpu, Some(g)) => {
+                                        let dev = g.device_for_patch(patch.id());
+                                        ExecSpace::Device(device_spaces[dev].clone())
+                                    }
                                     _ => ExecSpace::host(1),
                                 };
                                 let mut ctx = TaskContext {
@@ -486,13 +545,31 @@ impl Scheduler {
         });
 
         // End-of-step device synchronization (the `cudaDeviceSynchronize`
-        // analogue): settle every D2H drain no consumer touched and wait
-        // for the copy-engine timeline to empty, so the stats below are
-        // coherent and no completion handle leaks across the step boundary.
+        // analogue, once per fleet device): settle every D2H drain no
+        // consumer touched and wait for every copy-engine timeline to
+        // empty, so the stats below are coherent and no completion handle
+        // leaks across the step boundary.
         dw.drain_pending_d2h();
         if let Some(g) = gpu {
-            g.device().sync_d2h();
+            g.sync_d2h_all();
         }
+
+        // Per-device step breakdown: each device's kernel stats come from
+        // its own space, the PCIe numbers from its counter deltas.
+        let counters_after = gpu.map(|g| g.counters_per_device()).unwrap_or_default();
+        let per_device: Vec<DeviceStepStats> = device_spaces
+            .iter()
+            .zip(counters_before.iter().zip(&counters_after))
+            .map(|(ds, (before, after))| DeviceStepStats {
+                device: ds.index(),
+                kernel_stats: ds.kernel_stats(),
+                h2d_bytes: after.h2d_bytes - before.h2d_bytes,
+                d2h_bytes: after.d2h_bytes - before.d2h_bytes,
+                h2d_busy_ns: after.h2d_busy_ns.saturating_sub(before.h2d_busy_ns),
+                d2h_busy_ns: after.d2h_busy_ns.saturating_sub(before.d2h_busy_ns),
+                peak_bytes: after.peak,
+            })
+            .collect();
 
         ExecStats {
             tasks_executed: tasks_executed.load(Ordering::Relaxed),
@@ -506,17 +583,12 @@ impl Scheduler {
             idle: Duration::from_nanos(idle_ns.load(Ordering::Relaxed)),
             parks: parks.load(Ordering::Relaxed),
             graph_compile: Duration::ZERO,
-            gpu_h2d_bytes: gpu
-                .map(|g| g.device().counters().h2d_bytes - h2d_bytes_before)
-                .unwrap_or(0),
-            gpu_d2h_bytes: gpu
-                .map(|g| g.device().counters().d2h_bytes - d2h_bytes_before)
-                .unwrap_or(0),
+            gpu_h2d_bytes: per_device.iter().map(|d| d.h2d_bytes).sum(),
+            gpu_d2h_bytes: per_device.iter().map(|d| d.d2h_bytes).sum(),
             gpu_d2h_wait: dw.d2h_wait().saturating_sub(d2h_wait_before),
             gpu_d2h_overlap: dw.d2h_overlap().saturating_sub(d2h_overlap_before),
-            kernel_stats: device_space
-                .map(|ds| ds.kernel_stats())
-                .unwrap_or_default(),
+            kernel_stats: KernelStats::sum(per_device.iter().map(|d| &d.kernel_stats)),
+            per_device,
             regrids: 0,
             regrid_compile: Duration::ZERO,
             migrated_bytes: 0,

@@ -145,6 +145,15 @@ impl<'a> TaskContext<'a> {
         self.gpu
     }
 
+    /// The fleet device this task was scheduled on (0 for host tasks and
+    /// single-device ranks). GPU task bodies pass this to the warehouse's
+    /// `_on` staging APIs so level replicas land on the device their
+    /// kernels dispatch to.
+    #[inline]
+    pub fn device_id(&self) -> usize {
+        self.space.device_index().unwrap_or(0)
+    }
+
     /// Own-patch variable (no ghosts).
     pub fn get_f64(&self, label: VarLabel) -> Arc<FieldData> {
         self.dw

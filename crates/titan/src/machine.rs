@@ -133,11 +133,36 @@ impl MachineParams {
         cellsteps_per_invocation: f64,
         device_multiplier: f64,
     ) {
-        let wall = ks.wall().as_secs_f64();
-        if wall <= 0.0 || ks.invocations == 0 {
+        self.calibrate_from_device_kernel_stats(
+            std::slice::from_ref(ks),
+            cellsteps_per_invocation,
+            device_multiplier,
+        );
+    }
+
+    /// Calibrate from per-device [`KernelStats`] snapshots (one per fleet
+    /// device): each device's measured cell-step rate is computed
+    /// independently and the *average* over non-degenerate devices becomes
+    /// the calibrated rate — a fleet of identical simulated devices should
+    /// not let one idle device (zero invocations) or one contended device
+    /// skew the model. Devices with zero wall time or zero invocations are
+    /// excluded; if every snapshot is degenerate the params keep their
+    /// pinned defaults.
+    pub fn calibrate_from_device_kernel_stats(
+        &mut self,
+        per_device: &[KernelStats],
+        cellsteps_per_invocation: f64,
+        device_multiplier: f64,
+    ) {
+        let rates: Vec<f64> = per_device
+            .iter()
+            .filter(|ks| ks.wall().as_secs_f64() > 0.0 && ks.invocations > 0)
+            .map(|ks| ks.invocations as f64 * cellsteps_per_invocation / ks.wall().as_secs_f64())
+            .collect();
+        if rates.is_empty() {
             return;
         }
-        let measured = ks.invocations as f64 * cellsteps_per_invocation / wall;
+        let measured = rates.iter().sum::<f64>() / rates.len() as f64;
         self.cpu_cellsteps_per_s = measured;
         self.gpu_cellsteps_per_s = measured * device_multiplier;
     }
@@ -213,6 +238,36 @@ mod tests {
         // Degenerate stats leave the pinned defaults untouched.
         let mut d = MachineParams::titan();
         d.calibrate_from_kernel_stats(&KernelStats::default(), 200.0, 30.0);
+        assert!((d.gpu_cellsteps_per_s - MachineParams::titan().gpu_cellsteps_per_s).abs() < 1.0);
+    }
+
+    #[test]
+    fn calibration_averages_across_fleet_devices() {
+        let mut m = MachineParams::titan();
+        // Device 0: 4e8 cellsteps/s; device 1: 2e8; device 2 idle (must be
+        // excluded, not averaged in as zero). Mean of the live devices: 3e8.
+        let per_device = [
+            KernelStats {
+                launches: 8,
+                invocations: 1_000_000,
+                bytes_moved: 0,
+                wall_ns: 500_000_000,
+            },
+            KernelStats {
+                launches: 8,
+                invocations: 1_000_000,
+                bytes_moved: 0,
+                wall_ns: 1_000_000_000,
+            },
+            KernelStats::default(),
+        ];
+        m.calibrate_from_device_kernel_stats(&per_device, 200.0, 30.0);
+        assert!((m.cpu_cellsteps_per_s - 3.0e8).abs() < 1.0, "{}", m.cpu_cellsteps_per_s);
+        assert!((m.gpu_cellsteps_per_s - 9.0e9).abs() < 10.0);
+
+        // All-degenerate fleets keep the pinned defaults.
+        let mut d = MachineParams::titan();
+        d.calibrate_from_device_kernel_stats(&[KernelStats::default(); 4], 200.0, 30.0);
         assert!((d.gpu_cellsteps_per_s - MachineParams::titan().gpu_cellsteps_per_s).abs() < 1.0);
     }
 

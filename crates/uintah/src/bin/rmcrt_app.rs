@@ -80,6 +80,8 @@ fn main() {
             store: cfg.store,
             timesteps: cfg.timesteps,
             gpu_capacity: cfg.gpu.then_some(6 << 30),
+            gpus_per_rank: cfg.gpus_per_rank,
+            gpu_affinity: cfg.gpu_affinity,
             aggregate_level_windows: cfg.aggregate,
             regrid_interval: (cfg.regrid_interval > 0).then_some(cfg.regrid_interval),
             regrid_policy: cfg.regrid_policy,
@@ -157,6 +159,8 @@ ranks      = 2
 threads    = 2
 store      = waitfree     # waitfree | mutex | racy
 gpu        = false
+gpus_per_rank = 1         # simulated GPUs per rank (6 = Summit-style)
+gpu_affinity  = sticky    # sticky | cost (LPT from measured per-patch costs)
 aggregate  = false        # bundle level windows per rank pair
 timesteps  = 1
 sampling   = independent  # independent | lhc

@@ -26,6 +26,7 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::str::FromStr;
+use uintah_gpu::GpuAffinity;
 use uintah_grid::RebalancePolicy;
 use uintah_runtime::StoreKind;
 
@@ -44,6 +45,10 @@ pub struct RunConfig {
     pub threads: usize,
     pub store: StoreKind,
     pub gpu: bool,
+    /// Simulated GPUs per rank (1 = Titan's single K20X, 6 = Summit-style).
+    pub gpus_per_rank: usize,
+    /// Patch→device affinity policy for multi-GPU ranks.
+    pub gpu_affinity: GpuAffinity,
     pub timesteps: usize,
     pub sampling: rmcrt_core::RaySampling,
     /// Bundle level windows per rank pair (Uintah message packing).
@@ -77,6 +82,8 @@ impl Default for RunConfig {
             threads: 2,
             store: StoreKind::WaitFree,
             gpu: false,
+            gpus_per_rank: 1,
+            gpu_affinity: GpuAffinity::Sticky,
             timesteps: 1,
             sampling: rmcrt_core::RaySampling::Independent,
             aggregate: false,
@@ -136,6 +143,8 @@ impl RunConfig {
                     "threads" => "threads",
                     "store" => "store",
                     "gpu" => "gpu",
+                    "gpus_per_rank" => "gpus_per_rank",
+                    "gpu_affinity" => "gpu_affinity",
                     "aggregate" => "aggregate",
                     "regrid_interval" => "regrid_interval",
                     "regrid_policy" => "regrid_policy",
@@ -198,6 +207,14 @@ impl RunConfig {
                         v => return Err(bad(format!("invalid bool '{v}'"))),
                     }
                 }
+                "gpus_per_rank" => cfg.gpus_per_rank = num(value, key, line_no)?,
+                "gpu_affinity" => {
+                    cfg.gpu_affinity = match value {
+                        "sticky" => GpuAffinity::Sticky,
+                        "cost" | "cost_balanced" => GpuAffinity::CostBalanced,
+                        v => return Err(bad(format!("unknown gpu_affinity '{v}'"))),
+                    }
+                }
                 "aggregate" => {
                     cfg.aggregate = match value {
                         "true" | "yes" | "1" => true,
@@ -254,6 +271,9 @@ impl RunConfig {
         }
         if self.ranks == 0 || self.threads == 0 {
             return Err("ranks and threads must be >= 1".into());
+        }
+        if self.gpus_per_rank == 0 {
+            return Err("gpus_per_rank must be >= 1".into());
         }
         if self.nrays == 0 {
             return Err("nrays must be >= 1".into());
@@ -321,6 +341,18 @@ mod tests {
         assert_eq!(cfg.regrid_policy, RebalancePolicy::Rotate(1));
         assert_eq!(cfg.regrid_interval, 0, "regridding off by default");
         assert!(RunConfig::parse("regrid_policy = magic").is_err());
+    }
+
+    #[test]
+    fn parses_fleet_keys() {
+        let cfg = RunConfig::parse("gpus_per_rank = 6\ngpu_affinity = cost").unwrap();
+        assert_eq!(cfg.gpus_per_rank, 6);
+        assert_eq!(cfg.gpu_affinity, GpuAffinity::CostBalanced);
+        let cfg = RunConfig::parse("gpu_affinity = sticky").unwrap();
+        assert_eq!(cfg.gpu_affinity, GpuAffinity::Sticky);
+        assert_eq!(cfg.gpus_per_rank, 1, "single K20X per rank by default");
+        assert!(RunConfig::parse("gpu_affinity = roundrobin").is_err());
+        assert!(RunConfig::parse("gpus_per_rank = 0").is_err());
     }
 
     #[test]

@@ -39,12 +39,14 @@ pub mod prelude {
         ops, parallel_fill, parallel_for, parallel_map, parallel_reduce, DeviceSpace, ExecSpace,
         KernelStats,
     };
-    pub use uintah_gpu::{DeviceCounters, GpuDataWarehouse, GpuDevice};
+    pub use uintah_gpu::{
+        DeviceCounters, DeviceFleet, GpuAffinity, GpuDataWarehouse, GpuDevice,
+    };
     pub use uintah_grid::{
         CcVariable, DistributionPolicy, FieldData, Grid, IntVector, PatchCosts,
         PatchDistribution, Point, RebalancePolicy, Region, Regridder, VarLabel, Vector,
     };
-    pub use uintah_runtime::{run_world, RegridEvent, StoreKind, WorldConfig};
+    pub use uintah_runtime::{run_world, DeviceStepStats, RegridEvent, StoreKind, WorldConfig};
 }
 
 #[cfg(test)]

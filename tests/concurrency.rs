@@ -317,3 +317,122 @@ fn regrid_racing_async_d2h_drains_without_deadlock_or_leaks() {
     gpu.device().sync_d2h();
     assert_eq!(gpu.device().used(), 0, "discarded drain still releases device bytes");
 }
+
+/// Fleet vs. regrid: a 4-device warehouse parks async D2H drains on every
+/// device's copy engine while reader threads hammer `get_patch` and a
+/// regrid thread evicts only the devices whose patches changed owner.
+/// The run must complete without deadlock; afterwards the evicted devices
+/// hold zero resident bytes, the untouched devices keep their level
+/// replicas (revalidated next epoch with no re-upload), and no device's
+/// copy engine is left in flight.
+#[test]
+fn fleet_regrid_race_evicts_only_affected_devices_without_leaks() {
+    use uintah::gpu::GpuDataWarehouse;
+    use uintah::runtime::DataWarehouse;
+    const NDEV: usize = 4;
+    let grid = Arc::new(
+        Grid::builder()
+            .fine_cells(IntVector::splat(16))
+            .num_levels(1)
+            .fine_patch_size(IntVector::splat(8))
+            .build(),
+    );
+    let patches: Vec<_> = grid.fine_level().patches().iter().map(|p| p.id()).collect();
+    for _round in 0..10 {
+        let dw = Arc::new(DataWarehouse::new(Arc::clone(&grid)));
+        let gpu = Arc::new(GpuDataWarehouse::with_fleet(DeviceFleet::k20x(NDEV), true, true));
+        // Stage a level replica on every device, then park one async drain
+        // per patch on its sticky home device's engine.
+        for dev in 0..NDEV {
+            gpu.ensure_level_fresh_on(dev, ABSKG, 0, || {
+                FieldData::F64(CcVariable::filled(Region::cube(8), 1.0))
+            })
+            .unwrap();
+        }
+        for &p in &patches {
+            gpu.put_patch(DIVQ, p, FieldData::F64(CcVariable::filled(Region::cube(8), p.0 as f64)))
+                .unwrap();
+            dw.put_patch_pending(DIVQ, p, gpu.take_patch_to_host_async(DIVQ, p).unwrap());
+        }
+        // The regrid moves the first half of the patch list to other ranks;
+        // only their home devices need eviction.
+        let affected: Vec<usize> = {
+            let mut s = std::collections::BTreeSet::new();
+            for &p in &patches[..patches.len() / 2] {
+                s.insert(gpu.device_for_patch(p));
+            }
+            s.into_iter().collect()
+        };
+        std::thread::scope(|s| {
+            let patches = &patches;
+            for t in 0..3usize {
+                let dw = Arc::clone(&dw);
+                s.spawn(move || {
+                    for i in 0..400usize {
+                        let p = patches[(i + t) % patches.len()];
+                        if let Some(v) = dw.get_patch(DIVQ, p) {
+                            assert_eq!(v.as_f64().as_slice()[0], p.0 as f64);
+                        }
+                    }
+                });
+            }
+            let dw = Arc::clone(&dw);
+            let gpu = Arc::clone(&gpu);
+            let affected = affected.clone();
+            s.spawn(move || {
+                // The executor's fleet regrid prologue, verbatim order.
+                dw.drain_pending_d2h();
+                gpu.sync_d2h_all();
+                dw.begin_regrid();
+                gpu.invalidate_for_regrid_on(&affected);
+            });
+        });
+        // Every parked field was drained before the generation bump.
+        for &p in &patches {
+            let v = dw.get_patch(DIVQ, p).expect("drained before generation bump");
+            assert_eq!(v.as_f64().as_slice()[0], p.0 as f64);
+        }
+        assert_eq!(dw.drain_pending_d2h(), 0, "nothing left parked");
+        let counters = gpu.counters_per_device();
+        for (d, c) in counters.iter().enumerate() {
+            assert_eq!(c.d2h_inflight, 0, "device {d} copy engine idle");
+        }
+        // The drains really were spread across the fleet, not serialized
+        // through one engine.
+        assert_eq!(
+            counters.iter().map(|c| c.d2h_transfers).sum::<u64>(),
+            patches.len() as u64
+        );
+        assert!(
+            counters.iter().filter(|c| c.d2h_transfers > 0).count() >= 2,
+            "sticky affinity should use more than one device's engine"
+        );
+        // Eviction was per-device: affected devices end empty...
+        for &d in &affected {
+            assert!(gpu.get_level_on(d, ABSKG, 0).is_none(), "stale replica on device {d}");
+            assert_eq!(gpu.patch_entries_on(d), 0);
+            assert_eq!(gpu.device_at(d).used(), 0, "device {d} not evicted clean");
+        }
+        // ...while untouched devices keep their replicas resident and
+        // revalidate them the next epoch with zero PCIe traffic.
+        gpu.begin_timestep();
+        for d in (0..NDEV).filter(|d| !affected.contains(d)) {
+            assert_eq!(gpu.level_entries_on(d), 1, "device {d} replica evicted needlessly");
+            let before = gpu.device_at(d).counters().h2d_bytes;
+            gpu.ensure_level_fresh_on(d, ABSKG, 0, || {
+                FieldData::F64(CcVariable::filled(Region::cube(8), 1.0))
+            })
+            .unwrap();
+            assert_eq!(
+                gpu.device_at(d).counters().h2d_bytes,
+                before,
+                "unchanged replica re-uploaded on device {d}"
+            );
+        }
+        // Full invalidation returns every device in the fleet to zero.
+        gpu.invalidate_for_regrid();
+        for (d, c) in gpu.counters_per_device().iter().enumerate() {
+            assert_eq!(c.used, 0, "device {d} leaked bytes");
+        }
+    }
+}

@@ -4,6 +4,7 @@
 //! pure performance decision (paper §III-B: the same slab-ordered math
 //! runs everywhere).
 
+use std::sync::Arc;
 use uintah::prelude::*;
 use uintah::rmcrt::dom::{self, SnOrder};
 use uintah::rmcrt::solver::two_level_stack;
@@ -115,4 +116,98 @@ fn device_space_meters_while_matching_serial() {
     assert_eq!(ks.launches, 1);
     assert_eq!(ks.invocations, props.region.volume() as u64);
     assert_eq!(device.counters().kernels, 1);
+}
+
+/// Gather the fine-level divQ field from a world result.
+fn collect_divq(grid: &Grid, result: &uintah::runtime::WorldResult) -> CcVariable<f64> {
+    let fine = grid.fine_level();
+    let mut out = CcVariable::<f64>::new(fine.cell_region());
+    for rr in &result.ranks {
+        for &pid in result.dist.owned_by(rr.rank) {
+            if grid.patch(pid).level_index() != grid.fine_level_index() {
+                continue;
+            }
+            let v = rr.dw.get_patch(DIVQ, pid).expect("divQ missing");
+            out.copy_window(v.as_f64(), &grid.patch(pid).interior());
+        }
+    }
+    out
+}
+
+#[test]
+fn divq_is_bit_identical_across_fleet_sizes_and_thread_counts() {
+    // Device count is a placement decision, never a numerical one: the
+    // kernels are slab/plane-canonical, so spreading a rank's patches over
+    // 1, 2, 4 or 6 simulated K20Xs (under any worker-thread count) must
+    // reproduce the single-device divQ field bit-for-bit.
+    let grid = Arc::new(BurnsChriston::small_grid(16, 8));
+    let p = RmcrtPipeline {
+        params: RmcrtParams {
+            nrays: 4,
+            threshold: 1e-3,
+            seed: 0xF1EE7,
+            ..Default::default()
+        },
+        halo: 4,
+        problem: BurnsChriston::default(),
+    };
+    let decls = Arc::new(multilevel_decls(&grid, p, true));
+    let run = |gpus_per_rank: usize, nthreads: usize, gpu_affinity: GpuAffinity, timesteps: usize| {
+        run_world(
+            Arc::clone(&grid),
+            Arc::clone(&decls),
+            WorldConfig {
+                nranks: 2,
+                nthreads,
+                gpu_capacity: Some(512 << 20),
+                gpus_per_rank,
+                gpu_affinity,
+                timesteps,
+                ..Default::default()
+            },
+        )
+    };
+    let reference = collect_divq(&grid, &run(1, 2, GpuAffinity::Sticky, 1));
+    for devices in [1usize, 2, 4, 6] {
+        for threads in [1usize, 2, 3, 7] {
+            let result = run(devices, threads, GpuAffinity::Sticky, 1);
+            let got = collect_divq(&grid, &result);
+            for c in reference.region().cells() {
+                assert_eq!(
+                    got[c], reference[c],
+                    "divQ differs at {c:?} with {devices} devices x {threads} threads"
+                );
+            }
+            // Every fine patch ran exactly one trace kernel, on *some*
+            // device of its rank's fleet — fleet size redistributes
+            // launches but never changes their total.
+            for rr in &result.ranks {
+                let gdw = rr.gpu.as_ref().expect("gpu attached");
+                assert_eq!(gdw.num_devices(), devices);
+                let local_fine = result
+                    .dist
+                    .owned_by(rr.rank)
+                    .iter()
+                    .filter(|&&pid| grid.patch(pid).level_index() == grid.fine_level_index())
+                    .count() as u64;
+                let per_dev = gdw.counters_per_device();
+                assert_eq!(
+                    per_dev.iter().map(|c| c.kernels).sum::<u64>(),
+                    local_fine,
+                    "{devices} devices x {threads} threads"
+                );
+            }
+        }
+    }
+    // The affinity policy is equally invisible to the numerics: LPT
+    // re-homing from measured per-patch costs (applied between the two
+    // timesteps) only moves whole patches to other devices.
+    let two_step_ref = collect_divq(&grid, &run(1, 2, GpuAffinity::Sticky, 2));
+    let balanced = collect_divq(&grid, &run(4, 3, GpuAffinity::CostBalanced, 2));
+    for c in two_step_ref.region().cells() {
+        assert_eq!(
+            balanced[c], two_step_ref[c],
+            "cost-balanced divQ differs at {c:?}"
+        );
+    }
 }

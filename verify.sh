@@ -9,5 +9,11 @@ cargo test -q
 # (bit-identical divQ across a forced ownership flip); run it by name so
 # a filtered `cargo test -q` invocation can never silently skip it.
 cargo test -q -p uintah --test regrid
+# Multi-device gates: the fleet bit-identity matrix (divQ unchanged for
+# 1/2/4/6 devices per rank under any thread count / affinity policy) and
+# the fleet-vs-regrid race (per-device eviction, no stale replicas, no
+# leaked device bytes) — likewise pinned by name.
+cargo test -q -p uintah --test exec_spaces divq_is_bit_identical_across_fleet_sizes_and_thread_counts
+cargo test -q -p uintah --test concurrency fleet_regrid_race_evicts_only_affected_devices_without_leaks
 cargo test --doc -q
 cargo clippy --workspace --all-targets -- -D warnings
