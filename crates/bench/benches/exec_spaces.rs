@@ -5,8 +5,9 @@
 //! host scaling curve; Serial vs Device gives the dispatch + metering
 //! overhead of the simulated accelerator (the kernels execute on the
 //! calling thread, so Device ≈ Serial + accounting). Together with the
-//! recorded `KernelStats` this is the single calibration anchor for
-//! `MachineParams::calibrate_from_kernel_stats` (EXPERIMENTS.md E8).
+//! recorded `KernelStats` this anchors the measured-calibration pipeline:
+//! `KernelStats` → `CalibrationSnapshot` → `MachineParams::from_snapshot`
+//! (EXPERIMENTS.md E8, E12).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use uintah::prelude::*;

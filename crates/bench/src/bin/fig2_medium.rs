@@ -1,55 +1,26 @@
 //! E2 — Figure 2: strong scaling of the MEDIUM 2-level benchmark
 //! (fine 256³, coarse 64³, RR 4, 100 rays/cell) for patch sizes
-//! 16³ / 32³ / 64³ on the modeled Titan.
+//! 16³ / 32³ / 64³ on the modeled Titan, calibrated from a real executor
+//! run at startup (see `rmcrt_bench::campaign`).
 //!
 //! ```text
 //! cargo run -p rmcrt-bench --release --bin fig2_medium
 //! ```
 
-use titan_sim::sim::scaling_curve;
-use uintah::prelude::*;
+use rmcrt_bench::campaign::{self, SweepSpec, KNEE_THRESHOLD};
 
 fn main() {
-    let counts: Vec<usize> = vec![16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384];
-    let params = MachineParams::titan();
+    let cal = campaign::calibrate_live();
+    let spec = SweepSpec::fig2_medium();
     println!("Figure 2 — MEDIUM 2-level benchmark (256³ fine / 64³ coarse, RR:4, 100 rays/cell)");
-    println!("modeled Titan XK7, 1 K20X per node; times are model estimates (shape target)\n");
-    println!(
-        "{:>7} | {:>10} {:>10} {:>10} | patches/GPU (16³)",
-        "GPUs", "16³ (s)", "32³ (s)", "64³ (s)"
-    );
+    println!("modeled Titan XK7, 1 K20X per node; times are model estimates (shape target)");
+    println!("{}\n", cal.summary());
 
-    let mut curves = Vec::new();
-    for patch in [16i32, 32, 64] {
-        let grid = Grid::builder()
-            .fine_cells(IntVector::splat(256))
-            .num_levels(2)
-            .refinement_ratio(4)
-            .fine_patch_size(IntVector::splat(patch))
-            .build();
-        curves.push(scaling_curve(&grid, &counts, 4, &params, StoreModel::WaitFreePool));
-    }
-    let total16 = (256 / 16) * (256 / 16) * (256 / 16);
-    for (i, &n) in counts.iter().enumerate() {
-        println!(
-            "{:>7} | {:>10.4} {:>10.4} {:>10.4} | {:>6.1}",
-            n,
-            curves[0][i].time,
-            curves[1][i].time,
-            curves[2][i].time,
-            total16 as f64 / n as f64
-        );
-    }
+    let sweep = campaign::strong_scaling(&spec, &cal.titan, "titan", &cal.profile);
+    campaign::print_sweep(&sweep, KNEE_THRESHOLD);
+
+    let total16 = spec.problem.total_patches(16);
     println!("\nExpected shape (paper Fig. 2): larger patches faster at every point where");
-    println!("they still over-decompose the domain; all curves scale until patches/GPU ~ 1.");
-    for (patch, curve) in [16, 32, 64].iter().zip(&curves) {
-        let knee = curve
-            .windows(2)
-            .find(|w| w[1].time > w[0].time * 0.55)
-            .map(|w| w[1].gpus);
-        println!(
-            "  {patch:>2}³ patches: scaling knee (efficiency < ~90%/doubling) near {} GPUs",
-            knee.map(|k| k.to_string()).unwrap_or_else(|| "beyond 16384".into())
-        );
-    }
+    println!("they still over-decompose the domain; all curves scale until patches/GPU ~ 1");
+    println!("(16³ curve: {total16} patches total).");
 }

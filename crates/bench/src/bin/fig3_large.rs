@@ -1,54 +1,36 @@
 //! E3 — Figure 3: strong scaling of the LARGE 2-level benchmark
 //! (fine 512³, coarse 128³, RR 4, 100 rays/cell), patch sizes 16³/32³/64³,
-//! with the paper's headline efficiency figures.
+//! with the paper's headline efficiency figures — calibrated from a real
+//! executor run at startup (see `rmcrt_bench::campaign`).
 //!
 //! ```text
 //! cargo run -p rmcrt-bench --release --bin fig3_large
 //! ```
 
-use titan_sim::sim::{efficiency, scaling_curve};
-use uintah::prelude::*;
+use rmcrt_bench::campaign::{self, SweepSpec, KNEE_THRESHOLD};
 
 fn main() {
-    let counts: Vec<usize> = vec![512, 1024, 2048, 4096, 8192, 16384];
-    let params = MachineParams::titan();
+    let cal = campaign::calibrate_live();
+    let spec = SweepSpec::fig3_large();
     println!("Figure 3 — LARGE 2-level benchmark (512³ fine / 128³ coarse, RR:4, 100 rays/cell)");
-    println!("modeled Titan XK7; times are model estimates (shape target)\n");
-    println!("{:>7} | {:>10} {:>10} {:>10}", "GPUs", "16³ (s)", "32³ (s)", "64³ (s)");
+    println!("modeled Titan XK7; times are model estimates (shape target)");
+    println!("{}\n", cal.summary());
 
-    let mut curves = Vec::new();
-    for patch in [16i32, 32, 64] {
-        let grid = Grid::builder()
-            .fine_cells(IntVector::splat(512))
-            .num_levels(2)
-            .refinement_ratio(4)
-            .fine_patch_size(IntVector::splat(patch))
-            .build();
-        curves.push(scaling_curve(&grid, &counts, 4, &params, StoreModel::WaitFreePool));
-    }
-    for (i, &n) in counts.iter().enumerate() {
-        println!(
-            "{:>7} | {:>10.4} {:>10.4} {:>10.4}",
-            n, curves[0][i].time, curves[1][i].time, curves[2][i].time
-        );
-    }
+    let sweep = campaign::strong_scaling(&spec, &cal.titan, "titan", &cal.profile);
+    campaign::print_sweep(&sweep, KNEE_THRESHOLD);
 
+    let c16 = &sweep.curves[0];
     println!("\nStrong-scaling efficiency (Eq. 3), 16³-patch curve:");
-    let find = |curve: &[titan_sim::ScalingPoint], gpus: usize| {
-        curve.iter().find(|p| p.gpus == gpus).copied().unwrap()
-    };
-    let p4k = find(&curves[0], 4096);
-    let p8k = find(&curves[0], 8192);
-    let p16k = find(&curves[0], 16384);
     println!(
         "  4096 → 8192 GPUs : {:>5.1}%   (paper: 96%)",
-        efficiency(&p4k, &p8k) * 100.0
+        c16.efficiency_between(4096, 8192).unwrap() * 100.0
     );
     println!(
         "  4096 → 16384 GPUs: {:>5.1}%   (paper: 89%)",
-        efficiency(&p4k, &p16k) * 100.0
+        c16.efficiency_between(4096, 16384).unwrap() * 100.0
     );
 
+    let p16k = c16.point_at(16384).unwrap();
     println!("\nBreakdown at 16384 GPUs (16³ patches):");
     println!(
         "  props {:.4}s | all-to-all comm {:.4}s | GPU pipeline {:.4}s",

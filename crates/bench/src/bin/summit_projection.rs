@@ -5,46 +5,37 @@
 //!
 //! Runs the LARGE benchmark's strong-scaling sweep on the Summit node
 //! model (V100-class GPUs, NVLink staging, fat-tree network) next to the
-//! Titan results, per patch size.
+//! Titan results, per patch size — both models calibrated from the same
+//! measured snapshot of a real executor run at startup.
 //!
 //! ```text
 //! cargo run -p rmcrt-bench --release --bin summit_projection
 //! ```
 
-use titan_sim::sim::scaling_curve;
-use uintah::prelude::*;
+use rmcrt_bench::campaign::{self, SweepSpec};
 
 fn main() {
-    let counts: Vec<usize> = vec![512, 1024, 2048, 4096, 8192, 16384];
+    let cal = campaign::calibrate_live();
+    let spec = SweepSpec::summit_large();
     println!("LARGE benchmark (512³/128³, RR 4, 100 rays/cell): Titan vs projected Summit");
-    println!("(one endpoint per GPU; model constants in titan-sim::machine)\n");
-    for patch in [16i32, 32] {
-        let grid = Grid::builder()
-            .fine_cells(IntVector::splat(512))
-            .num_levels(2)
-            .refinement_ratio(4)
-            .fine_patch_size(IntVector::splat(patch))
-            .build();
-        let titan = scaling_curve(&grid, &counts, 4, &MachineParams::titan(), StoreModel::WaitFreePool);
-        let summit = scaling_curve(
-            &grid,
-            &counts,
-            4,
-            &MachineParams::summit(),
-            StoreModel::WaitFreePool,
-        );
-        println!("{patch}³ patches:");
+    println!("(one endpoint per GPU; model constants in titan-sim::machine)");
+    println!("{}\n", cal.summary());
+
+    let titan = campaign::strong_scaling(&spec, &cal.titan, "titan", &cal.profile);
+    let summit = campaign::strong_scaling(&spec, &cal.summit, "summit", &cal.profile);
+    for (tc, sc) in titan.curves.iter().zip(&summit.curves) {
+        println!("{}³ patches:", tc.patch);
         println!(
             "  {:>7} | {:>11} {:>11} {:>9}",
             "GPUs", "Titan (s)", "Summit (s)", "speedup"
         );
-        for i in 0..counts.len() {
+        for (tp, sp) in tc.points.iter().zip(&sc.points) {
             println!(
                 "  {:>7} | {:>11.4} {:>11.4} {:>8.2}x",
-                counts[i],
-                titan[i].time,
-                summit[i].time,
-                titan[i].time / summit[i].time
+                tp.gpus,
+                tp.time,
+                sp.time,
+                tp.time / sp.time
             );
         }
         println!();

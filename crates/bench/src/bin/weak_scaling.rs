@@ -6,37 +6,16 @@
 //! globally coupled algorithm grows quadratically as O(N²) (N is the number
 //! of communicating MPI ranks) with respect to the problem size."
 //!
-//! This harness measures exactly that, from the real census: holding work
-//! per rank constant (weak scaling), total all-to-all message count grows
-//! ~N², while the strong-scaled problem's total grows ~N.
+//! This harness measures exactly that, from the real census (shared sweep
+//! helpers in `rmcrt_bench::campaign`): holding work per rank constant
+//! (weak scaling), total all-to-all message count grows ~N², while the
+//! strong-scaled problem's total grows ~N.
 //!
 //! ```text
 //! cargo run -p rmcrt-bench --release --bin weak_scaling
 //! ```
 
-use titan_sim::rank_census;
-use uintah::prelude::*;
-
-fn census_totals(fine: i32, patch: i32, nranks: usize) -> (usize, u64) {
-    let grid = Grid::builder()
-        .fine_cells(IntVector::splat(fine))
-        .num_levels(2)
-        .refinement_ratio(4)
-        .fine_patch_size(IntVector::splat(patch))
-        .build();
-    let dist = PatchDistribution::new(&grid, nranks, DistributionPolicy::MortonSfc);
-    // Sum over a sample of ranks, scaled (the distribution is balanced).
-    let sample: Vec<usize> = (0..nranks).step_by((nranks / 8).max(1)).collect();
-    let mut msgs = 0usize;
-    let mut bytes = 0u64;
-    for &r in &sample {
-        let c = rank_census(&grid, &dist, r, 4);
-        msgs += c.msgs_sent();
-        bytes += c.bytes_sent();
-    }
-    let scale = nranks as f64 / sample.len() as f64;
-    ((msgs as f64 * scale) as usize, (bytes as f64 * scale) as u64)
-}
+use rmcrt_bench::campaign;
 
 fn main() {
     println!("Communication growth: weak vs strong scaling (2-level RMCRT, RR 4, 16³ patches)\n");
@@ -45,19 +24,14 @@ fn main() {
         "{:>7} {:>10} | {:>14} {:>12} | {:>10}",
         "ranks", "fine mesh", "total msgs", "msgs × 1/N²", "GB moved"
     );
-    // fine³/16³ patches per rank fixed at 16 -> fine = 16·(16·N)^(1/3) …
-    // use rank counts that give integer grids: N = 4^k with fine = 64·2^k.
-    for k in 0..4 {
-        let nranks = 4usize.pow(k);
-        let fine = 64 * 2i32.pow(k); // patches = (fine/16)³ = 64·8^k; per rank = 64·2^k
-        let (msgs, bytes) = census_totals(fine, 16, nranks);
+    for row in campaign::comm_growth_weak(4) {
         println!(
             "{:>7} {:>9}³ | {:>14} {:>12.1} | {:>10.3}",
-            nranks,
-            fine,
-            msgs,
-            msgs as f64 / (nranks * nranks) as f64,
-            bytes as f64 / 1e9
+            row.nranks,
+            row.fine,
+            row.msgs,
+            row.msgs as f64 / (row.nranks * row.nranks) as f64,
+            row.bytes as f64 / 1e9
         );
     }
     println!("\n(msgs/N² approaching a constant ⇒ quadratic growth in rank count — the");
@@ -69,14 +43,13 @@ fn main() {
         "{:>7} | {:>14} {:>12} | {:>10}",
         "ranks", "total msgs", "msgs × 1/N", "GB moved"
     );
-    for &nranks in &[4usize, 16, 64, 256] {
-        let (msgs, bytes) = census_totals(256, 16, nranks);
+    for row in campaign::comm_growth_strong(256, &[4, 16, 64, 256]) {
         println!(
             "{:>7} | {:>14} {:>12.1} | {:>10.3}",
-            nranks,
-            msgs,
-            msgs as f64 / nranks as f64,
-            bytes as f64 / 1e9
+            row.nranks,
+            row.msgs,
+            row.msgs as f64 / row.nranks as f64,
+            row.bytes as f64 / 1e9
         );
     }
     println!("\n(strong scaling's total message count grows ~linearly: each rank's sends");

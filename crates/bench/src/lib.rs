@@ -3,6 +3,8 @@
 //! microbenchmarks (`benches/*`). See DESIGN.md §4 for the experiment
 //! index and EXPERIMENTS.md for recorded results.
 
+pub mod campaign;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};

@@ -49,9 +49,10 @@ pub mod ops;
 /// counts, kernel invocations (cells or indices dispatched), logical bytes
 /// produced by fill kernels, and wall time inside dispatches.
 ///
-/// Snapshots of this struct feed `uintah-runtime::ExecStats` and the
-/// single `titan-sim` calibration path
-/// (`MachineParams::calibrate_from_kernel_stats`).
+/// Snapshots of this struct feed `uintah-runtime::ExecStats`, fold into
+/// the per-device totals of `uintah-runtime`'s `CalibrationSnapshot`, and
+/// through it drive the single `titan-sim` calibration path
+/// (`MachineParams::from_snapshot`).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct KernelStats {
     /// Kernel launches (one per dispatch; slabs are thread blocks of one

@@ -27,11 +27,15 @@
 //! * [`regrid`] — ownership migration after a load-balancer regrid: lost
 //!   patches' warehouse contents move to their new owners over the fabric
 //!   under a reserved tag namespace ([`PersistentExecutor::regrid`]);
-//! * [`driver`] — a harness running all ranks of a world in one process.
+//! * [`driver`] — a harness running all ranks of a world in one process;
+//! * [`calibrate`] — the measured-calibration snapshot: per-step
+//!   [`ExecStats`] fold into one serializable [`CalibrationSnapshot`] that
+//!   `titan-sim` consumes as the single source of machine rates.
 //!
 //! [`RequestStore`]: uintah_comm::RequestStore
 
 pub mod archive;
+pub mod calibrate;
 pub mod codec;
 pub mod driver;
 pub mod dw;
@@ -42,6 +46,7 @@ pub mod scheduler;
 pub mod task;
 
 pub use archive::{ArchiveError, DataArchive};
+pub use calibrate::{CalibrationSnapshot, DeviceCalibration};
 pub use driver::{run_world, WorldConfig, WorldResult};
 pub use dw::DataWarehouse;
 pub use executor::PersistentExecutor;

@@ -29,5 +29,5 @@ pub mod machine;
 pub mod sim;
 
 pub use census::{rank_census, RankCensus};
-pub use machine::{MachineParams, StoreModel};
-pub use sim::{simulate_timestep, Breakdown, ScalingPoint};
+pub use machine::{CalibrationScale, MachineParams, StoreModel};
+pub use sim::{simulate_timestep, Breakdown, CostProfile, ScalingPoint};

@@ -1,6 +1,7 @@
-//! Hardware constants of the modeled machine.
+//! Hardware constants of the modeled machine, and the single calibration
+//! path that derives them from a measured [`CalibrationSnapshot`].
 
-use uintah_exec::KernelStats;
+use uintah_runtime::CalibrationSnapshot;
 
 
 /// Which request-store implementation the modeled runtime uses; scales the
@@ -111,84 +112,123 @@ impl MachineParams {
         0.75 * roi_cells_1d + 0.5 * coarse_1d
     }
 
-    /// Calibrate the GPU throughput constant from a measured exec-layer
-    /// [`KernelStats`] snapshot — the single calibration path shared by
-    /// the host and Device spaces now that every hot loop dispatches
-    /// through `uintah-exec`.
+    /// Derive machine rates from a measured [`CalibrationSnapshot`] — the
+    /// one calibration path from a real executor run to the model,
+    /// replacing the former per-quantity `calibrate_*` entry points.
     ///
-    /// `cellsteps_per_invocation` converts the dispatch's invocation count
-    /// (cells visited) into modeled DDA cell-steps (rays/cell × mean steps
-    /// per ray for the benchmark geometry). `device_multiplier` scales the
-    /// host-measured rate up to the modeled accelerator (a K20X sustains
-    /// roughly 30× one Opteron core on this memory-latency-bound kernel);
-    /// pass 1.0 when the stats came from the Device space of the target
-    /// machine itself. Also refreshes `cpu_cellsteps_per_s` with the raw
-    /// measured host rate so both march models share one measurement.
+    /// `base` supplies every pinned constant (network figures, thread
+    /// counts, saturation knee, rays) and the fallback for any quantity
+    /// whose measurement is degenerate; `scale` maps host-measured rates
+    /// onto the modeled hardware. Three rates are measured:
     ///
-    /// Stats with zero wall time or zero invocations are ignored (the
-    /// params keep their pinned defaults).
-    pub fn calibrate_from_kernel_stats(
-        &mut self,
-        ks: &KernelStats,
-        cellsteps_per_invocation: f64,
-        device_multiplier: f64,
-    ) {
-        self.calibrate_from_device_kernel_stats(
-            std::slice::from_ref(ks),
-            cellsteps_per_invocation,
-            device_multiplier,
-        );
-    }
-
-    /// Calibrate from per-device [`KernelStats`] snapshots (one per fleet
-    /// device): each device's measured cell-step rate is computed
-    /// independently and the *average* over non-degenerate devices becomes
-    /// the calibrated rate — a fleet of identical simulated devices should
-    /// not let one idle device (zero invocations) or one contended device
-    /// skew the model. Devices with zero wall time or zero invocations are
-    /// excluded; if every snapshot is degenerate the params keep their
-    /// pinned defaults.
-    pub fn calibrate_from_device_kernel_stats(
-        &mut self,
-        per_device: &[KernelStats],
-        cellsteps_per_invocation: f64,
-        device_multiplier: f64,
-    ) {
-        let rates: Vec<f64> = per_device
+    /// * **March throughput** — each device's kernel timeline yields a
+    ///   cell-step rate (`invocations × cellsteps_per_invocation / wall`);
+    ///   the mean over non-degenerate devices becomes
+    ///   `cpu_cellsteps_per_s`, and `× device_multiplier` becomes
+    ///   `gpu_cellsteps_per_s`. Idle devices (zero invocations or wall)
+    ///   are excluded rather than averaged in as zero.
+    /// * **Bus bandwidth** — total copy-engine bytes over total engine
+    ///   occupancy, both directions, `× pcie_multiplier` (a host memcpy
+    ///   drain is much faster than a PCIe gen2 link).
+    /// * **Per-message CPU cost** — measured local-comm wall time divided
+    ///   by messages posted + processed, `× msg_cost_multiplier`.
+    pub fn from_snapshot(
+        base: MachineParams,
+        snap: &CalibrationSnapshot,
+        scale: &CalibrationScale,
+    ) -> MachineParams {
+        let mut m = base;
+        let rates: Vec<f64> = snap
+            .devices
             .iter()
-            .filter(|ks| ks.wall().as_secs_f64() > 0.0 && ks.invocations > 0)
-            .map(|ks| ks.invocations as f64 * cellsteps_per_invocation / ks.wall().as_secs_f64())
+            .map(|d| &d.kernels)
+            .filter(|ks| ks.wall_ns > 0 && ks.invocations > 0)
+            .map(|ks| {
+                ks.invocations as f64 * scale.cellsteps_per_invocation
+                    / ks.wall().as_secs_f64()
+            })
             .collect();
-        if rates.is_empty() {
-            return;
+        if !rates.is_empty() {
+            let measured = rates.iter().sum::<f64>() / rates.len() as f64;
+            m.cpu_cellsteps_per_s = measured;
+            m.gpu_cellsteps_per_s = measured * scale.device_multiplier;
         }
-        let measured = rates.iter().sum::<f64>() / rates.len() as f64;
-        self.cpu_cellsteps_per_s = measured;
-        self.gpu_cellsteps_per_s = measured * device_multiplier;
+        let (bytes, busy_ns) = snap.engine_totals();
+        if bytes > 0 && busy_ns > 0 {
+            m.pcie_bw = bytes as f64 / (busy_ns as f64 * 1e-9) * scale.pcie_multiplier;
+        }
+        // Prefer the min-over-steps per-message cost (uncontended; the
+        // aggregate mean spikes whenever the OS deschedules a worker
+        // mid-sweep), falling back to the mean for old snapshots.
+        if snap.msg_ns_min > 0 {
+            m.msg_cpu_cost = snap.msg_ns_min as f64 * 1e-9 * scale.msg_cost_multiplier;
+        } else {
+            let msgs = snap.messages_sent + snap.messages_received;
+            if msgs > 0 && snap.local_comm_ns > 0 {
+                m.msg_cpu_cost =
+                    snap.local_comm_ns as f64 * 1e-9 / msgs as f64 * scale.msg_cost_multiplier;
+            }
+        }
+        m
+    }
+}
+
+/// How a [`CalibrationSnapshot`]'s host-measured rates map onto the
+/// modeled machine. The host this stack runs on is not a Titan node, so
+/// each measured rate carries a documented multiplier onto the modeled
+/// hardware; the *measurement* (this host's rate) is the varying input,
+/// the multipliers are pinned model constants (EXPERIMENTS.md E12).
+#[derive(Clone, Copy, Debug)]
+pub struct CalibrationScale {
+    /// Modeled DDA cell-steps per metered kernel invocation: rays/cell ×
+    /// mean steps per ray for the geometry of the calibration run
+    /// (invocations count cells dispatched, not ray steps).
+    pub cellsteps_per_invocation: f64,
+    /// Measured host march rate × this = modeled accelerator rate. A K20X
+    /// sustains roughly 30× one host core on this memory-latency-bound
+    /// kernel; a V100-class part roughly 6× that again.
+    pub device_multiplier: f64,
+    /// Measured copy-engine (host memcpy) bandwidth × this = modeled bus
+    /// bandwidth.
+    pub pcie_multiplier: f64,
+    /// Measured per-message local-comm cost × this = modeled per-message
+    /// CPU cost.
+    pub msg_cost_multiplier: f64,
+}
+
+impl CalibrationScale {
+    /// Take the snapshot's rates as-is — the stats came from the target
+    /// machine itself.
+    pub fn identity(cellsteps_per_invocation: f64) -> Self {
+        Self {
+            cellsteps_per_invocation,
+            device_multiplier: 1.0,
+            pcie_multiplier: 1.0,
+            msg_cost_multiplier: 1.0,
+        }
     }
 
-    /// Calibrate the effective PCIe bandwidth from a measured copy-engine
-    /// timeline: `bytes` moved while the engine was occupied for `busy`
-    /// wall time (the `d2h_bytes` / `d2h_busy_ns` pair of the executor's
-    /// `DeviceCounters`, passed as plain values so this crate stays
-    /// decoupled from the GPU layer). `bandwidth_multiplier` scales the
-    /// host-measured drain rate to the modeled bus (a real PCIe gen2 link
-    /// is far slower than a host memcpy); pass 1.0 when the timeline came
-    /// from the target machine itself.
-    ///
-    /// Degenerate timelines (zero bytes or zero busy time) are ignored and
-    /// the pinned default is kept.
-    pub fn calibrate_pcie_from_engine_timelines(
-        &mut self,
-        bytes: u64,
-        busy: std::time::Duration,
-        bandwidth_multiplier: f64,
-    ) {
-        let secs = busy.as_secs_f64();
-        if secs <= 0.0 || bytes == 0 {
-            return;
+    /// Host measurement → modeled Titan node (K20X ≈ 30× one host core on
+    /// the march; PCIe gen2 well below a host memcpy).
+    pub fn host_to_titan(cellsteps_per_invocation: f64) -> Self {
+        Self {
+            cellsteps_per_invocation,
+            device_multiplier: 30.0,
+            pcie_multiplier: 0.75,
+            msg_cost_multiplier: 1.0,
         }
-        self.pcie_bw = bytes as f64 / secs * bandwidth_multiplier;
+    }
+
+    /// Host measurement → modeled Summit endpoint (V100 ≈ 6× a K20X on
+    /// this kernel via HBM2; NVLink ≈ 4× PCIe gen2; beefier cores halve
+    /// the per-message cost).
+    pub fn host_to_summit(cellsteps_per_invocation: f64) -> Self {
+        Self {
+            cellsteps_per_invocation,
+            device_multiplier: 180.0,
+            pcie_multiplier: 3.0,
+            msg_cost_multiplier: 0.5,
+        }
     }
 }
 
@@ -220,74 +260,117 @@ mod tests {
         assert!(s.net_latency < t.net_latency);
     }
 
+    use uintah_exec::KernelStats;
+    use uintah_runtime::calibrate::DeviceCalibration;
+
+    fn device(invocations: u64, wall_ns: u64) -> DeviceCalibration {
+        DeviceCalibration {
+            kernels: KernelStats {
+                launches: 8,
+                invocations,
+                bytes_moved: 0,
+                wall_ns,
+            },
+            ..DeviceCalibration::default()
+        }
+    }
+
     #[test]
-    fn calibration_from_kernel_stats_updates_both_march_rates() {
-        let mut m = MachineParams::titan();
+    fn from_snapshot_updates_both_march_rates() {
         // 1e6 invocations, 200 cell-steps each, over 0.5 s → 4e8 host
         // cell-steps/s; a 30x device multiplier puts the GPU at 1.2e10.
-        let ks = KernelStats {
-            launches: 8,
-            invocations: 1_000_000,
-            bytes_moved: 0,
-            wall_ns: 500_000_000,
+        let snap = CalibrationSnapshot {
+            devices: vec![device(1_000_000, 500_000_000)],
+            ..CalibrationSnapshot::default()
         };
-        m.calibrate_from_kernel_stats(&ks, 200.0, 30.0);
+        let mut scale = CalibrationScale::identity(200.0);
+        scale.device_multiplier = 30.0;
+        let m = MachineParams::from_snapshot(MachineParams::titan(), &snap, &scale);
         assert!((m.cpu_cellsteps_per_s - 4.0e8).abs() < 1.0);
         assert!((m.gpu_cellsteps_per_s - 1.2e10).abs() < 10.0);
 
-        // Degenerate stats leave the pinned defaults untouched.
-        let mut d = MachineParams::titan();
-        d.calibrate_from_kernel_stats(&KernelStats::default(), 200.0, 30.0);
+        // Degenerate snapshots leave every pinned default untouched.
+        let empty = CalibrationSnapshot::default();
+        let d = MachineParams::from_snapshot(MachineParams::titan(), &empty, &scale);
         assert!((d.gpu_cellsteps_per_s - MachineParams::titan().gpu_cellsteps_per_s).abs() < 1.0);
+        assert!((d.pcie_bw - MachineParams::titan().pcie_bw).abs() < 1.0);
+        assert!((d.msg_cpu_cost - MachineParams::titan().msg_cpu_cost).abs() < 1e-12);
     }
 
     #[test]
-    fn calibration_averages_across_fleet_devices() {
-        let mut m = MachineParams::titan();
+    fn from_snapshot_averages_across_fleet_devices() {
         // Device 0: 4e8 cellsteps/s; device 1: 2e8; device 2 idle (must be
         // excluded, not averaged in as zero). Mean of the live devices: 3e8.
-        let per_device = [
-            KernelStats {
-                launches: 8,
-                invocations: 1_000_000,
-                bytes_moved: 0,
-                wall_ns: 500_000_000,
-            },
-            KernelStats {
-                launches: 8,
-                invocations: 1_000_000,
-                bytes_moved: 0,
-                wall_ns: 1_000_000_000,
-            },
-            KernelStats::default(),
-        ];
-        m.calibrate_from_device_kernel_stats(&per_device, 200.0, 30.0);
+        let snap = CalibrationSnapshot {
+            devices: vec![
+                device(1_000_000, 500_000_000),
+                device(1_000_000, 1_000_000_000),
+                DeviceCalibration::default(),
+            ],
+            ..CalibrationSnapshot::default()
+        };
+        let mut scale = CalibrationScale::identity(200.0);
+        scale.device_multiplier = 30.0;
+        let m = MachineParams::from_snapshot(MachineParams::titan(), &snap, &scale);
         assert!((m.cpu_cellsteps_per_s - 3.0e8).abs() < 1.0, "{}", m.cpu_cellsteps_per_s);
         assert!((m.gpu_cellsteps_per_s - 9.0e9).abs() < 10.0);
-
-        // All-degenerate fleets keep the pinned defaults.
-        let mut d = MachineParams::titan();
-        d.calibrate_from_device_kernel_stats(&[KernelStats::default(); 4], 200.0, 30.0);
-        assert!((d.gpu_cellsteps_per_s - MachineParams::titan().gpu_cellsteps_per_s).abs() < 1.0);
     }
 
     #[test]
-    fn pcie_calibration_from_engine_timeline() {
-        let mut m = MachineParams::titan();
-        // 80 MB drained in 10 ms of engine occupancy → 8 GB/s measured;
-        // a 0.75 multiplier models the bus at 6 GB/s.
-        m.calibrate_pcie_from_engine_timelines(
-            80_000_000,
-            std::time::Duration::from_millis(10),
-            0.75,
-        );
+    fn from_snapshot_calibrates_pcie_from_engine_totals() {
+        // 80 MB through the engines in 10 ms of occupancy → 8 GB/s
+        // measured; a 0.75 multiplier models the bus at 6 GB/s.
+        let snap = CalibrationSnapshot {
+            devices: vec![DeviceCalibration {
+                h2d_bytes: 50_000_000,
+                h2d_busy_ns: 6_000_000,
+                d2h_bytes: 30_000_000,
+                d2h_busy_ns: 4_000_000,
+                ..DeviceCalibration::default()
+            }],
+            ..CalibrationSnapshot::default()
+        };
+        let mut scale = CalibrationScale::identity(1.0);
+        scale.pcie_multiplier = 0.75;
+        let m = MachineParams::from_snapshot(MachineParams::titan(), &snap, &scale);
         assert!((m.pcie_bw - 6.0e9).abs() < 1.0, "pcie_bw {}", m.pcie_bw);
+    }
 
-        // Degenerate timelines keep the pinned default.
-        let mut d = MachineParams::titan();
-        d.calibrate_pcie_from_engine_timelines(0, std::time::Duration::from_millis(1), 1.0);
-        d.calibrate_pcie_from_engine_timelines(1000, std::time::Duration::ZERO, 1.0);
-        assert!((d.pcie_bw - 6e9).abs() < 1.0);
+    #[test]
+    fn from_snapshot_calibrates_msg_cost_from_local_comm() {
+        // 400 µs of local comm across 100 + 100 messages → 2 µs/message.
+        let snap = CalibrationSnapshot {
+            messages_sent: 100,
+            messages_received: 100,
+            local_comm_ns: 400_000,
+            ..CalibrationSnapshot::default()
+        };
+        let m = MachineParams::from_snapshot(
+            MachineParams::titan(),
+            &snap,
+            &CalibrationScale::identity(1.0),
+        );
+        assert!((m.msg_cpu_cost - 2.0e-6).abs() < 1e-12, "{}", m.msg_cpu_cost);
+    }
+
+    #[test]
+    fn from_snapshot_is_deterministic_in_its_input() {
+        // Bit-identical snapshots must give bit-identical params — the
+        // property the round-trip test in tests/calibration.rs leans on.
+        let snap = CalibrationSnapshot {
+            messages_sent: 7,
+            messages_received: 13,
+            local_comm_ns: 90_001,
+            devices: vec![device(123_457, 777_777)],
+            ..CalibrationSnapshot::default()
+        };
+        let scale = CalibrationScale::host_to_titan(88.0);
+        let a = MachineParams::from_snapshot(MachineParams::titan(), &snap, &scale);
+        let b = MachineParams::from_snapshot(MachineParams::titan(), &snap.clone(), &scale);
+        assert_eq!(a.gpu_cellsteps_per_s.to_bits(), b.gpu_cellsteps_per_s.to_bits());
+        assert_eq!(a.cpu_cellsteps_per_s.to_bits(), b.cpu_cellsteps_per_s.to_bits());
+        assert_eq!(a.pcie_bw.to_bits(), b.pcie_bw.to_bits());
+        assert_eq!(a.msg_cpu_cost.to_bits(), b.msg_cpu_cost.to_bits());
     }
 
     #[test]

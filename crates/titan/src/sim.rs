@@ -6,6 +6,7 @@ use crate::machine::{MachineParams, StoreModel};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use uintah_grid::{DistributionPolicy, Grid, PatchDistribution};
+use uintah_runtime::CalibrationSnapshot;
 
 /// Ordered f64 for the resource heaps.
 #[derive(PartialEq, PartialOrd)]
@@ -32,13 +33,119 @@ pub struct Breakdown {
     pub compute: f64,
 }
 
-impl Breakdown {
-    /// Deprecated alias for [`Breakdown::compute`], kept for callers written
-    /// against the old field name; the march phase is not GPU time in the
-    /// CPU-mode model.
-    #[deprecated(note = "renamed to the `compute` field")]
-    pub fn gpu(&self) -> f64 {
-        self.compute
+/// Measured per-patch cost distribution driving the modeled kernel
+/// pipeline: relative weights (mean 1.0) sampled from a
+/// [`CalibrationSnapshot`]'s per-patch wall costs, so patch-to-patch cost
+/// variance measured on the real executor shapes the modeled critical
+/// path instead of every kernel costing the analytic uniform amount.
+///
+/// An empty profile ([`CostProfile::uniform`]) reproduces the uniform
+/// analytic model exactly. Weights are stored sorted descending so the
+/// profile is a deterministic function of the measured cost *multiset*
+/// (scheduler interleaving cannot reorder it). The simulation samples a
+/// rank's kernels from the distribution's *quantiles*
+/// ([`CostProfile::quantile_weight`]): the SFC load balancer spreads hot
+/// spots across ranks, so a GPU holding `n` patches holds a representative
+/// sample of the global cost spread, not its head — a rank with many
+/// patches reproduces the full multiset, a rank with few gets its
+/// mid-quantiles.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CostProfile {
+    weights: Vec<f64>,
+}
+
+impl CostProfile {
+    /// The uniform analytic profile: every kernel costs the same.
+    pub fn uniform() -> Self {
+        Self::default()
+    }
+
+    /// Build from raw per-patch costs (any unit; only ratios matter).
+    /// Degenerate inputs — empty, or a zero/non-finite total — fall back
+    /// to the uniform profile.
+    pub fn from_costs(costs: impl IntoIterator<Item = f64>) -> Self {
+        let mut w: Vec<f64> = costs.into_iter().filter(|c| c.is_finite() && *c > 0.0).collect();
+        let total: f64 = w.iter().sum();
+        if w.is_empty() || total <= 0.0 {
+            return Self::uniform();
+        }
+        let mean = total / w.len() as f64;
+        for c in &mut w {
+            *c /= mean;
+        }
+        w.sort_by(|a, b| b.partial_cmp(a).expect("finite weights"));
+        Self { weights: w }
+    }
+
+    /// Build from the measured per-patch wall costs of a calibration run.
+    pub fn from_snapshot(snap: &CalibrationSnapshot) -> Self {
+        Self::from_costs(snap.per_patch.iter().map(|&(_, ns)| ns as f64))
+    }
+
+    /// True when this profile reproduces the uniform analytic model.
+    pub fn is_uniform(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Relative cost weight of kernel `k` (mean 1.0), cycling through the
+    /// sorted multiset. Use [`CostProfile::quantile_weight`] when the
+    /// total kernel count of the rank is known.
+    #[inline]
+    pub fn weight(&self, k: usize) -> f64 {
+        if self.weights.is_empty() {
+            1.0
+        } else {
+            self.weights[k % self.weights.len()]
+        }
+    }
+
+    /// Weight of kernel `k` out of `n` on one rank: the mean of the
+    /// measured distribution's `k`-th of `n` equal quantile bands. The
+    /// band means always average to exactly 1, so a rank's total march
+    /// work matches the uniform model for *any* patch count — the
+    /// measured spread changes pipeline ordering and serialization, not
+    /// total work (the SFC load balancer spreads hot spots across ranks;
+    /// what one rank keeps is a representative slice, not the heaviest
+    /// patches).
+    pub fn quantile_weight(&self, k: usize, n: usize) -> f64 {
+        if self.weights.is_empty() || n == 0 {
+            return 1.0;
+        }
+        let len = self.weights.len() as f64;
+        let a = k as f64 / n as f64 * len;
+        let b = (k as f64 + 1.0) / n as f64 * len;
+        (self.cum(b) - self.cum(a)) / (b - a)
+    }
+
+    /// Integral of the sorted weights over positions `[0, x)`, each weight
+    /// occupying unit length (linear interpolation inside a weight).
+    fn cum(&self, x: f64) -> f64 {
+        let i = (x as usize).min(self.weights.len());
+        let whole: f64 = self.weights[..i].iter().sum();
+        let frac = x - i as f64;
+        if frac > 0.0 && i < self.weights.len() {
+            whole + frac * self.weights[i]
+        } else {
+            whole
+        }
+    }
+
+    /// Heaviest/lightest measured patch cost ratio (1.0 when uniform).
+    pub fn spread(&self) -> f64 {
+        match (self.weights.first(), self.weights.last()) {
+            (Some(&max), Some(&min)) if min > 0.0 => max / min,
+            _ => 1.0,
+        }
+    }
+
+    /// Number of distinct measured patch costs backing the profile.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when no measured costs back the profile (uniform fallback).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
     }
 }
 
@@ -64,13 +171,31 @@ const PROP_BYTES_PER_CELL: f64 = 17.0 / 3.0;
 const MUTEX_LOCK_FRACTION: f64 = 0.15;
 
 /// Simulate one radiation timestep of the 2-level benchmark on `nranks`
-/// nodes (1 GPU each).
+/// nodes (1 GPU each) with the uniform analytic cost model. Campaign
+/// callers with a measured [`CostProfile`] use [`simulate_timestep_with`].
 pub fn simulate_timestep(
     grid: &Grid,
     nranks: usize,
     halo: i32,
     params: &MachineParams,
     store: StoreModel,
+) -> ScalingPoint {
+    simulate_timestep_with(grid, nranks, halo, params, store, &CostProfile::uniform())
+}
+
+/// Simulate one radiation timestep with a measured per-patch cost
+/// distribution: each modeled kernel's march work is scaled by its
+/// patch's weight from `profile` (mean 1.0, so total work matches the
+/// uniform model and only the *distribution* across the pipeline
+/// changes). [`CostProfile::uniform`] reproduces [`simulate_timestep`]
+/// exactly.
+pub fn simulate_timestep_with(
+    grid: &Grid,
+    nranks: usize,
+    halo: i32,
+    params: &MachineParams,
+    store: StoreModel,
+    profile: &CostProfile,
 ) -> ScalingPoint {
     let dist = PatchDistribution::new(grid, nranks, DistributionPolicy::MortonSfc);
     let census = max_census(grid, &dist, halo, 16.min(nranks));
@@ -154,12 +279,16 @@ pub fn simulate_timestep(
     let steps = params.steps_per_ray(roi_1d, coarse_1d);
     let cells = census.cells_per_patch as f64;
     let kernel_work = cells * params.nrays * steps;
-    let kernel_dur = params.kernel_launch + kernel_work / params.gpu_throughput(cells);
     let mut done = gather_done;
-    for _ in 0..census.kernels {
+    for k in 0..census.kernels {
         let h2d_dur = roi_cells * PROP_BYTES_PER_CELL * 3.0 / params.pcie_bw;
         let staged = h2d_free + h2d_dur;
         h2d_free = staged;
+        // Measured cost distribution: this kernel's march work is its
+        // patch's quantile of the measured spread (weight 1.0 when
+        // uniform).
+        let kernel_dur = params.kernel_launch
+            + kernel_work * profile.quantile_weight(k, census.kernels) / params.gpu_throughput(cells);
         let k_end = gpu_free.max(staged) + kernel_dur;
         gpu_free = k_end;
         let out = d2h_free.max(k_end) + cells * 8.0 / params.pcie_bw;
@@ -219,7 +348,8 @@ pub fn simulate_timestep_cpu(
     }
 }
 
-/// Sweep a strong-scaling curve over `gpu_counts`.
+/// Sweep a strong-scaling curve over `gpu_counts` with the uniform
+/// analytic cost model.
 pub fn scaling_curve(
     grid: &Grid,
     gpu_counts: &[usize],
@@ -227,9 +357,22 @@ pub fn scaling_curve(
     params: &MachineParams,
     store: StoreModel,
 ) -> Vec<ScalingPoint> {
+    scaling_curve_with(grid, gpu_counts, halo, params, store, &CostProfile::uniform())
+}
+
+/// Sweep a strong-scaling curve over `gpu_counts` with a measured
+/// per-patch cost distribution (see [`simulate_timestep_with`]).
+pub fn scaling_curve_with(
+    grid: &Grid,
+    gpu_counts: &[usize],
+    halo: i32,
+    params: &MachineParams,
+    store: StoreModel,
+    profile: &CostProfile,
+) -> Vec<ScalingPoint> {
     gpu_counts
         .iter()
-        .map(|&n| simulate_timestep(grid, n, halo, params, store))
+        .map(|&n| simulate_timestep_with(grid, n, halo, params, store, profile))
         .collect()
 }
 
@@ -346,6 +489,63 @@ mod tests {
             speedup_big > speedup_small,
             "bigger patches must increase GPU speedup: {speedup_big} vs {speedup_small}"
         );
+    }
+
+    #[test]
+    fn uniform_profile_reproduces_analytic_model_exactly() {
+        let g = grid(128, 16);
+        let p = MachineParams::titan();
+        let a = simulate_timestep(&g, 64, 4, &p, StoreModel::WaitFreePool);
+        let b = simulate_timestep_with(&g, 64, 4, &p, StoreModel::WaitFreePool, &CostProfile::uniform());
+        assert_eq!(a.time.to_bits(), b.time.to_bits());
+    }
+
+    #[test]
+    fn cost_profile_normalizes_to_mean_one_and_sorts() {
+        let p = CostProfile::from_costs([3.0, 1.0, 2.0]);
+        assert_eq!(p.len(), 3);
+        assert!((p.weight(0) - 1.5).abs() < 1e-12, "{}", p.weight(0));
+        assert!((p.weight(1) - 1.0).abs() < 1e-12);
+        assert!((p.weight(2) - 0.5).abs() < 1e-12);
+        assert!((p.weight(3) - 1.5).abs() < 1e-12, "weights cycle");
+        assert!((p.spread() - 3.0).abs() < 1e-12);
+        // Degenerate inputs fall back to uniform.
+        assert!(CostProfile::from_costs([]).is_uniform());
+        assert!(CostProfile::from_costs([0.0, -1.0, f64::NAN]).is_uniform());
+    }
+
+    #[test]
+    fn quantile_sampling_conserves_work_and_stays_representative() {
+        let p = CostProfile::from_costs((0..16).map(|i| 1.0 + i as f64));
+        // Band means conserve total work exactly for any rank size.
+        for n in [1usize, 2, 3, 5, 16, 32, 64, 100] {
+            let total: f64 = (0..n).map(|k| p.quantile_weight(k, n)).sum();
+            assert!((total - n as f64).abs() < 1e-9, "n={n}: total {total}");
+        }
+        // Small n: band means, not the raw heaviest patches.
+        let w2: Vec<f64> = (0..2).map(|k| p.quantile_weight(k, 2)).collect();
+        assert!(w2[0] > w2[1], "descending quantiles");
+        assert!(w2[0] < p.weight(0), "n=2 gets the top band's mean, not its max");
+    }
+
+    #[test]
+    fn measured_spread_slows_the_pipeline_but_not_below_uniform_work() {
+        // Same total work, skewed across patches: the critical path can
+        // only get longer (the heaviest kernels serialize on the engine),
+        // and the effect shrinks as patches per GPU shrink.
+        let g = grid(256, 16);
+        let p = MachineParams::titan();
+        let skew = CostProfile::from_costs((0..64).map(|i| 1.0 + (i % 8) as f64));
+        let uni = simulate_timestep(&g, 64, 4, &p, StoreModel::WaitFreePool);
+        let mea = simulate_timestep_with(&g, 64, 4, &p, StoreModel::WaitFreePool, &skew);
+        assert!(
+            mea.time >= uni.time * 0.999,
+            "measured spread cannot beat uniform: {} vs {}",
+            mea.time,
+            uni.time
+        );
+        // Within 2x: mean-1 normalization keeps total work equal.
+        assert!(mea.time < uni.time * 2.0, "{} vs {}", mea.time, uni.time);
     }
 
     #[test]

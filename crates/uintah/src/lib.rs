@@ -33,7 +33,9 @@ pub mod prelude {
         div_q_for_cell, solve_region, solve_region_exec, trace_ray, BurnsChriston, CellRng,
         LevelProps, RmcrtParams, TraceLevel,
     };
-    pub use titan_sim::{simulate_timestep, MachineParams, StoreModel};
+    pub use titan_sim::{
+        simulate_timestep, CalibrationScale, CostProfile, MachineParams, StoreModel,
+    };
     pub use uintah_comm::{CommWorld, Communicator, Tag, WaitFreePool};
     pub use uintah_exec::{
         ops, parallel_fill, parallel_for, parallel_map, parallel_reduce, DeviceSpace, ExecSpace,
@@ -46,7 +48,10 @@ pub mod prelude {
         CcVariable, DistributionPolicy, FieldData, Grid, IntVector, PatchCosts,
         PatchDistribution, Point, RebalancePolicy, Region, Regridder, VarLabel, Vector,
     };
-    pub use uintah_runtime::{run_world, DeviceStepStats, RegridEvent, StoreKind, WorldConfig};
+    pub use uintah_runtime::{
+        run_world, CalibrationSnapshot, DeviceStepStats, RegridEvent, StoreKind, WorldConfig,
+        WorldResult,
+    };
 }
 
 #[cfg(test)]

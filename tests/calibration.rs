@@ -1,0 +1,76 @@
+//! The measured-calibration pipeline, end to end (DESIGN §8, E12):
+//! a real executor run → `CalibrationSnapshot` → serialized text →
+//! parsed back → bit-identical `MachineParams`; plus run-to-run
+//! determinism of every structural counter.
+
+use std::sync::Arc;
+use uintah::prelude::*;
+
+fn calibration_run() -> WorldResult {
+    let grid = Arc::new(BurnsChriston::small_grid(16, 8));
+    let pipeline = RmcrtPipeline {
+        params: RmcrtParams {
+            nrays: 4,
+            ..Default::default()
+        },
+        halo: 2,
+        problem: BurnsChriston::default(),
+    };
+    let decls = Arc::new(multilevel_decls(&grid, pipeline, true));
+    run_world(
+        Arc::clone(&grid),
+        decls,
+        WorldConfig {
+            nranks: 2,
+            nthreads: 2,
+            timesteps: 2,
+            gpu_capacity: Some(1 << 30),
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn snapshot_round_trip_yields_bit_identical_machine_params() {
+    let snap = calibration_run().calibration_snapshot();
+    assert!(snap.steps > 0 && !snap.devices.is_empty(), "run produced no measurement");
+
+    // Serialize → parse → field-for-field equality (all-integer format).
+    let text = snap.to_text();
+    let back = CalibrationSnapshot::from_text(&text).expect("parse own serialization");
+    assert_eq!(snap, back);
+    assert_eq!(text, back.to_text(), "re-serialization must reproduce the text");
+
+    // Calibrating from the original and from the parsed copy must give
+    // bit-identical MachineParams — the snapshot is the whole interchange.
+    let scale = CalibrationScale::host_to_titan(4.0 * 11.0);
+    let a = MachineParams::from_snapshot(MachineParams::titan(), &snap, &scale);
+    let b = MachineParams::from_snapshot(MachineParams::titan(), &back, &scale);
+    assert_eq!(a.gpu_cellsteps_per_s.to_bits(), b.gpu_cellsteps_per_s.to_bits());
+    assert_eq!(a.cpu_cellsteps_per_s.to_bits(), b.cpu_cellsteps_per_s.to_bits());
+    assert_eq!(a.pcie_bw.to_bits(), b.pcie_bw.to_bits());
+    assert_eq!(a.msg_cpu_cost.to_bits(), b.msg_cpu_cost.to_bits());
+
+    // Same for the measured cost profile.
+    let pa = CostProfile::from_snapshot(&snap);
+    let pb = CostProfile::from_snapshot(&back);
+    assert_eq!(pa, pb);
+    assert!(!pa.is_uniform(), "a real run must measure per-patch costs");
+}
+
+#[test]
+fn identical_runs_produce_structurally_equal_snapshots() {
+    let a = calibration_run().calibration_snapshot();
+    let b = calibration_run().calibration_snapshot();
+    // Wall-clock fields legitimately differ; every deterministic counter
+    // (steps, tasks, messages, bytes, launches, invocations, patch
+    // membership) must match exactly.
+    assert!(
+        a.structural_eq(&b),
+        "two identical runs disagreed on structural counters:\n--- a:\n{}--- b:\n{}",
+        a.to_text(),
+        b.to_text()
+    );
+    assert_eq!(a.kernel_totals().invocations, b.kernel_totals().invocations);
+    assert_eq!(a.devices.len(), b.devices.len());
+}

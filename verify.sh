@@ -15,5 +15,15 @@ cargo test -q -p uintah --test regrid
 # leaked device bytes) — likewise pinned by name.
 cargo test -q -p uintah --test exec_spaces divq_is_bit_identical_across_fleet_sizes_and_thread_counts
 cargo test -q -p uintah --test concurrency fleet_regrid_race_evicts_only_affected_devices_without_leaks
+# The measured-calibration pipeline (snapshot round trip bit-identity,
+# run-to-run structural determinism) — pinned by name.
+cargo test -q -p uintah --test calibration
 cargo test --doc -q
 cargo clippy --workspace --all-targets -- -D warnings
+# E12 scaling-campaign regression gate: calibrate from a real executor
+# run, sweep the LARGE 16³-patch curve, compare Eq.-3 efficiencies against
+# the checked-in BENCH_scaling.json (tolerance in rmcrt_bench::campaign)
+# and enforce the paper-shape floors (eff 16→2048 ≥ 0.90, knee > 8192).
+# Regenerate after intentional model changes with:
+#   cargo run --release -p rmcrt-bench --bin scaling_gate -- --update
+cargo run --release -q -p rmcrt-bench --bin scaling_gate
