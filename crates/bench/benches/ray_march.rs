@@ -37,6 +37,24 @@ fn bench_march(c: &mut Criterion) {
         };
         b.iter(|| std::hint::black_box(div_q_for_cell(&stack, IntVector::splat(n / 2), &params)));
     });
+
+    // Frozen pre-packet scalar marcher on the same cell: the packet-vs-
+    // scalar ratio here is the per-cell view of the ray_march_gate numbers
+    // (BENCH_ray_march.json records the full-region medians).
+    group.bench_function("scalar_cell_100rays_64cube", |b| {
+        let params = RmcrtParams {
+            nrays: 100,
+            threshold: 1e-5,
+            ..Default::default()
+        };
+        b.iter(|| {
+            std::hint::black_box(rmcrt_bench::scalar_march::div_q_for_cell_scalar(
+                &stack,
+                IntVector::splat(n / 2),
+                &params,
+            ))
+        });
+    });
     group.finish();
 }
 

@@ -36,6 +36,7 @@ fn main() {
                         seed,
                         timestep: 0,
                         sampling: Default::default(),
+                        ray_count: None,
                     },
                 )
             })

@@ -1,0 +1,289 @@
+//! Packet-vs-scalar ray-march regression gate (run by verify.sh).
+//!
+//! Two workloads, both solved by the frozen pre-packet scalar marcher
+//! (`rmcrt_bench::scalar_march`) and by the live SoA packet engine
+//! (`rmcrt_core::packet` behind `solve_region`):
+//!
+//! * **16³ Burns & Christon at a fixed 100 rays/cell** — the bit-identity
+//!   workload. Fixed mode is a refactor, not a re-model, so the packet
+//!   divQ must match the scalar divQ bit for bit, and the engine must
+//!   clear a modest overhead-elimination floor (`MIN_FIXED_SPEEDUP`).
+//!   The shared costs the contract pins (identical RNG draws, DDA setup
+//!   divisions, one `exp` per cell step) bound what fixed mode can gain.
+//! * **16³ optically-thick enclosure (κ = 8, hot walls)** — the adaptive
+//!   workload. Smooth, thick cells have low per-ray variance, so the
+//!   variance-driven ray budget converges near its floor and the packet
+//!   path must beat the scalar fixed-budget solve by `MIN_ADAPTIVE_SPEEDUP`
+//!   while reproducing the region-mean divQ within `MAX_ADAPTIVE_MEAN_REL`
+//!   on measurably fewer rays.
+//!
+//! On top of those absolute checks, packet throughput (cells/s) must stay
+//! within `REGRESSION_TOLERANCE` of the checked-in `BENCH_ray_march.json`.
+//!
+//! ```text
+//! cargo run -p rmcrt-bench --release --bin ray_march_gate            # check
+//! cargo run -p rmcrt-bench --release --bin ray_march_gate -- --update # regen
+//! ```
+
+use rmcrt_bench::{median_time, scalar_march, secs};
+use rmcrt_core::props::{LevelProps, WALL_CELL};
+use rmcrt_core::solver::{RayCountMode, RmcrtParams};
+use rmcrt_core::trace::TraceLevel;
+use rmcrt_core::{solve_region, solve_region_with_stats, BurnsChriston};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+use uintah::prelude::ExecSpace;
+use uintah_grid::{Region, Vector};
+
+/// Fixed-mode floor: overhead elimination alone, under the bit-identity
+/// contract (measured ~1.4x on this workload; floor leaves noise room).
+const MIN_FIXED_SPEEDUP: f64 = 1.2;
+/// Packet-path requirement: the adaptive budget on the optically-thick
+/// workload must at least double scalar fixed-budget throughput.
+const MIN_ADAPTIVE_SPEEDUP: f64 = 2.0;
+/// Adaptive region-mean divQ must stay within 1% of the fixed reference.
+const MAX_ADAPTIVE_MEAN_REL: f64 = 0.01;
+/// "Measurably fewer rays": adaptive must spend at most this fraction of
+/// the fixed budget (measured ~0.42 on the thick workload).
+const MAX_ADAPTIVE_RAY_FRACTION: f64 = 0.75;
+/// Allowed shortfall vs the checked-in packet throughput (wall-clock noise
+/// on shared CI hosts is well under this).
+const REGRESSION_TOLERANCE: f64 = 0.10;
+
+const N: i32 = 16;
+const NRAYS: u32 = 100;
+const REPS: usize = 5;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Minimal extraction of `"throughput_per_sec": <x>` for a benchmark id
+/// from the checked-in report (same hand-rolled style as the rest of the
+/// dependency-free bench JSON).
+fn throughput_for(text: &str, id: &str) -> Option<f64> {
+    let at = text.find(&format!("\"id\": \"{id}\""))?;
+    let rest = &text[at..];
+    let key = "\"throughput_per_sec\":";
+    let tail = rest[rest.find(key)? + key.len()..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || ".-+e".contains(c)))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+fn checksum(v: &[f64]) -> u64 {
+    v.iter().fold(0u64, |acc, x| acc.wrapping_add(x.to_bits()))
+}
+
+fn mean(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// Hot-walled, optically thick enclosure: uniform κ = 8 medium (τ ≈ 0.5
+/// per cell) inside a one-cell emissive wall shell. The smooth interior is
+/// where ARC-style adaptive ray budgets pay off.
+fn thick_enclosure(n: i32) -> LevelProps {
+    let mut props = LevelProps::uniform(Region::cube(n), Vector::splat(1.0 / n as f64), 8.0, 0.9);
+    let e = props.region.extent();
+    for c in props.region.cells() {
+        if c.x == 0 || c.y == 0 || c.z == 0 || c.x == e.x - 1 || c.y == e.y - 1 || c.z == e.z - 1 {
+            props.cell_type[c] = WALL_CELL;
+            props.abskg[c] = 0.8;
+            props.sigma_t4_over_pi[c] = 1.7;
+        }
+    }
+    props
+}
+
+struct Measured {
+    scalar_ms: f64,
+    packet_ms: f64,
+    scalar_cps: f64,
+    packet_cps: f64,
+}
+
+/// Time one workload with both engines (median of `REPS`); `packet`
+/// closures let the caller pick fixed or adaptive mode for the live side.
+fn time_pair(
+    scalar: impl Fn() -> uintah_grid::CcVariable<f64>,
+    packet: impl Fn() -> uintah_grid::CcVariable<f64>,
+    cells: f64,
+) -> Measured {
+    let scalar_t = median_time(REPS, || {
+        let t = Instant::now();
+        std::hint::black_box(scalar());
+        t.elapsed()
+    });
+    let packet_t = median_time(REPS, || {
+        let t = Instant::now();
+        std::hint::black_box(packet());
+        t.elapsed()
+    });
+    Measured {
+        scalar_ms: secs(scalar_t) * 1e3,
+        packet_ms: secs(packet_t) * 1e3,
+        scalar_cps: cells / secs(scalar_t),
+        packet_cps: cells / secs(packet_t),
+    }
+}
+
+fn main() -> ExitCode {
+    let update = std::env::args().any(|a| a == "--update");
+    let report_path = repo_root().join("BENCH_ray_march.json");
+    let mut violations = Vec::new();
+
+    // --- Workload 1: Burns & Christon, fixed mode (bit-identity). -------
+    let problem = BurnsChriston::default();
+    let grid = BurnsChriston::small_grid(N, 16);
+    let bc_props = problem.props_for_level(grid.fine_level());
+    let bc_stack = [TraceLevel {
+        props: &bc_props,
+        roi: bc_props.region,
+    }];
+    let bc_region = bc_props.region;
+    let bc_params = RmcrtParams {
+        nrays: NRAYS,
+        threshold: 1e-5,
+        ..Default::default()
+    };
+    let cells = bc_region.volume() as f64;
+
+    let scalar_div_q = scalar_march::solve_region_scalar(&bc_stack, bc_region, &bc_params);
+    let packet_div_q = solve_region(&bc_stack, bc_region, &bc_params);
+    if checksum(scalar_div_q.as_slice()) != checksum(packet_div_q.as_slice()) {
+        violations.push("B&C: packet divQ is not bit-identical to the scalar baseline".to_string());
+    }
+
+    let fixed = time_pair(
+        || scalar_march::solve_region_scalar(&bc_stack, bc_region, &bc_params),
+        || solve_region(&bc_stack, bc_region, &bc_params),
+        cells,
+    );
+    let fixed_speedup = fixed.scalar_ms / fixed.packet_ms;
+    println!(
+        "16^3 B&C fixed {NRAYS} rays/cell:   scalar {:.1} ms | packet {:.1} ms | speedup {fixed_speedup:.2}x (bit-identical)",
+        fixed.scalar_ms, fixed.packet_ms
+    );
+
+    // --- Workload 2: thick enclosure, adaptive packet path. -------------
+    let th_props = thick_enclosure(N);
+    let th_stack = [TraceLevel {
+        props: &th_props,
+        roi: th_props.region,
+    }];
+    let th_region = th_props.region;
+    let th_fixed = RmcrtParams {
+        nrays: NRAYS,
+        threshold: 0.05,
+        ..Default::default()
+    };
+    let th_adaptive = RmcrtParams {
+        ray_count: Some(RayCountMode::Adaptive {
+            min: 16,
+            max: NRAYS,
+            rel_var_target: 0.05,
+        }),
+        ..th_fixed
+    };
+
+    let th_scalar = scalar_march::solve_region_scalar(&th_stack, th_region, &th_fixed);
+    let th_packet_fixed = solve_region(&th_stack, th_region, &th_fixed);
+    if checksum(th_scalar.as_slice()) != checksum(th_packet_fixed.as_slice()) {
+        violations.push("thick: packet divQ is not bit-identical to the scalar baseline".to_string());
+    }
+    let (th_out, th_stats) =
+        solve_region_with_stats(&th_stack, th_region, &th_adaptive, &ExecSpace::Serial);
+    let rays_per_cell = th_stats.total_rays as f64 / th_stats.cells as f64;
+    let mean_rel = ((mean(th_out.as_slice()) - mean(th_scalar.as_slice())) / mean(th_scalar.as_slice())).abs();
+    if mean_rel > MAX_ADAPTIVE_MEAN_REL {
+        violations.push(format!(
+            "thick: adaptive region-mean divQ differs from the fixed reference by {:.2}% (limit {:.0}%)",
+            mean_rel * 100.0,
+            MAX_ADAPTIVE_MEAN_REL * 100.0
+        ));
+    }
+    if rays_per_cell > NRAYS as f64 * MAX_ADAPTIVE_RAY_FRACTION {
+        violations.push(format!(
+            "thick: adaptive spent {rays_per_cell:.1} rays/cell, not measurably fewer than the fixed {NRAYS}"
+        ));
+    }
+
+    let adaptive = time_pair(
+        || scalar_march::solve_region_scalar(&th_stack, th_region, &th_fixed),
+        || solve_region_with_stats(&th_stack, th_region, &th_adaptive, &ExecSpace::Serial).0,
+        cells,
+    );
+    let adaptive_speedup = adaptive.scalar_ms / adaptive.packet_ms;
+    println!(
+        "16^3 thick adaptive 16..{NRAYS}@0.05: scalar {:.1} ms | packet {:.1} ms | speedup {adaptive_speedup:.2}x ({rays_per_cell:.1} rays/cell, mean divQ rel {:.3}%)",
+        adaptive.scalar_ms,
+        adaptive.packet_ms,
+        mean_rel * 100.0
+    );
+
+    if update {
+        let json = format!(
+            "{{\n  \"group\": \"ray_march\",\n  \"note\": \"Serial full-region solves, 16^3, median of {REPS}; throughput is cells/s. scalar_* = frozen pre-packet per-ray DDA (crates/bench/src/scalar_march.rs). packet_16cube_100rays is bit-identical to its scalar twin (fixed mode, B&C, 100 rays/cell, threshold 1e-5): the speedup is pure engine-overhead elimination under the pinned-FP contract. packet_16cube_thick_adaptive is the packet path on the optically-thick enclosure (kappa=8, hot walls, threshold 0.05) with adaptive ray counts 16..100 at rel_var_target 0.05 vs the 100-rays/cell scalar baseline; it must stay >= {MIN_ADAPTIVE_SPEEDUP}x scalar with region-mean divQ within {:.0}%. Gate: bit-identity on both workloads, fixed >= {MIN_FIXED_SPEEDUP}x, adaptive >= {MIN_ADAPTIVE_SPEEDUP}x, packet entries within {REGRESSION_TOLERANCE} of this file.\",\n  \"benchmarks\": [\n    {{ \"id\": \"scalar_16cube_100rays\", \"median_ns\": {:.1}, \"throughput_per_sec\": {:.1} }},\n    {{ \"id\": \"packet_16cube_100rays\", \"median_ns\": {:.1}, \"throughput_per_sec\": {:.1} }},\n    {{ \"id\": \"scalar_16cube_thick_100rays\", \"median_ns\": {:.1}, \"throughput_per_sec\": {:.1} }},\n    {{ \"id\": \"packet_16cube_thick_adaptive\", \"median_ns\": {:.1}, \"throughput_per_sec\": {:.1}, \"rays_per_cell\": {rays_per_cell:.1} }}\n  ]\n}}\n",
+            MAX_ADAPTIVE_MEAN_REL * 100.0,
+            fixed.scalar_ms * 1e6,
+            fixed.scalar_cps,
+            fixed.packet_ms * 1e6,
+            fixed.packet_cps,
+            adaptive.scalar_ms * 1e6,
+            adaptive.scalar_cps,
+            adaptive.packet_ms * 1e6,
+            adaptive.packet_cps,
+        );
+        std::fs::write(&report_path, json).expect("write BENCH_ray_march.json");
+        println!("wrote {}", report_path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    if fixed_speedup < MIN_FIXED_SPEEDUP {
+        violations.push(format!(
+            "B&C: packet fixed-mode speedup {fixed_speedup:.2}x is below the {MIN_FIXED_SPEEDUP}x floor"
+        ));
+    }
+    if adaptive_speedup < MIN_ADAPTIVE_SPEEDUP {
+        violations.push(format!(
+            "thick: adaptive packet-path speedup {adaptive_speedup:.2}x is below the required {MIN_ADAPTIVE_SPEEDUP}x"
+        ));
+    }
+    match std::fs::read_to_string(&report_path) {
+        Err(e) => violations.push(format!("cannot read {}: {e}", report_path.display())),
+        Ok(text) => {
+            for (id, measured) in [
+                ("packet_16cube_100rays", fixed.packet_cps),
+                ("packet_16cube_thick_adaptive", adaptive.packet_cps),
+            ] {
+                match throughput_for(&text, id) {
+                    None => violations.push(format!("BENCH_ray_march.json has no {id} entry")),
+                    Some(baseline) => {
+                        if measured < baseline * (1.0 - REGRESSION_TOLERANCE) {
+                            violations.push(format!(
+                                "{id} throughput {measured:.0} cells/s regressed more than {:.0}% below the checked-in {baseline:.0} cells/s",
+                                REGRESSION_TOLERANCE * 100.0
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        println!(
+            "ray_march gate PASS (fixed >= {MIN_FIXED_SPEEDUP}x, adaptive >= {MIN_ADAPTIVE_SPEEDUP}x, tolerance {REGRESSION_TOLERANCE})"
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("ray_march gate FAIL:");
+        for v in &violations {
+            println!("  - {v}");
+        }
+        println!("(if the change is intentional, regenerate with: cargo run -p rmcrt-bench --release --bin ray_march_gate -- --update)");
+        ExitCode::FAILURE
+    }
+}

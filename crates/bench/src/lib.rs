@@ -4,6 +4,7 @@
 //! index and EXPERIMENTS.md for recorded results.
 
 pub mod campaign;
+pub mod scalar_march;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;

@@ -9,8 +9,9 @@
 //! q_in(face) = ∫_{2π} I(Ω) cosθ dΩ  ≈  π · mean(I over cosine-weighted Ω)
 //! ```
 
+use crate::packet::{PacketTracer, RayPacket};
 use crate::rng::CellRng;
-use crate::trace::{trace_ray, TraceLevel};
+use crate::trace::{TraceLevel, TraceOptions};
 use std::f64::consts::PI;
 use uintah_grid::{CcVariable, IntVector, Region, Vector};
 
@@ -81,7 +82,26 @@ pub fn face_incident_flux(
     face: Face,
     params: &FluxParams,
 ) -> f64 {
-    let props = levels.last().expect("empty stack").props;
+    let tracer = PacketTracer::new(
+        levels,
+        TraceOptions {
+            threshold: params.threshold,
+            max_reflections: 0,
+        },
+    );
+    face_incident_flux_with(&tracer, flow_cell, face, params)
+}
+
+/// [`face_incident_flux`] against a prepared [`PacketTracer`] — the form
+/// the region-wide flux map uses so the trace stack is prepared once, not
+/// once per face cell. The face's rays march as one packet.
+pub fn face_incident_flux_with(
+    tracer: &PacketTracer<'_>,
+    flow_cell: IntVector,
+    face: Face,
+    params: &FluxParams,
+) -> f64 {
+    let props = tracer.fine_props();
     debug_assert!(!props.is_wall(flow_cell), "flux origin must be a flow cell");
     let n = face.inward_normal();
     // Point on the wall face: centre of the flow cell's face towards the
@@ -106,7 +126,7 @@ pub fn face_incident_flux(
     };
     let u = n.cross(helper).normalized();
     let v = n.cross(u);
-    let mut sum = 0.0;
+    let mut packet = RayPacket::with_capacity(params.nrays as usize);
     for r in 0..params.nrays {
         let mut rng = CellRng::new(params.seed, flow_cell, r, 0);
         // Cosine-weighted: cosθ = sqrt(ξ).
@@ -114,7 +134,12 @@ pub fn face_incident_flux(
         let sin_t = (1.0 - cos_t * cos_t).max(0.0).sqrt();
         let phi = 2.0 * PI * rng.next_f64();
         let dir = (n * cos_t + u * (sin_t * phi.cos()) + v * (sin_t * phi.sin())).normalized();
-        sum += trace_ray(levels, origin, dir, params.threshold);
+        packet.push(origin, dir);
+    }
+    tracer.trace(&mut packet);
+    let mut sum = 0.0;
+    for r in 0..params.nrays as usize {
+        sum += packet.sum_i[r];
     }
     PI * sum / params.nrays as f64
 }
@@ -149,11 +174,18 @@ pub fn wall_flux_map_exec(
         Face::ZMinus => Region::new(r.lo(), IntVector::new(r.hi().x, r.hi().y, r.lo().z + 1)),
         Face::ZPlus => Region::new(IntVector::new(r.lo().x, r.lo().y, r.hi().z - 1), r.hi()),
     };
+    let tracer = PacketTracer::new(
+        levels,
+        TraceOptions {
+            threshold: params.threshold,
+            max_reflections: 0,
+        },
+    );
     uintah_exec::parallel_fill(space, layer, |c| {
         if props.is_wall(c) {
             0.0
         } else {
-            face_incident_flux(levels, c, face, params)
+            face_incident_flux_with(&tracer, c, face, params)
         }
     })
 }

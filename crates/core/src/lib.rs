@@ -38,6 +38,7 @@ pub mod benchmark;
 pub mod dom;
 pub mod flux;
 pub mod labels;
+pub mod packet;
 pub mod props;
 pub mod radiometer;
 pub mod rng;
@@ -50,9 +51,13 @@ pub mod trace;
 
 pub use bc::{EnclosureBc, WallProps};
 pub use benchmark::BurnsChriston;
+pub use packet::{slabs, PacketTracer, RayPacket};
 pub use props::{LevelProps, FLOW_CELL, WALL_CELL};
 pub use rng::CellRng;
 pub use sampling::RaySampling;
 pub use scatter::{PhaseFunction, ScatteringMedium};
-pub use solver::{div_q_for_cell, solve_region, solve_region_exec, RmcrtParams};
+pub use solver::{
+    div_q_for_cell, solve_region, solve_region_exec, solve_region_with_stats, RayCountMode,
+    RmcrtParams, SolveStats,
+};
 pub use trace::{trace_ray, trace_ray_with_options, TraceLevel, TraceOptions};

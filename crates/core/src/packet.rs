@@ -1,0 +1,931 @@
+//! The SoA packet ray-march engine — the single stepper behind every tracer.
+//!
+//! Every consumer of ray marching (the ∇·q solver, the spectral band loop,
+//! the scattering collision estimator, wall flux and the virtual
+//! radiometer) used to drive its own copy of a scalar Amanatides–Woo DDA.
+//! This module collapses them onto one engine:
+//!
+//! * [`RayPacket`] — a structure-of-arrays batch of rays: origins,
+//!   directions, per-ray `τ`/`e^{-τ_prev}`/weight/
+//!   `sumI`, level index and an active mask. One packet is one cell's (or
+//!   one face's / one detector's) ray budget, dispatched as a unit through
+//!   `uintah-exec`.
+//! * [`PacketTracer`] — prepares each [`TraceLevel`] once per solve
+//!   (hoisted DDA constants, raw field slices, linear-index strides, ROI
+//!   slab planes) and then marches whole packets, compacting the active
+//!   mask as rays extinguish, hit walls, or transition between levels.
+//!
+//! ## Stepping
+//!
+//! The DDA state (`side_dist`/`t_max`, `delta_dist`/`t_delta`, per SNIPPETS
+//! §1) is set up once per level segment, and the per-step work is
+//! branch-light:
+//!
+//! * the field lookups use a *stride-stepped linear index* into the dense
+//!   per-level slices instead of re-deriving `region.linear_index(cell)`
+//!   (three multiplies + bounds assert) on every access;
+//! * the per-cell `roi.contains` test is replaced by the ROI's slab planes
+//!   in index space: advancing along axis `a` can only cross the
+//!   precomputed exit plane of axis `a`, so exit is a single integer
+//!   compare, and the integer planes double as a step bound (a termination
+//!   guarantee for degenerate directions). The physical-space twin of the
+//!   same test, [`slabs`], serves box-entry queries.
+//!
+//! The *floating-point sequence* of the march (t_max recurrence, τ
+//! accumulation, telescoped emission, threshold compare, axis tie-breaking)
+//! is kept operation-for-operation identical to the historical scalar
+//! marcher, so solves in `Fixed` ray-count mode remain bit-identical across
+//! Serial/Threads/Device — the determinism contract `tests/exec_spaces.rs`
+//! pins.
+//!
+//! ## Level transitions
+//!
+//! A ray leaving a level's ROI is snapped onto the crossed face plane and
+//! nudged *one relative cell fraction* ([`FACE_NUDGE`]`·dx`) past it, then
+//! re-homed on the next coarser level containing that point. The nudge is
+//! proportional to the local cell size, so it survives any grid scale (the
+//! historical absolute `1e-10` nudge vanished below the coordinate ulp on
+//! large-`dx` grids and could land rays in the wrong coarse cell).
+
+use crate::props::{LevelProps, FLOW_CELL};
+use crate::trace::{TraceLevel, TraceOptions};
+use uintah_grid::{Point, Region, Vector};
+
+/// Relative (cell-fraction) nudge used to place a ray just past a crossed
+/// face: scale-invariant, unlike an absolute epsilon.
+pub const FACE_NUDGE: f64 = 1e-9;
+
+/// Slab intersection of the ray `o + t·d` (given `inv_d = 1/d`) with the
+/// axis-aligned box `[p0, p1]`: returns `(t_near, t_far)`; the ray crosses
+/// the box iff `t_near <= t_far` (and `t_far >= 0` for the forward ray).
+///
+/// Degenerate components (`d[a] == 0` ⇒ `inv_d[a] = ±∞`) resolve correctly:
+/// an origin outside the slab yields an empty interval, inside yields a
+/// pass-through. An origin exactly *on* a slab plane of a degenerate axis
+/// (0·∞ = NaN) is treated as inside that slab.
+pub fn slabs(p0: Point, p1: Point, o: Point, inv_d: Vector) -> (f64, f64) {
+    let mut t_near = f64::NEG_INFINITY;
+    let mut t_far = f64::INFINITY;
+    for a in 0..3 {
+        let t0 = (p0[a] - o[a]) * inv_d[a];
+        let t1 = (p1[a] - o[a]) * inv_d[a];
+        let (lo, hi) = if t0 <= t1 { (t0, t1) } else { (t1, t0) };
+        // NaN (origin on the plane of a zero-direction axis): axis is a
+        // pass-through, skip it.
+        if lo.is_nan() || hi.is_nan() {
+            continue;
+        }
+        t_near = t_near.max(lo);
+        t_far = t_far.min(hi);
+    }
+    (t_near, t_far)
+}
+
+/// Interleaved per-cell march payload: one cache line serves the
+/// absorption update, emission update and wall test of a step, instead of
+/// three separate array loads.
+#[derive(Clone, Copy)]
+struct CellPay {
+    abskg: f64,
+    sigma: f64,
+    wall: bool,
+}
+
+/// One level of the trace stack, prepared for packet marching: hoisted
+/// geometry, raw field slices and index strides.
+struct PreparedLevel<'a> {
+    anchor: [f64; 3],
+    dx: [f64; 3],
+    /// ROI slab planes in index space (exit plane per axis and sign).
+    roi_lo: [i32; 3],
+    roi_hi: [i32; 3],
+    /// Low corner of the *data* region (slice index origin).
+    reg_lo: [i32; 3],
+    /// Linear-index strides (x fastest) of the data region.
+    stride: [isize; 3],
+    /// Integer step bound for one ROI crossing: each axis can be stepped
+    /// at most `extent+1` times before its (integer) exit-plane compare
+    /// fires, so a segment terminates within the summed extents no matter
+    /// what the FP state does.
+    step_bound: i64,
+    abskg: &'a [f64],
+    sigma: &'a [f64],
+    ctype: &'a [u8],
+    roi: Region,
+}
+
+impl<'a> PreparedLevel<'a> {
+    fn new(level: &TraceLevel<'a>) -> Self {
+        let props: &'a LevelProps = level.props;
+        let region = props.region;
+        debug_assert!(
+            region.contains_region(&level.roi),
+            "ROI {:?} escapes level region {:?}",
+            level.roi,
+            region
+        );
+        let e = region.extent();
+        let roi = level.roi;
+        let re = roi.extent();
+        Self {
+            anchor: [props.anchor.x, props.anchor.y, props.anchor.z],
+            dx: [props.dx.x, props.dx.y, props.dx.z],
+            roi_lo: [roi.lo().x, roi.lo().y, roi.lo().z],
+            roi_hi: [roi.hi().x, roi.hi().y, roi.hi().z],
+            reg_lo: [region.lo().x, region.lo().y, region.lo().z],
+            stride: [1, e.x as isize, (e.x as isize) * (e.y as isize)],
+            step_bound: (re.x as i64) + (re.y as i64) + (re.z as i64) + 8,
+            abskg: props.abskg.as_slice(),
+            sigma: props.sigma_t4_over_pi.as_slice(),
+            ctype: props.cell_type.as_slice(),
+            roi,
+        }
+    }
+
+    /// Cell containing `p` — the same FP sequence as
+    /// [`LevelProps::cell_containing`].
+    #[inline]
+    fn cell_containing(&self, p: Point) -> [i32; 3] {
+        [
+            ((p.x - self.anchor[0]) / self.dx[0]).floor() as i32,
+            ((p.y - self.anchor[1]) / self.dx[1]).floor() as i32,
+            ((p.z - self.anchor[2]) / self.dx[2]).floor() as i32,
+        ]
+    }
+
+    #[inline]
+    fn roi_contains(&self, c: [i32; 3]) -> bool {
+        c[0] >= self.roi_lo[0]
+            && c[1] >= self.roi_lo[1]
+            && c[2] >= self.roi_lo[2]
+            && c[0] < self.roi_hi[0]
+            && c[1] < self.roi_hi[1]
+            && c[2] < self.roi_hi[2]
+    }
+
+    /// Linear slice index of cell `c` (must be inside the data region).
+    #[inline]
+    fn index_of(&self, c: [i32; 3]) -> usize {
+        let x = (c[0] - self.reg_lo[0]) as usize;
+        let y = (c[1] - self.reg_lo[1]) as usize;
+        let z = (c[2] - self.reg_lo[2]) as usize;
+        x + (self.stride[1] as usize) * y + (self.stride[2] as usize) * z
+    }
+
+    /// Physical low face of cell index `ci` along `axis`.
+    #[inline]
+    fn face_coord(&self, axis: usize, ci: i32) -> f64 {
+        self.anchor[axis] + (ci as f64) * self.dx[axis]
+    }
+}
+
+/// Scalar per-ray accumulator state carried across level segments.
+#[derive(Clone, Copy)]
+struct RayCore {
+    tau: f64,
+    exp_prev: f64,
+    sum_i: f64,
+    weight: f64,
+}
+
+/// Why one level segment ended.
+enum Seg {
+    /// Remaining transmissivity fell below the threshold (or the defensive
+    /// step guard tripped).
+    Extinguished,
+    /// Hit a wall cell (emission contribution already added).
+    HitWall {
+        hit: Point,
+        axis: usize,
+        /// Face-snapped restart coordinate along `axis`, just inside the
+        /// flow cell the ray came from (for reflections).
+        restart: f64,
+        emissivity: f64,
+    },
+    /// Left the ROI: face-snapped physical exit point, just past the
+    /// crossed slab plane.
+    Exited(Point),
+}
+
+/// Per-axis DDA setup: step sign, initial `t_max`, `t_delta`, index-space
+/// exit plane and signed linear-index stride. The FP expressions are the
+/// historical scalar marcher's, verbatim (bit-identity contract).
+#[inline]
+fn axis_setup(
+    d: f64,
+    lo_a: f64,
+    dx_a: f64,
+    pos_a: f64,
+    roi_lo: i32,
+    roi_hi: i32,
+    stride: isize,
+) -> (i32, f64, f64, i32, isize) {
+    let (s, tm, td) = if d > 0.0 {
+        (1, (lo_a + dx_a - pos_a) / d, dx_a / d)
+    } else if d < 0.0 {
+        (-1, (lo_a - pos_a) / d, -dx_a / d)
+    } else {
+        (0, f64::INFINITY, f64::INFINITY)
+    };
+    let exit_plane = if s > 0 { roi_hi } else { roi_lo - 1 };
+    (s, tm, td, exit_plane, (s as isize) * stride)
+}
+
+/// March one level segment from `pos`. The FP op sequence matches the
+/// historical scalar marcher exactly (bit-identity contract).
+///
+/// This is the innermost loop of every tracer: the DDA state lives in
+/// named locals (not arrays) so it stays in registers, the per-axis
+/// advance is an explicit three-way branch, and the field loads skip
+/// bounds checks — the index invariant (`cur` ∈ ROI ⊆ data region,
+/// re-established before every load) is documented at each site.
+fn march_segment(
+    lvl: &PreparedLevel<'_>,
+    pay: &[CellPay],
+    pos: Point,
+    dir: Vector,
+    st: &mut RayCore,
+    threshold: f64,
+) -> Seg {
+    let cur = lvl.cell_containing(pos);
+    debug_assert!(
+        lvl.roi_contains(cur),
+        "march starts outside ROI: {cur:?} not in {:?}",
+        lvl.roi
+    );
+    // Hoisted DDA setup, once per segment. Kept in small arrays indexed by
+    // the stepped axis: the axis is data-dependent, so indexed accesses
+    // beat a three-way branch (which would mispredict on most steps).
+    let mut step = [0i32; 3];
+    let mut t_max = [0f64; 3];
+    let mut t_delta = [0f64; 3];
+    let mut exit_plane = [0i32; 3];
+    let mut idx_step = [0isize; 3];
+    let mut cells = [cur[0], cur[1], cur[2]];
+    for a in 0..3 {
+        let (s, tm, td, ep, is) = axis_setup(
+            dir[a],
+            lvl.face_coord(a, cur[a]),
+            lvl.dx[a],
+            pos[a],
+            lvl.roi_lo[a],
+            lvl.roi_hi[a],
+            lvl.stride[a],
+        );
+        step[a] = s;
+        t_max[a] = tm;
+        t_delta[a] = td;
+        exit_plane[a] = ep;
+        idx_step[a] = is;
+    }
+
+    // Integer step bound: each axis is stepped monotonically toward its
+    // exit plane, so a segment terminates within the summed ROI extents no
+    // matter what the FP state does (NaN comparisons included). Purely
+    // defensive — it turns any pathology from a hang into an extinguished
+    // ray without costing divisions per segment.
+    let mut guard: i64 = lvl.step_bound;
+
+    let nfields = pay.len();
+    let mut traveled = 0.0f64;
+    let mut idx = lvl.index_of(cur);
+    loop {
+        // Axis of the nearest cell face — the same comparison tree
+        // (including tie behavior) as the scalar marcher.
+        let axis = if t_max[0] < t_max[1] {
+            if t_max[0] < t_max[2] {
+                0
+            } else {
+                2
+            }
+        } else if t_max[1] < t_max[2] {
+            1
+        } else {
+            2
+        };
+        let t_hit = t_max[axis];
+        let dis = t_hit - traveled;
+        traveled = t_hit;
+        t_max[axis] += t_delta[axis];
+
+        // The segment just traversed lies in the current cell.
+        // SAFETY: `idx` indexes the cell in `cells`, which is inside the
+        // ROI (checked on entry; every advance below either returns at the
+        // ROI slab plane or stays inside), and ROI ⊆ data region.
+        debug_assert!(idx < nfields);
+        let p = unsafe { pay.get_unchecked(idx) };
+        st.tau += p.abskg * dis;
+        let exp_cur = (-st.tau).exp();
+        st.sum_i += st.weight * p.sigma * (st.exp_prev - exp_cur);
+        st.exp_prev = exp_cur;
+        if st.weight * exp_cur < threshold {
+            return Seg::Extinguished;
+        }
+
+        // Advance to the next cell: only the stepped axis can cross its
+        // ROI slab plane, so exit is one integer compare.
+        cells[axis] += step[axis];
+        if cells[axis] == exit_plane[axis] {
+            return seg_exited(lvl, pos, dir, traveled, axis, cells[axis], step[axis]);
+        }
+        idx = (idx as isize + idx_step[axis]) as usize;
+        // SAFETY: the stepped axis did not reach its exit plane (checked
+        // just above), so the cell is still inside the ROI ⊆ data region.
+        debug_assert!(idx < nfields);
+        let p = unsafe { pay.get_unchecked(idx) };
+        if p.wall {
+            // Wall emission: emissivity stored in abskg for wall cells.
+            let emissivity = p.abskg;
+            st.sum_i += st.weight * emissivity * p.sigma * st.exp_prev;
+            let face = if step[axis] > 0 {
+                lvl.face_coord(axis, cells[axis])
+            } else {
+                lvl.face_coord(axis, cells[axis] + 1)
+            };
+            let restart = face - (step[axis] as f64) * FACE_NUDGE * lvl.dx[axis];
+            return Seg::HitWall {
+                hit: pos + dir * traveled,
+                axis,
+                restart,
+                emissivity,
+            };
+        }
+        guard -= 1;
+        if guard < 0 {
+            return Seg::Extinguished;
+        }
+    }
+}
+
+/// Cold path of [`march_segment`]: build the face-snapped ROI exit point
+/// for a ray that crossed the exit plane of `axis`.
+#[cold]
+fn seg_exited(
+    lvl: &PreparedLevel<'_>,
+    pos: Point,
+    dir: Vector,
+    traveled: f64,
+    axis: usize,
+    ci: i32,
+    s: i32,
+) -> Seg {
+    let face = if s > 0 {
+        lvl.face_coord(axis, ci)
+    } else {
+        lvl.face_coord(axis, ci + 1)
+    };
+    let snapped = face + (s as f64) * FACE_NUDGE * lvl.dx[axis];
+    let mut exit = pos + dir * traveled;
+    match axis {
+        0 => exit.x = snapped,
+        1 => exit.y = snapped,
+        _ => exit.z = snapped,
+    }
+    Seg::Exited(exit)
+}
+
+/// A structure-of-arrays batch of rays marched as one unit.
+///
+/// Push rays with [`RayPacket::push`]; after [`PacketTracer::trace`] the
+/// per-ray intensity integrals are in `sum_i` (ray order is preserved, so
+/// folding `sum_i` left-to-right reproduces the historical sequential
+/// accumulation bit-for-bit).
+#[derive(Clone, Debug, Default)]
+pub struct RayPacket {
+    pub ox: Vec<f64>,
+    pub oy: Vec<f64>,
+    pub oz: Vec<f64>,
+    pub dx: Vec<f64>,
+    pub dy: Vec<f64>,
+    pub dz: Vec<f64>,
+    pub tau: Vec<f64>,
+    pub exp_prev: Vec<f64>,
+    pub weight: Vec<f64>,
+    pub sum_i: Vec<f64>,
+    /// Current level index into the trace stack (`u32::MAX` = not started).
+    pub level: Vec<u32>,
+    pub reflections: Vec<u32>,
+    pub active: Vec<bool>,
+}
+
+impl RayPacket {
+    pub fn with_capacity(n: usize) -> Self {
+        let mut p = Self::default();
+        p.reserve(n);
+        p
+    }
+
+    pub fn reserve(&mut self, n: usize) {
+        self.ox.reserve(n);
+        self.oy.reserve(n);
+        self.oz.reserve(n);
+        self.dx.reserve(n);
+        self.dy.reserve(n);
+        self.dz.reserve(n);
+        self.tau.reserve(n);
+        self.exp_prev.reserve(n);
+        self.weight.reserve(n);
+        self.sum_i.reserve(n);
+        self.level.reserve(n);
+        self.reflections.reserve(n);
+        self.active.reserve(n);
+    }
+
+    /// Append a fresh ray (unit `dir`).
+    pub fn push(&mut self, origin: Point, dir: Vector) {
+        self.ox.push(origin.x);
+        self.oy.push(origin.y);
+        self.oz.push(origin.z);
+        self.dx.push(dir.x);
+        self.dy.push(dir.y);
+        self.dz.push(dir.z);
+        self.tau.push(0.0);
+        self.exp_prev.push(1.0);
+        self.weight.push(1.0);
+        self.sum_i.push(0.0);
+        self.level.push(u32::MAX);
+        self.reflections.push(0);
+        self.active.push(true);
+    }
+
+    /// Reset to `n` fresh rays in one pass (bulk fills instead of
+    /// per-ray pushes): origins/dirs are left to be set via
+    /// [`RayPacket::set_ray`].
+    pub fn reset(&mut self, n: usize) {
+        self.ox.clear();
+        self.ox.resize(n, 0.0);
+        self.oy.clear();
+        self.oy.resize(n, 0.0);
+        self.oz.clear();
+        self.oz.resize(n, 0.0);
+        self.dx.clear();
+        self.dx.resize(n, 0.0);
+        self.dy.clear();
+        self.dy.resize(n, 0.0);
+        self.dz.clear();
+        self.dz.resize(n, 0.0);
+        self.tau.clear();
+        self.tau.resize(n, 0.0);
+        self.exp_prev.clear();
+        self.exp_prev.resize(n, 1.0);
+        self.weight.clear();
+        self.weight.resize(n, 1.0);
+        self.sum_i.clear();
+        self.sum_i.resize(n, 0.0);
+        self.level.clear();
+        self.level.resize(n, u32::MAX);
+        self.reflections.clear();
+        self.reflections.resize(n, 0);
+        self.active.clear();
+        self.active.resize(n, true);
+    }
+
+    /// Set origin and (unit) direction of ray `i` after [`RayPacket::reset`].
+    #[inline]
+    pub fn set_ray(&mut self, i: usize, origin: Point, dir: Vector) {
+        self.ox[i] = origin.x;
+        self.oy[i] = origin.y;
+        self.oz[i] = origin.z;
+        self.dx[i] = dir.x;
+        self.dy[i] = dir.y;
+        self.dz[i] = dir.z;
+    }
+
+    pub fn len(&self) -> usize {
+        self.sum_i.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sum_i.is_empty()
+    }
+
+    /// Reset to an empty packet, keeping allocations.
+    pub fn clear(&mut self) {
+        self.ox.clear();
+        self.oy.clear();
+        self.oz.clear();
+        self.dx.clear();
+        self.dy.clear();
+        self.dz.clear();
+        self.tau.clear();
+        self.exp_prev.clear();
+        self.weight.clear();
+        self.sum_i.clear();
+        self.level.clear();
+        self.reflections.clear();
+        self.active.clear();
+    }
+
+    #[inline]
+    pub fn origin(&self, i: usize) -> Point {
+        Point::new(self.ox[i], self.oy[i], self.oz[i])
+    }
+
+    #[inline]
+    pub fn dir(&self, i: usize) -> Vector {
+        Vector::new(self.dx[i], self.dy[i], self.dz[i])
+    }
+
+    #[inline]
+    pub(crate) fn set_dir(&mut self, i: usize, d: Vector) {
+        self.dx[i] = d.x;
+        self.dy[i] = d.y;
+        self.dz[i] = d.z;
+    }
+
+    #[inline]
+    pub(crate) fn set_origin(&mut self, i: usize, p: Point) {
+        self.ox[i] = p.x;
+        self.oy[i] = p.y;
+        self.oz[i] = p.z;
+    }
+}
+
+/// What to do with a ray after one level segment.
+enum Resolution {
+    Done,
+    Continue { pos: Point, dir: Option<Vector>, level: usize },
+}
+
+/// The packet tracer: a trace stack prepared once, marched many times.
+///
+/// Read-only after construction (`Sync`), so one tracer is shared by every
+/// cell kernel of a `uintah-exec` dispatch.
+pub struct PacketTracer<'a> {
+    levels: &'a [TraceLevel<'a>],
+    prepared: Vec<PreparedLevel<'a>>,
+    /// Interleaved per-cell march payload per level (built once per
+    /// tracer, read on every step).
+    pays: Vec<Vec<CellPay>>,
+    opts: TraceOptions,
+}
+
+impl<'a> PacketTracer<'a> {
+    /// Prepare a trace stack (coarsest first, finest last) for marching.
+    pub fn new(levels: &'a [TraceLevel<'a>], opts: TraceOptions) -> Self {
+        assert!(!levels.is_empty(), "empty level stack");
+        let prepared: Vec<PreparedLevel<'a>> = levels.iter().map(PreparedLevel::new).collect();
+        let pays = prepared
+            .iter()
+            .map(|lvl| {
+                lvl.abskg
+                    .iter()
+                    .zip(lvl.sigma)
+                    .zip(lvl.ctype)
+                    .map(|((&abskg, &sigma), &ct)| CellPay {
+                        abskg,
+                        sigma,
+                        wall: ct != FLOW_CELL,
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            levels,
+            prepared,
+            pays,
+            opts,
+        }
+    }
+
+    pub fn levels(&self) -> &'a [TraceLevel<'a>] {
+        self.levels
+    }
+
+    pub fn options(&self) -> TraceOptions {
+        self.opts
+    }
+
+    /// Fine-level (top-of-stack) properties.
+    pub fn fine_props(&self) -> &'a LevelProps {
+        self.levels.last().unwrap().props
+    }
+
+    /// March every active ray of the packet to completion. Rays advance one
+    /// level segment per round; the active set is compacted between rounds
+    /// as rays extinguish, terminate on walls, or leave the domain.
+    pub fn trace(&self, packet: &mut RayPacket) {
+        let finest = (self.prepared.len() - 1) as u32;
+        let mut remaining = 0usize;
+        for i in 0..packet.len() {
+            if packet.active[i] {
+                remaining += 1;
+                if packet.level[i] == u32::MAX {
+                    packet.level[i] = finest;
+                }
+            }
+        }
+        // Rounds over the active mask (allocation-free): finished rays
+        // drop out of the mask and are skipped in later rounds.
+        while remaining > 0 {
+            for i in 0..packet.len() {
+                if packet.active[i] && !self.advance_ray(packet, i) {
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+
+    /// Trace a single ray (allocation-free convenience used by
+    /// [`crate::trace::trace_ray_with_options`]).
+    pub fn trace_one(&self, origin: Point, dir: Vector) -> f64 {
+        debug_assert!((dir.length() - 1.0).abs() < 1e-9, "direction must be unit");
+        let mut st = RayCore {
+            tau: 0.0,
+            exp_prev: 1.0,
+            sum_i: 0.0,
+            weight: 1.0,
+        };
+        let mut li = self.prepared.len() - 1;
+        let mut pos = origin;
+        let mut dir = dir;
+        let mut reflections = 0u32;
+        loop {
+            let seg = march_segment(
+                &self.prepared[li],
+                &self.pays[li],
+                pos,
+                dir,
+                &mut st,
+                self.opts.threshold,
+            );
+            match self.resolve(seg, &mut st, dir, li, &mut reflections) {
+                Resolution::Done => return st.sum_i,
+                Resolution::Continue { pos: p, dir: d, level } => {
+                    pos = p;
+                    if let Some(d) = d {
+                        dir = d;
+                    }
+                    li = level;
+                }
+            }
+        }
+    }
+
+    /// Advance one packet ray by one level segment; returns whether the ray
+    /// is still active.
+    fn advance_ray(&self, p: &mut RayPacket, i: usize) -> bool {
+        let li = p.level[i] as usize;
+        let mut st = RayCore {
+            tau: p.tau[i],
+            exp_prev: p.exp_prev[i],
+            sum_i: p.sum_i[i],
+            weight: p.weight[i],
+        };
+        let seg = march_segment(
+            &self.prepared[li],
+            &self.pays[li],
+            p.origin(i),
+            p.dir(i),
+            &mut st,
+            self.opts.threshold,
+        );
+        let mut reflections = p.reflections[i];
+        let res = self.resolve(seg, &mut st, p.dir(i), li, &mut reflections);
+        p.tau[i] = st.tau;
+        p.exp_prev[i] = st.exp_prev;
+        p.sum_i[i] = st.sum_i;
+        p.weight[i] = st.weight;
+        p.reflections[i] = reflections;
+        match res {
+            Resolution::Done => {
+                p.active[i] = false;
+                false
+            }
+            Resolution::Continue { pos, dir, level } => {
+                p.set_origin(i, pos);
+                if let Some(d) = dir {
+                    p.set_dir(i, d);
+                }
+                p.level[i] = level as u32;
+                true
+            }
+        }
+    }
+
+    /// Shared wall/level-transition logic (the non-marching half of the
+    /// historical `trace_ray_with_options` loop).
+    fn resolve(
+        &self,
+        seg: Seg,
+        st: &mut RayCore,
+        dir: Vector,
+        li: usize,
+        reflections: &mut u32,
+    ) -> Resolution {
+        match seg {
+            Seg::Extinguished => Resolution::Done,
+            Seg::HitWall {
+                hit,
+                axis,
+                restart,
+                emissivity,
+            } => {
+                let reflectivity = 1.0 - emissivity;
+                if *reflections >= self.opts.max_reflections
+                    || reflectivity <= 0.0
+                    || st.weight * st.exp_prev * reflectivity < self.opts.threshold
+                {
+                    return Resolution::Done;
+                }
+                *reflections += 1;
+                st.weight *= reflectivity;
+                // Specular bounce off the axis-aligned face; restart on the
+                // face-snapped coordinate just inside the flow cell.
+                let mut new_dir = dir;
+                let mut pos = hit;
+                match axis {
+                    0 => {
+                        new_dir.x = -new_dir.x;
+                        pos.x = restart;
+                    }
+                    1 => {
+                        new_dir.y = -new_dir.y;
+                        pos.y = restart;
+                    }
+                    _ => {
+                        new_dir.z = -new_dir.z;
+                        pos.z = restart;
+                    }
+                }
+                Resolution::Continue {
+                    pos,
+                    dir: Some(new_dir),
+                    level: li,
+                }
+            }
+            Seg::Exited(exit) => {
+                let mut li = li;
+                loop {
+                    if li == 0 {
+                        return Resolution::Done; // cold black enclosure
+                    }
+                    li -= 1;
+                    let lvl = &self.prepared[li];
+                    let cell = lvl.cell_containing(exit);
+                    if lvl.roi_contains(cell) {
+                        let idx = lvl.index_of(cell);
+                        if lvl.ctype[idx] != FLOW_CELL {
+                            st.sum_i +=
+                                st.weight * lvl.abskg[idx] * lvl.sigma[idx] * st.exp_prev;
+                            return Resolution::Done;
+                        }
+                        break;
+                    }
+                }
+                Resolution::Continue {
+                    pos: exit,
+                    dir: None,
+                    level: li,
+                }
+            }
+        }
+    }
+}
+
+/// How one collision-estimator flight leg ended (see
+/// [`CollisionTracer::fly`]).
+pub enum FlightEnd {
+    /// Left the level region (cold black enclosure).
+    Escaped,
+    /// Entered a wall cell: its emissivity and `σT⁴/π`.
+    Wall { emissivity: f64, s: f64 },
+    /// The sampled optical depth was consumed inside a cell: the collision
+    /// point, the extinction coefficient `β` there and the cell's `σT⁴/π`.
+    Collision { pos: Point, beta: f64, s: f64 },
+}
+
+/// The cell-marching half of the scattering collision estimator
+/// ([`crate::scatter`]), sharing the prepared-level machinery of the packet
+/// engine. The physics (albedo weighting, Russian roulette, phase-function
+/// sampling) stays in `scatter`; the geometry lives here, once.
+///
+/// The FP op sequence replicates the historical scalar collision march
+/// exactly (the scattering bit-identity pin in `tests/ray_engine.rs`
+/// depends on it), including its absolute per-level advance epsilon.
+pub struct CollisionTracer<'a> {
+    lvl: PreparedLevel<'a>,
+    /// Historical face-advance nudge: `1e-10 · min(dx)`.
+    eps: f64,
+}
+
+impl<'a> CollisionTracer<'a> {
+    pub fn new(props: &'a LevelProps) -> Self {
+        let level = TraceLevel {
+            props,
+            roi: props.region,
+        };
+        Self {
+            lvl: PreparedLevel::new(&level),
+            eps: 1e-10 * props.dx.min_component(),
+        }
+    }
+
+    /// March from `pos` along `dir` until the sampled optical depth
+    /// `tau_target` is consumed (a collision), a wall is entered, or the
+    /// ray escapes the region. `sigma_s` is the (uniform) scattering
+    /// coefficient entering the extinction `β = κ + σ_s`.
+    pub fn fly(&self, mut pos: Point, dir: Vector, mut tau_target: f64, sigma_s: f64) -> FlightEnd {
+        let lvl = &self.lvl;
+        let mut cur = lvl.cell_containing(pos);
+        if !lvl.roi_contains(cur) {
+            return FlightEnd::Escaped;
+        }
+        loop {
+            let idx = lvl.index_of(cur);
+            if lvl.ctype[idx] != FLOW_CELL {
+                return FlightEnd::Wall {
+                    emissivity: lvl.abskg[idx],
+                    s: lvl.sigma[idx],
+                };
+            }
+            let beta = lvl.abskg[idx] + sigma_s;
+            // Distance to the next face along dir (the historical fold).
+            let mut t_exit = f64::INFINITY;
+            for a in 0..3 {
+                let d = dir[a];
+                let lo_a = lvl.face_coord(a, cur[a]);
+                if d > 0.0 {
+                    t_exit = t_exit.min((lo_a + lvl.dx[a] - pos[a]) / d);
+                } else if d < 0.0 {
+                    t_exit = t_exit.min((lo_a - pos[a]) / d);
+                }
+            }
+            let t_exit = t_exit.max(0.0);
+            if beta * t_exit >= tau_target {
+                let t_coll = tau_target / beta;
+                return FlightEnd::Collision {
+                    pos: pos + dir * t_coll,
+                    beta,
+                    s: lvl.sigma[idx],
+                };
+            }
+            tau_target -= beta * t_exit;
+            pos = pos + dir * (t_exit + self.eps);
+            cur = lvl.cell_containing(pos);
+            if !lvl.roi_contains(cur) {
+                return FlightEnd::Escaped;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uintah_grid::Vector;
+
+    #[test]
+    fn slabs_hit_and_miss() {
+        let p0 = Point::new(0.0, 0.0, 0.0);
+        let p1 = Point::new(1.0, 1.0, 1.0);
+        let d = Vector::new(1.0, 0.0, 0.0);
+        let inv = Vector::new(1.0 / d.x, 1.0 / d.y, 1.0 / d.z);
+        // From inside: entry behind, exit ahead.
+        let (near, far) = slabs(p0, p1, Point::new(0.25, 0.5, 0.5), inv);
+        assert!(near <= 0.0 && (far - 0.75).abs() < 1e-12, "{near} {far}");
+        // Axis-aligned miss: y outside the slab, d.y == 0.
+        let (near, far) = slabs(p0, p1, Point::new(0.25, 1.5, 0.5), inv);
+        assert!(near > far, "must miss: {near} {far}");
+        // Oblique hit from outside.
+        let d = Vector::new(1.0, 1.0, 1.0).normalized();
+        let inv = Vector::new(1.0 / d.x, 1.0 / d.y, 1.0 / d.z);
+        let (near, far) = slabs(p0, p1, Point::new(-1.0, -1.0, -1.0), inv);
+        assert!(near < far && near > 0.0);
+    }
+
+    #[test]
+    fn slabs_origin_on_degenerate_plane_counts_as_inside() {
+        // Origin exactly on the y = 0 plane with d.y == 0: 0·∞ would be
+        // NaN; the axis must be treated as a pass-through, not a miss.
+        let p0 = Point::new(0.0, 0.0, 0.0);
+        let p1 = Point::new(1.0, 1.0, 1.0);
+        let d = Vector::new(1.0, 0.0, 0.0);
+        let inv = Vector::new(1.0 / d.x, 1.0 / d.y, 1.0 / d.z);
+        let (near, far) = slabs(p0, p1, Point::new(0.5, 0.0, 0.5), inv);
+        assert!(near <= far, "{near} {far}");
+        assert!((far - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packet_push_and_reset_initialize_ray_state() {
+        let mut p = RayPacket::with_capacity(2);
+        p.push(Point::new(0.0, 0.0, 0.0), Vector::new(1.0, 0.0, 0.0));
+        assert_eq!(p.len(), 1);
+        assert!(p.active[0]);
+        assert_eq!(p.level[0], u32::MAX);
+        p.clear();
+        assert!(p.is_empty());
+        // Bulk reset matches push-initialized state field for field.
+        p.reset(3);
+        p.set_ray(1, Point::new(0.5, 0.25, 0.125), Vector::new(0.0, 1.0, 0.0));
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.oy[1], 0.25);
+        assert_eq!(p.dy[1], 1.0);
+        assert_eq!(p.exp_prev[2], 1.0);
+        assert_eq!(p.weight[0], 1.0);
+        assert_eq!(p.sum_i[1], 0.0);
+        assert_eq!(p.level[2], u32::MAX);
+        assert!(p.active.iter().all(|&a| a));
+    }
+}

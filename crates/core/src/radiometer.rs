@@ -6,8 +6,9 @@
 //! incident flux is the cosine-weighted integral of the incoming intensity
 //! over the cone solid angle.
 
+use crate::packet::{PacketTracer, RayPacket};
 use crate::rng::CellRng;
-use crate::trace::{trace_ray, TraceLevel};
+use crate::trace::{TraceLevel, TraceOptions};
 use std::f64::consts::PI;
 use uintah_grid::{IntVector, Point, Vector};
 
@@ -31,6 +32,19 @@ impl Radiometer {
     /// `q = ∫_cone I(Ω) cosθ dΩ`, estimated by uniform sampling of the cone
     /// solid angle `Ω_c = 2π(1 − cos θ_max)`.
     pub fn measure(&self, levels: &[TraceLevel<'_>], threshold: f64) -> f64 {
+        let tracer = PacketTracer::new(
+            levels,
+            TraceOptions {
+                threshold,
+                max_reflections: 0,
+            },
+        );
+        self.measure_with(&tracer)
+    }
+
+    /// [`measure`](Self::measure) against a prepared [`PacketTracer`]: the
+    /// cone's rays are packed once and marched as a single packet.
+    pub fn measure_with(&self, tracer: &PacketTracer<'_>) -> f64 {
         assert!((self.normal.length() - 1.0).abs() < 1e-9, "normal must be unit");
         assert!(self.half_angle > 0.0 && self.half_angle <= PI / 2.0 + 1e-12);
         let cos_max = self.half_angle.cos();
@@ -44,7 +58,8 @@ impl Radiometer {
         };
         let u = n.cross(helper).normalized();
         let v = n.cross(u);
-        let mut sum = 0.0;
+        let mut packet = RayPacket::with_capacity(self.nrays as usize);
+        let mut cos_ts = Vec::with_capacity(self.nrays as usize);
         for r in 0..self.nrays {
             let mut rng = CellRng::new(self.seed, IntVector::ZERO, r, 0);
             // Uniform over the cone solid angle.
@@ -52,8 +67,76 @@ impl Radiometer {
             let sin_t = (1.0 - cos_t * cos_t).max(0.0).sqrt();
             let phi = 2.0 * PI * rng.next_f64();
             let dir = (n * cos_t + u * (sin_t * phi.cos()) + v * (sin_t * phi.sin())).normalized();
-            let intensity = trace_ray(levels, self.position, dir, threshold);
-            sum += intensity * cos_t;
+            packet.push(self.position, dir);
+            cos_ts.push(cos_t);
+        }
+        tracer.trace(&mut packet);
+        let mut sum = 0.0;
+        for (cos_t, sum_i) in cos_ts.iter().zip(&packet.sum_i) {
+            sum += sum_i * cos_t;
+        }
+        sum / self.nrays as f64 * omega_c
+    }
+
+    /// [`measure`](Self::measure) dispatched on an execution space: the
+    /// packet is split into fixed chunks and each chunk marches as one
+    /// `parallel_map` work item. Bit-identical to the serial measure (the
+    /// per-ray estimates are reassembled in ray order before folding).
+    pub fn measure_exec(
+        &self,
+        levels: &[TraceLevel<'_>],
+        threshold: f64,
+        space: &uintah_exec::ExecSpace,
+    ) -> f64 {
+        assert!((self.normal.length() - 1.0).abs() < 1e-9, "normal must be unit");
+        assert!(self.half_angle > 0.0 && self.half_angle <= PI / 2.0 + 1e-12);
+        let tracer = PacketTracer::new(
+            levels,
+            TraceOptions {
+                threshold,
+                max_reflections: 0,
+            },
+        );
+        let cos_max = self.half_angle.cos();
+        let omega_c = 2.0 * PI * (1.0 - cos_max);
+        let n = self.normal;
+        let helper = if n.x.abs() < 0.9 {
+            Vector::new(1.0, 0.0, 0.0)
+        } else {
+            Vector::new(0.0, 1.0, 0.0)
+        };
+        let u = n.cross(helper).normalized();
+        let v = n.cross(u);
+        const CHUNK: u32 = 256;
+        let chunks = self.nrays.div_ceil(CHUNK) as usize;
+        let partial = uintah_exec::parallel_map(space, chunks, |ci| {
+            let first = ci as u32 * CHUNK;
+            let count = CHUNK.min(self.nrays - first);
+            let mut packet = RayPacket::with_capacity(count as usize);
+            let mut cos_ts = Vec::with_capacity(count as usize);
+            for r in first..first + count {
+                let mut rng = CellRng::new(self.seed, IntVector::ZERO, r, 0);
+                let cos_t = 1.0 - rng.next_f64() * (1.0 - cos_max);
+                let sin_t = (1.0 - cos_t * cos_t).max(0.0).sqrt();
+                let phi = 2.0 * PI * rng.next_f64();
+                let dir =
+                    (n * cos_t + u * (sin_t * phi.cos()) + v * (sin_t * phi.sin())).normalized();
+                packet.push(self.position, dir);
+                cos_ts.push(cos_t);
+            }
+            tracer.trace(&mut packet);
+            packet
+                .sum_i
+                .iter()
+                .zip(&cos_ts)
+                .map(|(&s, &c)| s * c)
+                .collect::<Vec<f64>>()
+        });
+        let mut sum = 0.0;
+        for chunk in &partial {
+            for &w in chunk {
+                sum += w;
+            }
         }
         sum / self.nrays as f64 * omega_c
     }
@@ -122,6 +205,30 @@ mod tests {
             ..toward
         };
         assert_eq!(away.measure(&stack, 1e-9), 0.0, "cold side must read zero");
+    }
+
+    /// The chunked exec dispatch reassembles per-ray estimates in ray
+    /// order, so it is bit-identical to the serial measure on any space —
+    /// including ray counts that do not divide the chunk size.
+    #[test]
+    fn measure_exec_bit_identical_across_spaces() {
+        let props = LevelProps::uniform(Region::cube(12), Vector::splat(1.0 / 12.0), 2.0, 1.3);
+        let stack = [TraceLevel {
+            props: &props,
+            roi: props.region,
+        }];
+        let r = Radiometer {
+            position: Point::new(0.4, 0.5, 0.6),
+            normal: Vector::new(0.0, 1.0, 0.0),
+            half_angle: 0.7,
+            nrays: 300, // not a multiple of the chunk size
+            seed: 21,
+        };
+        let serial = r.measure(&stack, 1e-6);
+        for space in [uintah_exec::ExecSpace::Serial, uintah_exec::ExecSpace::Threads(3)] {
+            let got = r.measure_exec(&stack, 1e-6, &space);
+            assert_eq!(got.to_bits(), serial.to_bits(), "{space:?}");
+        }
     }
 
     #[test]

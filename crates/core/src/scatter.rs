@@ -14,6 +14,7 @@
 //! this reduces (in expectation) to the deterministic path integral of
 //! [`crate::trace`].
 
+use crate::packet::{CollisionTracer, FlightEnd, RayPacket};
 use crate::props::LevelProps;
 use crate::rng::CellRng;
 use std::f64::consts::PI;
@@ -80,47 +81,39 @@ pub fn trace_ray_collision(
     rng: &mut CellRng,
     threshold: f64,
 ) -> f64 {
+    let tracer = CollisionTracer::new(props);
+    trace_one_collision(&tracer, medium, origin, dir, rng, threshold)
+}
+
+/// One ray against a prepared [`CollisionTracer`]: the flight loop (free
+/// paths sampled from β, albedo weighting, roulette, phase sampling). The
+/// cell marching itself is the packet engine's [`CollisionTracer::fly`].
+fn trace_one_collision(
+    tracer: &CollisionTracer<'_>,
+    medium: &ScatteringMedium,
+    origin: Point,
+    dir: Vector,
+    rng: &mut CellRng,
+    threshold: f64,
+) -> f64 {
     let mut pos = origin;
     let mut dir = dir;
     let mut weight = 1.0f64;
     let mut sum_i = 0.0;
-    let region = props.region;
-    let dx = props.dx;
-    let eps = 1e-10 * dx.min_component();
-
-    'flight: loop {
+    loop {
         // Sample the optical distance to the next collision.
-        let mut tau_target = -(1.0 - rng.next_f64()).max(f64::MIN_POSITIVE).ln();
-        let mut cur = props.cell_containing(pos);
-        if !region.contains(cur) {
-            return sum_i;
-        }
-        // March cell by cell until the sampled optical depth is consumed.
-        loop {
-            if props.is_wall(cur) {
-                sum_i += weight * props.abskg[cur] * props.sigma_t4_over_pi[cur];
+        let tau_target = -(1.0 - rng.next_f64()).max(f64::MIN_POSITIVE).ln();
+        match tracer.fly(pos, dir, tau_target, medium.sigma_s) {
+            FlightEnd::Escaped => return sum_i, // cold black enclosure
+            FlightEnd::Wall { emissivity, s } => {
+                sum_i += weight * emissivity * s;
                 return sum_i; // black/gray wall terminal (no reflections here)
             }
-            let beta = props.abskg[cur] + medium.sigma_s;
-            // Distance to the next face along dir.
-            let lo = props.cell_lo(cur);
-            let mut t_exit = f64::INFINITY;
-            for a in 0..3 {
-                let d = dir[a];
-                if d > 0.0 {
-                    t_exit = t_exit.min((lo[a] + dx[a] - pos[a]) / d);
-                } else if d < 0.0 {
-                    t_exit = t_exit.min((lo[a] - pos[a]) / d);
-                }
-            }
-            let t_exit = t_exit.max(0.0);
-            if beta * t_exit >= tau_target {
-                // Collision inside this cell.
-                let t_coll = tau_target / beta;
-                pos = pos + dir * t_coll;
+            FlightEnd::Collision { pos: p, beta, s } => {
+                pos = p;
                 let omega = medium.sigma_s / beta;
                 // Absorption/emission branch.
-                sum_i += weight * (1.0 - omega) * props.sigma_t4_over_pi[cur];
+                sum_i += weight * (1.0 - omega) * s;
                 // Scattering branch.
                 weight *= omega;
                 if weight <= 0.0 {
@@ -134,16 +127,65 @@ pub fn trace_ray_collision(
                     weight *= 2.0;
                 }
                 dir = medium.phase.sample(dir, rng);
-                continue 'flight;
-            }
-            // Cross into the next cell.
-            tau_target -= beta * t_exit;
-            pos = pos + dir * (t_exit + eps);
-            cur = props.cell_containing(pos);
-            if !region.contains(cur) {
-                return sum_i; // cold black enclosure
             }
         }
+    }
+}
+
+/// March a whole packet of scattering rays, each with its own RNG stream.
+/// Per-ray results land in `packet.sum_i` in ray order; the active mask is
+/// compacted as rays terminate. One flight leg advances per round, so the
+/// packet stays cache-resident across the batch.
+pub fn trace_packet_collision(
+    props: &LevelProps,
+    medium: &ScatteringMedium,
+    packet: &mut RayPacket,
+    rngs: &mut [CellRng],
+    threshold: f64,
+) {
+    assert_eq!(packet.len(), rngs.len(), "one RNG stream per packet ray");
+    let tracer = CollisionTracer::new(props);
+    let mut live: Vec<u32> = (0..packet.len() as u32)
+        .filter(|&i| packet.active[i as usize])
+        .collect();
+    while !live.is_empty() {
+        live.retain(|&i| {
+            let i = i as usize;
+            let rng = &mut rngs[i];
+            let tau_target = -(1.0 - rng.next_f64()).max(f64::MIN_POSITIVE).ln();
+            let end = tracer.fly(packet.origin(i), packet.dir(i), tau_target, medium.sigma_s);
+            match end {
+                FlightEnd::Escaped => {
+                    packet.active[i] = false;
+                    false
+                }
+                FlightEnd::Wall { emissivity, s } => {
+                    packet.sum_i[i] += packet.weight[i] * emissivity * s;
+                    packet.active[i] = false;
+                    false
+                }
+                FlightEnd::Collision { pos, beta, s } => {
+                    packet.set_origin(i, pos);
+                    let omega = medium.sigma_s / beta;
+                    packet.sum_i[i] += packet.weight[i] * (1.0 - omega) * s;
+                    packet.weight[i] *= omega;
+                    if packet.weight[i] <= 0.0 {
+                        packet.active[i] = false;
+                        return false;
+                    }
+                    if packet.weight[i] < threshold {
+                        if rng.next_f64() < 0.5 {
+                            packet.active[i] = false;
+                            return false;
+                        }
+                        packet.weight[i] *= 2.0;
+                    }
+                    let d = medium.phase.sample(packet.dir(i), rng);
+                    packet.set_dir(i, d);
+                    true
+                }
+            }
+        });
     }
 }
 
@@ -162,12 +204,19 @@ pub fn div_q_with_scattering(
     if kappa == 0.0 {
         return 0.0;
     }
-    let mut sum = 0.0;
+    let mut packet = RayPacket::with_capacity(nrays as usize);
+    let mut rngs = Vec::with_capacity(nrays as usize);
     for r in 0..nrays {
         let mut rng = CellRng::new(seed, cell, r, 0);
         let dir = rng.direction();
         let origin = rng.point_in_cell(props.cell_lo(cell), props.dx);
-        sum += trace_ray_collision(props, medium, origin, dir, &mut rng, threshold);
+        packet.push(origin, dir);
+        rngs.push(rng);
+    }
+    trace_packet_collision(props, medium, &mut packet, &mut rngs, threshold);
+    let mut sum = 0.0;
+    for r in 0..nrays as usize {
+        sum += packet.sum_i[r];
     }
     4.0 * PI * kappa * (props.sigma_t4_over_pi[cell] - sum / nrays as f64)
 }

@@ -1,16 +1,37 @@
 //! ∇·q solvers: per cell, per region, per patch; serial and threaded.
 
+use crate::packet::{PacketTracer, RayPacket};
 use crate::props::LevelProps;
 use crate::rng::CellRng;
 use crate::sampling::{DirectionSampler, RaySampling};
-use crate::trace::{trace_ray, TraceLevel};
+use crate::trace::{TraceLevel, TraceOptions};
 use std::f64::consts::PI;
 use uintah_grid::{CcVariable, IntVector, Region};
+
+/// Per-cell ray-budget policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RayCountMode {
+    /// Exactly `n` rays per cell — the bit-identity reference mode (the
+    /// historical behavior; `tests/exec_spaces.rs` pins it across spaces).
+    Fixed(u32),
+    /// Variance-driven budgets in the style of adaptive ray counting:
+    /// trace geometrically growing batches starting at `min` rays and stop
+    /// once the relative standard error of the mean intensity falls to
+    /// `rel_var_target`, or at `max` rays. Optically thick cells converge
+    /// at `min` (their rays extinguish locally via the optical-depth
+    /// threshold); high-variance cells escalate toward `max`.
+    Adaptive {
+        min: u32,
+        max: u32,
+        rel_var_target: f64,
+    },
+}
 
 /// Monte Carlo parameters of an RMCRT solve.
 #[derive(Clone, Copy, Debug)]
 pub struct RmcrtParams {
-    /// Rays per cell (the paper's benchmarks use 100).
+    /// Rays per cell (the paper's benchmarks use 100). Used when
+    /// `ray_count` is `None` (i.e. `Fixed(nrays)`).
     pub nrays: u32,
     /// Intensity threshold below which a ray is extinguished.
     pub threshold: f64,
@@ -20,6 +41,8 @@ pub struct RmcrtParams {
     pub timestep: u32,
     /// Direction sampling strategy (independent or Latin-hypercube).
     pub sampling: RaySampling,
+    /// Ray-budget policy; `None` means `Fixed(nrays)`.
+    pub ray_count: Option<RayCountMode>,
 }
 
 impl Default for RmcrtParams {
@@ -30,34 +53,179 @@ impl Default for RmcrtParams {
             seed: 0x5EED,
             timestep: 0,
             sampling: RaySampling::Independent,
+            ray_count: None,
         }
     }
 }
 
-/// Compute `∇·q` for one fine-level cell by tracing `nrays` rays.
+impl RmcrtParams {
+    /// The effective ray-count policy.
+    pub fn ray_count_mode(&self) -> RayCountMode {
+        self.ray_count.unwrap_or(RayCountMode::Fixed(self.nrays))
+    }
+
+    pub(crate) fn trace_options(&self) -> TraceOptions {
+        TraceOptions {
+            threshold: self.threshold,
+            max_reflections: 0,
+        }
+    }
+}
+
+/// Ray-budget accounting of a solve (for the fixed-vs-adaptive comparison
+/// in EXPERIMENTS E13).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Rays actually traced across all cells.
+    pub total_rays: u64,
+    /// Cells solved (including transparent zero-ray cells).
+    pub cells: u64,
+}
+
+/// Compute `∇·q` for one fine-level cell by tracing a packet of rays.
 ///
 /// Sign convention: positive = net emission (hot medium between cold
 /// walls loses energy). Uintah's `divQ` variable stores the negated value;
 /// see EXPERIMENTS.md.
 pub fn div_q_for_cell(levels: &[TraceLevel<'_>], cell: IntVector, params: &RmcrtParams) -> f64 {
-    let fine = levels.last().expect("empty level stack").props;
+    let tracer = PacketTracer::new(levels, params.trace_options());
+    div_q_for_cell_with(&tracer, cell, params).0
+}
+
+/// [`div_q_for_cell`] against a prepared [`PacketTracer`] (the per-solve
+/// hoisted form used by the `uintah-exec` dispatch paths); also returns the
+/// number of rays traced.
+pub fn div_q_for_cell_with(
+    tracer: &PacketTracer<'_>,
+    cell: IntVector,
+    params: &RmcrtParams,
+) -> (f64, u32) {
+    let fine = tracer.fine_props();
     let kappa = fine.abskg[cell];
     if kappa == 0.0 {
-        return 0.0; // transparent cells exchange no energy
+        return (0.0, 0); // transparent cells exchange no energy
     }
+    let (sum_i, rays) = match params.ray_count_mode() {
+        RayCountMode::Fixed(n) => (mean_intensity_fixed(tracer, cell, params, n), n),
+        RayCountMode::Adaptive {
+            min,
+            max,
+            rel_var_target,
+        } => mean_intensity_adaptive(tracer, cell, params, min, max, rel_var_target),
+    };
+    let mean_i = sum_i / rays as f64;
+    (
+        4.0 * PI * kappa * (fine.sigma_t4_over_pi[cell] - mean_i),
+        rays,
+    )
+}
+
+/// Fill one packet with this cell's rays `first..first+count` and trace it.
+/// The RNG draw order per ray (direction, then origin) matches the
+/// historical scalar loop exactly.
+fn trace_cell_packet(
+    tracer: &PacketTracer<'_>,
+    packet: &mut RayPacket,
+    cell: IntVector,
+    params: &RmcrtParams,
+    sampler: &DirectionSampler,
+    first: u32,
+    count: u32,
+) {
+    let fine = tracer.fine_props();
+    packet.reset(count as usize);
+    for k in 0..count {
+        let r = first + k;
+        let mut rng = CellRng::new(params.seed, cell, r, params.timestep);
+        let dir = sampler.direction(k, &mut rng);
+        let origin = rng.point_in_cell(fine.cell_lo(cell), fine.dx);
+        packet.set_ray(k as usize, origin, dir);
+    }
+    tracer.trace(packet);
+}
+
+std::thread_local! {
+    /// Per-thread scratch packet, reused across the cells of a dispatch so
+    /// a region solve does no per-cell allocation.
+    static SCRATCH_PACKET: std::cell::RefCell<RayPacket> =
+        std::cell::RefCell::new(RayPacket::default());
+}
+
+/// Fixed-budget mean: one packet of `n` rays, summed in ray order (the
+/// bit-identity reference path).
+fn mean_intensity_fixed(
+    tracer: &PacketTracer<'_>,
+    cell: IntVector,
+    params: &RmcrtParams,
+    n: u32,
+) -> f64 {
     // The sampler's stratification permutation draws from a dedicated
     // stream (ray index u32::MAX) so per-ray streams stay untouched.
     let mut perm_rng = CellRng::new(params.seed, cell, u32::MAX, params.timestep);
-    let sampler = DirectionSampler::new(params.sampling, params.nrays, &mut perm_rng);
-    let mut sum_i = 0.0;
-    for r in 0..params.nrays {
-        let mut rng = CellRng::new(params.seed, cell, r, params.timestep);
-        let dir = sampler.direction(r, &mut rng);
-        let origin = rng.point_in_cell(fine.cell_lo(cell), fine.dx);
-        sum_i += trace_ray(levels, origin, dir, params.threshold);
+    let sampler = DirectionSampler::new(params.sampling, n, &mut perm_rng);
+    SCRATCH_PACKET.with(|p| {
+        let packet = &mut p.borrow_mut();
+        trace_cell_packet(tracer, packet, cell, params, &sampler, 0, n);
+        let mut sum_i = 0.0;
+        for &v in &packet.sum_i {
+            sum_i += v;
+        }
+        sum_i
+    })
+}
+
+/// Adaptive budget: geometrically growing batches until the relative
+/// standard error of the mean intensity reaches the target (or `max`).
+/// Returns `(Σ sumI, rays traced)`.
+fn mean_intensity_adaptive(
+    tracer: &PacketTracer<'_>,
+    cell: IntVector,
+    params: &RmcrtParams,
+    min: u32,
+    max: u32,
+    rel_var_target: f64,
+) -> (f64, u32) {
+    let max = max.max(1).max(min);
+    let mut batch = min.clamp(1, max);
+    let mut drawn = 0u32;
+    let mut batch_id = 0u32;
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    SCRATCH_PACKET.with(|p| {
+    let packet = &mut p.borrow_mut();
+    loop {
+        let b = batch.min(max - drawn);
+        // Per-batch stratification permutation from a reserved stream
+        // below u32::MAX (Latin-hypercube stratifies within the batch).
+        let mut perm_rng = CellRng::new(
+            params.seed,
+            cell,
+            u32::MAX - 1 - batch_id,
+            params.timestep,
+        );
+        let sampler = DirectionSampler::new(params.sampling, b, &mut perm_rng);
+        trace_cell_packet(tracer, packet, cell, params, &sampler, drawn, b);
+        for &v in &packet.sum_i {
+            sum += v;
+            sum_sq += v * v;
+        }
+        drawn += b;
+        batch_id += 1;
+        if drawn >= max {
+            break;
+        }
+        let n = drawn as f64;
+        let mean = sum / n;
+        // Unbiased sample variance of the per-ray estimates.
+        let var = ((sum_sq / n - mean * mean) * n / (n - 1.0).max(1.0)).max(0.0);
+        let sem = (var / n).sqrt();
+        if sem <= rel_var_target * mean.abs() {
+            break;
+        }
+        batch = batch.saturating_mul(2);
     }
-    let mean_i = sum_i / params.nrays as f64;
-    4.0 * PI * kappa * (fine.sigma_t4_over_pi[cell] - mean_i)
+    (sum, drawn)
+    })
 }
 
 /// Solve `∇·q` over `region` of the finest level in the stack on the
@@ -70,13 +238,46 @@ pub fn solve_region(levels: &[TraceLevel<'_>], region: Region, params: &RmcrtPar
 /// Solve `∇·q` over `region` on a Kokkos-style execution space.
 /// Deterministic: bit-identical to [`solve_region`] on any space,
 /// including `Device`.
+///
+/// The trace stack is prepared once ([`PacketTracer`]) and each kernel
+/// invocation marches one cell's whole [`RayPacket`], so `KernelStats`
+/// meters batched packet dispatches rather than single rays.
 pub fn solve_region_exec(
     levels: &[TraceLevel<'_>],
     region: Region,
     params: &RmcrtParams,
     space: &uintah_exec::ExecSpace,
 ) -> CcVariable<f64> {
-    uintah_exec::parallel_fill(space, region, |c| div_q_for_cell(levels, c, params))
+    let tracer = PacketTracer::new(levels, params.trace_options());
+    uintah_exec::parallel_fill(space, region, |c| {
+        div_q_for_cell_with(&tracer, c, params).0
+    })
+}
+
+/// [`solve_region_exec`] that also returns the ray budget actually spent —
+/// the measurement behind the fixed-vs-adaptive table in EXPERIMENTS E13.
+/// Dispatched as a `parallel_map` over per-cell packets; deterministic and
+/// bit-identical to [`solve_region_exec`] on every space.
+pub fn solve_region_with_stats(
+    levels: &[TraceLevel<'_>],
+    region: Region,
+    params: &RmcrtParams,
+    space: &uintah_exec::ExecSpace,
+) -> (CcVariable<f64>, SolveStats) {
+    let tracer = PacketTracer::new(levels, params.trace_options());
+    let per_cell = uintah_exec::parallel_map(space, region.volume(), |i| {
+        div_q_for_cell_with(&tracer, region.from_linear(i), params)
+    });
+    let mut out = CcVariable::<f64>::new(region);
+    let mut stats = SolveStats {
+        total_rays: 0,
+        cells: region.volume() as u64,
+    };
+    for (i, (dq, rays)) in per_cell.into_iter().enumerate() {
+        out.as_mut_slice()[i] = dq;
+        stats.total_rays += rays as u64;
+    }
+    (out, stats)
 }
 
 /// Solve `∇·q` over `region` using `nthreads` host threads (z-slab

@@ -19,6 +19,7 @@
 //!
 //! where band emission uses `a_k·σT⁴/π` as its source.
 
+use crate::packet::PacketTracer;
 use crate::props::LevelProps;
 use crate::solver::RmcrtParams;
 use crate::trace::TraceLevel;
@@ -86,34 +87,47 @@ impl SpectralProps {
     }
 }
 
+/// Band-local properties: κ_k and the band's share of emission, plus the
+/// band-decorrelated parameter block. Shared by the one-cell and the
+/// region-wide solves so both produce identical bits.
+fn band_props(
+    spectral: &SpectralProps,
+    params: &RmcrtParams,
+) -> Vec<(RmcrtParams, LevelProps)> {
+    spectral
+        .bands
+        .iter()
+        .enumerate()
+        .filter(|(_, band)| band.weight != 0.0)
+        .map(|(k, band)| {
+            let mut props = spectral.base.clone();
+            props.abskg = band.abskg.clone();
+            for s in props.sigma_t4_over_pi.as_mut_slice() {
+                *s *= band.weight;
+            }
+            // Decorrelate bands via the timestep stream.
+            let band_params = RmcrtParams {
+                timestep: params.timestep.wrapping_mul(131).wrapping_add(k as u32),
+                ..*params
+            };
+            (band_params, props)
+        })
+        .collect()
+}
+
 /// ∇·q for one cell with the banded model: trace each band independently
 /// (the "loop over η") and sum the band divergences.
 pub fn div_q_spectral(spectral: &SpectralProps, cell: IntVector, params: &RmcrtParams) -> f64 {
     let mut total = 0.0;
-    for (k, band) in spectral.bands.iter().enumerate() {
-        if band.weight == 0.0 {
+    for (band_params, props) in &band_props(spectral, params) {
+        if props.abskg[cell] == 0.0 {
             continue;
         }
-        // Band-local properties: κ_k and the band's share of emission.
-        let mut props = spectral.base.clone();
-        props.abskg = band.abskg.clone();
-        for s in props.sigma_t4_over_pi.as_mut_slice() {
-            *s *= band.weight;
-        }
-        let kappa = props.abskg[cell];
-        if kappa == 0.0 {
-            continue;
-        }
-        // Decorrelate bands via the timestep stream.
-        let band_params = RmcrtParams {
-            timestep: params.timestep.wrapping_mul(131).wrapping_add(k as u32),
-            ..*params
-        };
         let stack = [TraceLevel {
-            props: &props,
+            props,
             roi: props.region,
         }];
-        total += crate::solver::div_q_for_cell(&stack, cell, &band_params);
+        total += crate::solver::div_q_for_cell(&stack, cell, band_params);
     }
     total
 }
@@ -130,6 +144,10 @@ pub fn solve_region_spectral(
 
 /// Banded solve over a region, dispatched on an execution space.
 /// Bit-identical across spaces (the band loop is inside the cell kernel).
+///
+/// The per-band property fields and packet tracers are prepared once here,
+/// outside the cell loop — the historical implementation cloned the whole
+/// property set per band *per cell*.
 pub fn solve_region_spectral_exec(
     spectral: &SpectralProps,
     region: Region,
@@ -137,7 +155,33 @@ pub fn solve_region_spectral_exec(
     space: &uintah_exec::ExecSpace,
 ) -> CcVariable<f64> {
     spectral.validate();
-    uintah_exec::parallel_fill(space, region, |c| div_q_spectral(spectral, c, params))
+    let bands = band_props(spectral, params);
+    let stacks: Vec<[TraceLevel<'_>; 1]> = bands
+        .iter()
+        .map(|(_, props)| {
+            [TraceLevel {
+                props,
+                roi: props.region,
+            }]
+        })
+        .collect();
+    let tracers: Vec<(&RmcrtParams, PacketTracer<'_>)> = bands
+        .iter()
+        .zip(&stacks)
+        .map(|((band_params, _), stack)| {
+            (band_params, PacketTracer::new(stack, band_params.trace_options()))
+        })
+        .collect();
+    uintah_exec::parallel_fill(space, region, |c| {
+        let mut total = 0.0;
+        for (band_params, tracer) in &tracers {
+            if tracer.fine_props().abskg[c] == 0.0 {
+                continue;
+            }
+            total += crate::solver::div_q_for_cell_with(tracer, c, band_params).0;
+        }
+        total
+    })
 }
 
 #[cfg(test)]

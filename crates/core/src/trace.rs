@@ -18,9 +18,14 @@
 //! region of interest and transitions to the next-coarser whole-domain
 //! replica when it leaves — the mechanism that removes the fine-mesh
 //! all-to-all (paper §III-B/C).
+//!
+//! The marching itself lives in [`crate::packet`]: one SoA packet stepper
+//! serves the ∇·q solver, the spectral loop, scattering, wall flux and the
+//! radiometer. This module keeps the level-stack types and the single-ray
+//! convenience wrappers.
 
 use crate::props::LevelProps;
-use uintah_grid::{IntVector, Point, Region, Vector};
+use uintah_grid::{Point, Region, Vector};
 
 /// One level of the trace stack.
 #[derive(Clone, Copy)]
@@ -29,38 +34,6 @@ pub struct TraceLevel<'a> {
     /// Cells of this level the ray may march. For the finest level this is
     /// the ROI (patch + halo); for the coarsest it is the whole level.
     pub roi: Region,
-}
-
-/// Why a level march ended.
-enum Outcome {
-    /// Remaining transmissivity fell below the threshold.
-    Extinguished,
-    /// Hit a wall cell (emission contribution already added): the physical
-    /// hit point on the wall face, the face axis and the wall emissivity,
-    /// for reflections.
-    HitWall {
-        hit: Point,
-        axis: usize,
-        emissivity: f64,
-    },
-    /// Left this level's ROI at the given physical position; continue on a
-    /// coarser level (or terminate at the domain boundary on the coarsest).
-    ExitedRoi(Point),
-}
-
-struct RayState {
-    tau: f64,
-    exp_prev: f64,
-    sum_i: f64,
-    /// Product of wall reflectivities picked up so far (1 with black walls).
-    weight: f64,
-}
-
-impl RayState {
-    #[inline]
-    fn transmissivity(&self) -> f64 {
-        self.weight * self.exp_prev
-    }
 }
 
 /// Options for [`trace_ray_with_options`].
@@ -82,104 +55,6 @@ impl Default for TraceOptions {
     }
 }
 
-/// March one level from `pos` until extinction, a wall, or ROI exit.
-fn march_level(level: &TraceLevel<'_>, pos: Point, dir: Vector, state: &mut RayState, threshold: f64) -> Outcome {
-    let props = level.props;
-    let dx = props.dx;
-    let mut cur = props.cell_containing(pos);
-    debug_assert!(
-        level.roi.contains(cur),
-        "march starts outside ROI: {cur:?} not in {:?}",
-        level.roi
-    );
-
-    // DDA setup (physical distances).
-    let mut step = IntVector::ZERO;
-    let mut t_max = Vector::ZERO;
-    let mut t_delta = Vector::ZERO;
-    let lo = props.cell_lo(cur);
-    for a in 0..3 {
-        let d = dir[a];
-        let (s, tm, td) = if d > 0.0 {
-            (1, (lo[a] + dx[a] - pos[a]) / d, dx[a] / d)
-        } else if d < 0.0 {
-            (-1, (lo[a] - pos[a]) / d, -dx[a] / d)
-        } else {
-            (0, f64::INFINITY, f64::INFINITY)
-        };
-        step[a] = s;
-        match a {
-            0 => {
-                t_max.x = tm;
-                t_delta.x = td;
-            }
-            1 => {
-                t_max.y = tm;
-                t_delta.y = td;
-            }
-            2 => {
-                t_max.z = tm;
-                t_delta.z = td;
-            }
-            _ => unreachable!(),
-        }
-    }
-
-    let mut traveled = 0.0;
-    loop {
-        // Axis of the nearest cell face.
-        let axis = if t_max.x < t_max.y {
-            if t_max.x < t_max.z {
-                0
-            } else {
-                2
-            }
-        } else if t_max.y < t_max.z {
-            1
-        } else {
-            2
-        };
-        let t_hit = t_max[axis];
-        let dis = t_hit - traveled;
-        traveled = t_hit;
-        match axis {
-            0 => t_max.x += t_delta.x,
-            1 => t_max.y += t_delta.y,
-            _ => t_max.z += t_delta.z,
-        }
-
-        // The segment just traversed lies in `cur`.
-        state.tau += props.abskg[cur] * dis;
-        let exp_cur = (-state.tau).exp();
-        state.sum_i += state.weight * props.sigma_t4_over_pi[cur] * (state.exp_prev - exp_cur);
-        state.exp_prev = exp_cur;
-        if state.weight * exp_cur < threshold {
-            return Outcome::Extinguished;
-        }
-
-        // Advance to the next cell.
-        cur[axis] += step[axis];
-
-        if !level.roi.contains(cur) {
-            // Physical exit point, nudged forward so the coarser level's
-            // cell lookup lands past the face.
-            let eps = 1e-10 * dx.min_component().clamp(1e-12, 1.0);
-            let exit = pos + dir * (traveled + eps);
-            return Outcome::ExitedRoi(exit);
-        }
-        if props.is_wall(cur) {
-            // Wall emission: emissivity stored in abskg for wall cells.
-            state.sum_i +=
-                state.weight * props.abskg[cur] * props.sigma_t4_over_pi[cur] * state.exp_prev;
-            return Outcome::HitWall {
-                hit: pos + dir * traveled,
-                axis,
-                emissivity: props.abskg[cur],
-            };
-        }
-    }
-}
-
 /// Trace one ray through a stack of levels (coarsest first, finest last),
 /// starting on the finest, and return its incoming-intensity integral
 /// `sumI` (per steradian, fs = 1).
@@ -188,6 +63,10 @@ fn march_level(level: &TraceLevel<'_>, pos: Point, dir: Vector, state: &mut RayS
 /// enclosure (zero contribution), which is the Burns & Christon boundary
 /// condition; warm or reflective enclosures are modeled with explicit wall
 /// cells instead.
+///
+/// One-off convenience over the packet engine: batched consumers should
+/// prepare a [`crate::packet::PacketTracer`] once and march whole
+/// [`crate::packet::RayPacket`]s instead.
 ///
 /// ```
 /// use rmcrt_core::{trace_ray, LevelProps, TraceLevel};
@@ -226,76 +105,14 @@ pub fn trace_ray_with_options(
     opts: TraceOptions,
 ) -> f64 {
     debug_assert!(!levels.is_empty());
-    debug_assert!((dir.length() - 1.0).abs() < 1e-9, "direction must be unit");
-    let mut state = RayState {
-        tau: 0.0,
-        exp_prev: 1.0,
-        sum_i: 0.0,
-        weight: 1.0,
-    };
-    let mut li = levels.len() - 1;
-    let mut pos = origin;
-    let mut dir = dir;
-    let mut reflections = 0u32;
-    loop {
-        match march_level(&levels[li], pos, dir, &mut state, opts.threshold) {
-            Outcome::Extinguished => return state.sum_i,
-            Outcome::HitWall {
-                hit,
-                axis,
-                emissivity,
-            } => {
-                let reflectivity = 1.0 - emissivity;
-                if reflections >= opts.max_reflections
-                    || reflectivity <= 0.0
-                    || state.transmissivity() * reflectivity < opts.threshold
-                {
-                    return state.sum_i;
-                }
-                reflections += 1;
-                state.weight *= reflectivity;
-                // Specular bounce off the axis-aligned face.
-                match axis {
-                    0 => dir.x = -dir.x,
-                    1 => dir.y = -dir.y,
-                    _ => dir.z = -dir.z,
-                }
-                // Restart just inside the flow cell we came from.
-                let eps = 1e-10 * levels[li].props.dx.min_component().clamp(1e-12, 1.0);
-                pos = hit + dir * eps;
-            }
-            Outcome::ExitedRoi(exit) => {
-                // Drop to the next coarser level that contains the exit
-                // point; terminate if none (left the domain).
-                loop {
-                    if li == 0 {
-                        return state.sum_i; // cold black enclosure
-                    }
-                    li -= 1;
-                    let cell = levels[li].props.cell_containing(exit);
-                    if levels[li].roi.contains(cell) {
-                        if levels[li].props.is_wall(cell) {
-                            let p = levels[li].props;
-                            state.sum_i += state.weight
-                                * p.abskg[cell]
-                                * p.sigma_t4_over_pi[cell]
-                                * state.exp_prev;
-                            return state.sum_i;
-                        }
-                        break;
-                    }
-                }
-                pos = exit;
-            }
-        }
-    }
+    crate::packet::PacketTracer::new(levels, opts).trace_one(origin, dir)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::props::WALL_CELL;
-    use uintah_grid::CcVariable;
+    use uintah_grid::{CcVariable, IntVector};
 
     fn single(props: &LevelProps) -> [TraceLevel<'_>; 1] {
         [TraceLevel {

@@ -48,6 +48,7 @@ fn main() {
             nrays: cfg.nrays,
             threshold: cfg.threshold,
             sampling: cfg.sampling,
+            ray_count: Some(cfg.ray_count()),
             ..Default::default()
         },
         halo: cfg.halo,
@@ -164,6 +165,10 @@ gpu_affinity  = sticky    # sticky | cost (LPT from measured per-patch costs)
 aggregate  = false        # bundle level windows per rank pair
 timesteps  = 1
 sampling   = independent  # independent | lhc
+ray_count  = fixed        # fixed (nrays per cell) | adaptive
+rays_min   = 16           # adaptive: first batch size
+rays_max   = 1024         # adaptive: per-cell ray budget ceiling
+rel_var_target = 0.05     # adaptive: stop when sem(I) <= target * |mean I|
 #output    = ./rmcrt.uda"
     );
 }

@@ -51,6 +51,16 @@ pub struct RunConfig {
     pub gpu_affinity: GpuAffinity,
     pub timesteps: usize,
     pub sampling: rmcrt_core::RaySampling,
+    /// `true` = adaptive per-cell ray counts ([`rmcrt_core::RayCountMode::Adaptive`]
+    /// between `rays_min` and `rays_max`); `false` = fixed `nrays` per cell.
+    pub adaptive_rays: bool,
+    /// First batch size in adaptive mode.
+    pub rays_min: u32,
+    /// Ray budget ceiling per cell in adaptive mode.
+    pub rays_max: u32,
+    /// Adaptive stopping rule: stop when the standard error of the mean
+    /// intensity falls below this fraction of its magnitude.
+    pub rel_var_target: f64,
     /// Bundle level windows per rank pair (Uintah message packing).
     pub aggregate: bool,
     /// Rebalance ownership every `k` timesteps from measured per-patch
@@ -86,6 +96,10 @@ impl Default for RunConfig {
             gpu_affinity: GpuAffinity::Sticky,
             timesteps: 1,
             sampling: rmcrt_core::RaySampling::Independent,
+            adaptive_rays: false,
+            rays_min: 16,
+            rays_max: 1024,
+            rel_var_target: 0.05,
             aggregate: false,
             regrid_interval: 0,
             regrid_policy: RebalancePolicy::CostedSfc,
@@ -150,6 +164,10 @@ impl RunConfig {
                     "regrid_policy" => "regrid_policy",
                     "timesteps" => "timesteps",
                     "sampling" => "sampling",
+                    "ray_count" => "ray_count",
+                    "rays_min" => "rays_min",
+                    "rays_max" => "rays_max",
+                    "rel_var_target" => "rel_var_target",
                     "output" => "output",
                     other => {
                         return Err(ConfigError {
@@ -238,6 +256,16 @@ impl RunConfig {
                         v => return Err(bad(format!("unknown sampling '{v}'"))),
                     }
                 }
+                "ray_count" => {
+                    cfg.adaptive_rays = match value {
+                        "fixed" => false,
+                        "adaptive" => true,
+                        v => return Err(bad(format!("unknown ray_count '{v}'"))),
+                    }
+                }
+                "rays_min" => cfg.rays_min = num(value, key, line_no)?,
+                "rays_max" => cfg.rays_max = num(value, key, line_no)?,
+                "rel_var_target" => cfg.rel_var_target = num(value, key, line_no)?,
                 "output" => cfg.output = Some(PathBuf::from(value)),
                 _ => unreachable!("key validated above"),
             }
@@ -281,7 +309,34 @@ impl RunConfig {
         if !(self.threshold > 0.0 && self.threshold < 1.0) {
             return Err("threshold must be in (0, 1)".into());
         }
+        if self.adaptive_rays {
+            if self.rays_min == 0 {
+                return Err("rays_min must be >= 1".into());
+            }
+            if self.rays_min > self.rays_max {
+                return Err(format!(
+                    "rays_min {} exceeds rays_max {}",
+                    self.rays_min, self.rays_max
+                ));
+            }
+            if !(self.rel_var_target > 0.0 && self.rel_var_target < 1.0) {
+                return Err("rel_var_target must be in (0, 1)".into());
+            }
+        }
         Ok(())
+    }
+
+    /// The ray-count policy this configuration selects.
+    pub fn ray_count(&self) -> rmcrt_core::RayCountMode {
+        if self.adaptive_rays {
+            rmcrt_core::RayCountMode::Adaptive {
+                min: self.rays_min,
+                max: self.rays_max,
+                rel_var_target: self.rel_var_target,
+            }
+        } else {
+            rmcrt_core::RayCountMode::Fixed(self.nrays)
+        }
     }
 }
 
@@ -353,6 +408,33 @@ mod tests {
         assert_eq!(cfg.gpus_per_rank, 1, "single K20X per rank by default");
         assert!(RunConfig::parse("gpu_affinity = roundrobin").is_err());
         assert!(RunConfig::parse("gpus_per_rank = 0").is_err());
+    }
+
+    #[test]
+    fn parses_ray_count_keys() {
+        let cfg = RunConfig::parse(
+            "ray_count = adaptive\nrays_min = 8\nrays_max = 512\nrel_var_target = 0.02",
+        )
+        .unwrap();
+        assert!(cfg.adaptive_rays);
+        assert_eq!(
+            cfg.ray_count(),
+            rmcrt_core::RayCountMode::Adaptive {
+                min: 8,
+                max: 512,
+                rel_var_target: 0.02
+            }
+        );
+        let cfg = RunConfig::parse("ray_count = fixed\nnrays = 40").unwrap();
+        assert_eq!(cfg.ray_count(), rmcrt_core::RayCountMode::Fixed(40));
+        assert_eq!(
+            RunConfig::default().ray_count(),
+            rmcrt_core::RayCountMode::Fixed(RunConfig::default().nrays),
+            "fixed mode is the default"
+        );
+        assert!(RunConfig::parse("ray_count = magic").is_err());
+        assert!(RunConfig::parse("ray_count = adaptive\nrays_min = 99\nrays_max = 10").is_err());
+        assert!(RunConfig::parse("ray_count = adaptive\nrel_var_target = 2.0").is_err());
     }
 
     #[test]

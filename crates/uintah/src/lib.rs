@@ -30,8 +30,9 @@ pub mod prelude {
         RmcrtPipeline,
     };
     pub use rmcrt_core::{
-        div_q_for_cell, solve_region, solve_region_exec, trace_ray, BurnsChriston, CellRng,
-        LevelProps, RmcrtParams, TraceLevel,
+        div_q_for_cell, solve_region, solve_region_exec, solve_region_with_stats, trace_ray,
+        BurnsChriston, CellRng, LevelProps, PacketTracer, RayCountMode, RayPacket, RmcrtParams,
+        SolveStats, TraceLevel,
     };
     pub use titan_sim::{
         simulate_timestep, CalibrationScale, CostProfile, MachineParams, StoreModel,

@@ -30,6 +30,7 @@ fn pipeline() -> RmcrtPipeline {
             seed: 0xABCD,
             timestep: 0,
             sampling: uintah::rmcrt::sampling::RaySampling::Independent,
+            ray_count: None,
         },
         halo: 4,
         problem: BurnsChriston::default(),

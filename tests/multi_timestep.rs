@@ -39,6 +39,7 @@ fn pipeline() -> RmcrtPipeline {
             seed: 0x5EED,
             timestep: 0,
             sampling: uintah::rmcrt::sampling::RaySampling::Independent,
+            ray_count: None,
         },
         halo: 2,
         problem: BurnsChriston::default(),

@@ -39,6 +39,7 @@ fn monte_carlo_convergence_is_sqrt_n() {
                         seed,
                         timestep: 0,
                         sampling: Default::default(),
+                        ray_count: None,
                     },
                 )
             })

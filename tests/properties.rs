@@ -148,7 +148,7 @@ proptest! {
         let dq = div_q_for_cell(
             &[TraceLevel { props: &props, roi: props.region }],
             IntVector::splat(n / 2),
-            &RmcrtParams { nrays, threshold: 1e-4, seed: 1, timestep: 0, sampling: Default::default() },
+            &RmcrtParams { nrays, threshold: 1e-4, seed: 1, ..Default::default() },
         );
         prop_assert!(dq.is_finite());
         if kappa == 0.0 {
@@ -350,6 +350,69 @@ proptest! {
                 "rank {rank} load {load} exceeds advertised bound {bound}"
             );
         }
+    }
+
+    /// Degenerate directions never hang or poison the packet marcher:
+    /// axis-aligned rays (`d[a] == 0` on one or two axes, giving infinite
+    /// `t_delta`/`side_dist` on those axes) and exact two-axis ties
+    /// (diagonal directions from cell centres and corners, where both
+    /// side distances carry identical bits) must terminate and produce a
+    /// finite, physically bounded intensity — identical through the
+    /// single-ray and the packet entry points.
+    #[test]
+    fn degenerate_directions_terminate_with_finite_intensity(
+        axis in 0..3usize,
+        other in 0..3usize,
+        neg_a in any::<bool>(),
+        neg_b in any::<bool>(),
+        cx in 1..15i32, cy in 1..15i32, cz in 1..15i32,
+        from_corner in any::<bool>(),
+    ) {
+        use uintah::rmcrt::packet::RayPacket;
+        use uintah::rmcrt::{PacketTracer, TraceOptions, WALL_CELL};
+
+        let n = 16;
+        let mut props =
+            LevelProps::uniform(Region::cube(n), Vector::splat(1.0 / n as f64), 1.0, 1.0);
+        let e = props.region.extent();
+        for c in props.region.cells() {
+            if c.x == 0 || c.y == 0 || c.z == 0 || c.x == e.x - 1 || c.y == e.y - 1 || c.z == e.z - 1 {
+                props.cell_type[c] = WALL_CELL;
+                props.abskg[c] = 1.0;
+                props.sigma_t4_over_pi[c] = 2.0;
+            }
+        }
+        // Axis-aligned, or an exact two-axis diagonal: both non-zero
+        // components share the same magnitude bits, so side-distance ties
+        // are exact when launched from a cell centre or corner.
+        let mut d = [0.0f64; 3];
+        if other == axis {
+            d[axis] = if neg_a { -1.0 } else { 1.0 };
+        } else {
+            let s = 1.0 / 2.0f64.sqrt();
+            d[axis] = if neg_a { -s } else { s };
+            d[other] = if neg_b { -s } else { s };
+        }
+        let dir = Vector::new(d[0], d[1], d[2]);
+        let cell = IntVector::new(cx, cy, cz);
+        let lo = props.cell_lo(cell);
+        let origin = if from_corner {
+            lo // exactly on the cell's low faces
+        } else {
+            lo + props.dx * 0.5
+        };
+        let stack = [TraceLevel { props: &props, roi: props.region }];
+        let sum_i = trace_ray(&stack, origin, dir, 1e-9);
+        prop_assert!(sum_i.is_finite(), "sumI not finite: {sum_i}");
+        // Bounded by the hottest emitter in the enclosure (S_wall = 2).
+        prop_assert!((0.0..=2.0 + 1e-9).contains(&sum_i), "sumI out of range: {sum_i}");
+
+        // The packet path is the same engine: identical bits.
+        let tracer = PacketTracer::new(&stack, TraceOptions { threshold: 1e-9, max_reflections: 0 });
+        let mut packet = RayPacket::with_capacity(1);
+        packet.push(origin, dir);
+        tracer.trace(&mut packet);
+        prop_assert_eq!(packet.sum_i[0].to_bits(), sum_i.to_bits());
     }
 }
 

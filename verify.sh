@@ -18,6 +18,11 @@ cargo test -q -p uintah --test concurrency fleet_regrid_race_evicts_only_affecte
 # The measured-calibration pipeline (snapshot round trip bit-identity,
 # run-to-run structural determinism) — pinned by name.
 cargo test -q -p uintah --test calibration
+# Packet ray-engine bit-identity pins: every tracer (region solve, both
+# sampling modes, scattering, wall flux, radiometer) must reproduce the
+# pre-packet scalar results bit for bit in fixed mode, and adaptive mode
+# must match the fixed answer within tolerance — pinned by name.
+cargo test -q -p uintah --test ray_engine
 cargo test --doc -q
 cargo clippy --workspace --all-targets -- -D warnings
 # E12 scaling-campaign regression gate: calibrate from a real executor
@@ -27,3 +32,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 # Regenerate after intentional model changes with:
 #   cargo run --release -p rmcrt-bench --bin scaling_gate -- --update
 cargo run --release -q -p rmcrt-bench --bin scaling_gate
+# Packet ray-march regression gate: scalar-vs-packet bit-identity on two
+# workloads, fixed-mode speedup floor, adaptive packet path >= 2x the
+# scalar baseline at matched region-mean divQ, and no >10% throughput
+# regression vs the checked-in BENCH_ray_march.json. Regenerate after
+# intentional engine changes with:
+#   cargo run --release -p rmcrt-bench --bin ray_march_gate -- --update
+cargo run --release -q -p rmcrt-bench --bin ray_march_gate
