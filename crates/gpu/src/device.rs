@@ -8,12 +8,23 @@
 //! that drains posted transfers asynchronously ([`GpuDevice::post_d2h`]).
 //! Every in-flight transfer is tagged with the [`Stream`] it was issued
 //! on, mirroring how Uintah pins one CUDA stream per resident patch task.
+//!
+//! Device memory is no longer a bytes-only meter: every reservation is
+//! carved from a [`SubAllocator`] free list over `[0, capacity)`, so the
+//! device can distinguish *capacity* exhaustion from *fragmentation*
+//! (`frag_failures`), reject double-releases instead of wrapping `used`
+//! to ~2^64 (`release_underflows`), and give the data warehouse real
+//! block handles ([`DeviceBlock`]) whose drop is the one legal free.
+//! Eviction/spill/re-upload traffic driven by the warehouse's LRU policy
+//! is metered here too so [`DeviceCounters`] stays the one-stop snapshot.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+use uintah_mem::{FitPolicy, SubAllocError, SubAllocator};
 
 /// Errors from device operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,8 +104,35 @@ pub struct DeviceCounters {
     pub d2h_busy_ns: u64,
     /// D2H transfers posted but not yet drained at snapshot time.
     pub d2h_inflight: u64,
-    /// Allocations rejected at capacity.
+    /// Allocations rejected (capacity *or* fragmentation; the latter is
+    /// also counted in `frag_failures`).
     pub alloc_failures: u64,
+    /// Allocations that failed with free bytes to spare but no contiguous
+    /// hole — visible only because the meter is a real free list now.
+    pub frag_failures: u64,
+    /// Releases of bytes the allocator has no live block for: the
+    /// double-release that used to wrap `used` to ~2^64. Rejected and
+    /// counted, meter untouched.
+    pub release_underflows: u64,
+    /// Warehouse entries evicted under memory pressure (LRU).
+    pub evictions: u64,
+    /// Device bytes recovered by those evictions.
+    pub evicted_bytes: u64,
+    /// Evicted patch variables spilled to host (level replicas are
+    /// regenerable from the host warehouse and are dropped, not spilled).
+    pub spills: u64,
+    /// Bytes moved device→host by spills (also metered in `d2h_bytes`).
+    pub spilled_bytes: u64,
+    /// Spilled variables transparently re-uploaded on next access.
+    pub reuploads: u64,
+    /// Bytes moved host→device by re-uploads (also metered in `h2d_bytes`).
+    pub reuploads_bytes: u64,
+    /// Extents on the allocator free list at snapshot time (1 = fully
+    /// coalesced).
+    pub free_blocks: u64,
+    /// Largest single free extent — the biggest reservation that can
+    /// currently succeed.
+    pub largest_free: u64,
     /// Bytes currently allocated.
     pub used: u64,
     /// High-water mark of device memory.
@@ -105,21 +143,42 @@ pub struct DeviceCounters {
 struct DeviceInner {
     name: &'static str,
     capacity: usize,
+    /// Mirrors of the allocator's used/peak so the hot read paths
+    /// (`used()`, scheduler snapshots) stay lock-free.
     used: AtomicUsize,
     peak: AtomicUsize,
+    /// The real meter: a coalescing free list over `[0, capacity)`.
+    /// `align = 1` keeps `used` bit-exact with the sum of requested bytes,
+    /// which the accounting tests and the divQ bit-identity gate rely on.
+    suballoc: Mutex<SubAllocator>,
+    /// Blocks reserved through the legacy `try_reserve`/`release` pair,
+    /// which has no offset in its signature: `(bytes, offset)` in
+    /// reservation order. `release(b)` pops the most recent entry of `b`
+    /// bytes; a release with no matching entry is an underflow.
+    reserve_ledger: Mutex<Vec<(usize, u64)>>,
     h2d: Arc<CopyEngineStats>,
     d2h: Arc<CopyEngineStats>,
     kernels: AtomicU64,
     num_streams: u32,
     next_stream: AtomicU64,
     alloc_failures: AtomicU64,
+    frag_failures: AtomicU64,
+    release_underflows: AtomicU64,
+    evictions: AtomicU64,
+    evicted_bytes: AtomicU64,
+    spills: AtomicU64,
+    spilled_bytes: AtomicU64,
+    reuploads: AtomicU64,
+    reuploads_bytes: AtomicU64,
     /// The D2H copy-engine timeline: a FIFO worker thread, spawned lazily
     /// on the first posted transfer. Jobs execute in post order (one
     /// engine serializes its transfers, exactly like the hardware). The
     /// worker holds only the engine-stats Arc, so it exits when the last
     /// device handle drops and the channel closes.
     d2h_queue: Mutex<Option<mpsc::Sender<TransferJob>>>,
-    /// Streams of transfers currently in flight on the D2H engine.
+    /// Streams of transfers currently in flight on the D2H engine — one
+    /// entry per transfer (stream ids recycle round-robin, so the same id
+    /// may appear more than once).
     d2h_streams: Mutex<Vec<Stream>>,
 }
 
@@ -129,6 +188,48 @@ pub struct GpuDevice {
     inner: Arc<DeviceInner>,
 }
 
+/// Sentinel offset for zero-byte reservations, which never touch the
+/// allocator (a zero-size `cudaMalloc` returns a unique pointer the
+/// allocator need not track; here it is simply a no-op).
+const ZERO_SENTINEL: u64 = u64::MAX;
+
+/// An owned extent of device memory: offset + rounded size, freed back to
+/// the device's [`SubAllocator`] exactly once, on drop. The data warehouse
+/// holds one of these per [`DeviceVar`](crate::DeviceVar), which is what
+/// makes the `used` meter immune to double-release by construction.
+#[derive(Debug)]
+pub struct DeviceBlock {
+    device: GpuDevice,
+    offset: u64,
+    bytes: usize,
+}
+
+impl DeviceBlock {
+    /// The extent's offset in device memory (sentinel for zero-byte blocks).
+    #[inline]
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Reserved size in bytes.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The device this block lives on.
+    #[inline]
+    pub fn device(&self) -> &GpuDevice {
+        &self.device
+    }
+}
+
+impl Drop for DeviceBlock {
+    fn drop(&mut self) {
+        self.device.free_raw(self.offset, self.bytes);
+    }
+}
+
 impl GpuDevice {
     /// A Titan-node K20X: 6 GB GDDR5, two copy engines, 16 streams.
     pub fn k20x() -> Self {
@@ -136,18 +237,41 @@ impl GpuDevice {
     }
 
     pub fn with_capacity(name: &'static str, capacity: usize) -> Self {
+        // Two-ended size-class split: blocks up to 16 KiB (level replicas,
+        // scalar outputs — the long-lived pinned allocations) stack
+        // top-down so the bottom of the arena stays contiguous for large
+        // patch windows. Without the split, an oversubscribed capacity a
+        // few times the largest request OOMs on fragmentation with most of
+        // its bytes free, because pinned replicas land mid-arena between
+        // evictable patch data.
+        const SMALL_CLASS: u64 = 16 << 10;
         Self {
             inner: Arc::new(DeviceInner {
                 name,
                 capacity,
                 used: AtomicUsize::new(0),
                 peak: AtomicUsize::new(0),
+                suballoc: Mutex::new(SubAllocator::with_small_class(
+                    capacity as u64,
+                    1,
+                    FitPolicy::FirstFit,
+                    SMALL_CLASS,
+                )),
+                reserve_ledger: Mutex::new(Vec::new()),
                 h2d: Arc::new(CopyEngineStats::default()),
                 d2h: Arc::new(CopyEngineStats::default()),
                 kernels: AtomicU64::new(0),
                 num_streams: 16,
                 next_stream: AtomicU64::new(0),
                 alloc_failures: AtomicU64::new(0),
+                frag_failures: AtomicU64::new(0),
+                release_underflows: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+                evicted_bytes: AtomicU64::new(0),
+                spills: AtomicU64::new(0),
+                spilled_bytes: AtomicU64::new(0),
+                reuploads: AtomicU64::new(0),
+                reuploads_bytes: AtomicU64::new(0),
                 d2h_queue: Mutex::new(None),
                 d2h_streams: Mutex::new(Vec::new()),
             }),
@@ -174,36 +298,97 @@ impl GpuDevice {
         self.inner.peak.load(Ordering::Relaxed)
     }
 
-    /// Reserve `bytes` of device memory (atomic; fails cleanly at capacity).
-    pub(crate) fn try_reserve(&self, bytes: usize) -> Result<(), GpuError> {
-        let mut used = self.inner.used.load(Ordering::Relaxed);
-        loop {
-            let new = used + bytes;
-            if new > self.inner.capacity {
-                self.inner.alloc_failures.fetch_add(1, Ordering::Relaxed);
-                return Err(GpuError::OutOfMemory {
-                    requested: bytes,
-                    used,
-                    capacity: self.inner.capacity,
-                });
+    /// Carve `bytes` from the device free list; returns the block offset.
+    /// Any failure — capacity, fragmentation, or a request so large the
+    /// internal arithmetic would overflow — is a clean `OutOfMemory`, never
+    /// a wrap.
+    pub(crate) fn alloc_raw(&self, bytes: usize) -> Result<u64, GpuError> {
+        if bytes == 0 {
+            return Ok(ZERO_SENTINEL);
+        }
+        let mut sa = self.inner.suballoc.lock().unwrap();
+        match sa.alloc(bytes as u64) {
+            Ok(offset) => {
+                let used = sa.used() as usize;
+                self.inner.used.store(used, Ordering::Relaxed);
+                self.inner.peak.fetch_max(used, Ordering::Relaxed);
+                Ok(offset)
             }
-            match self.inner.used.compare_exchange_weak(
-                used,
-                new,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => {
-                    self.inner.peak.fetch_max(new, Ordering::Relaxed);
-                    return Ok(());
+            Err(e) => {
+                self.inner.alloc_failures.fetch_add(1, Ordering::Relaxed);
+                if matches!(e, SubAllocError::Fragmentation { .. }) {
+                    self.inner.frag_failures.fetch_add(1, Ordering::Relaxed);
                 }
-                Err(u) => used = u,
+                Err(GpuError::OutOfMemory {
+                    requested: bytes,
+                    used: sa.used() as usize,
+                    capacity: self.inner.capacity,
+                })
             }
         }
     }
 
-    pub(crate) fn release(&self, bytes: usize) {
-        self.inner.used.fetch_sub(bytes, Ordering::Relaxed);
+    /// Return the block at `offset` to the free list. An offset with no
+    /// live block (double-free, stray release) is rejected and counted in
+    /// `release_underflows`; the meter is untouched.
+    pub(crate) fn free_raw(&self, offset: u64, bytes: usize) {
+        if bytes == 0 && offset == ZERO_SENTINEL {
+            return;
+        }
+        let mut sa = self.inner.suballoc.lock().unwrap();
+        match sa.free(offset) {
+            Ok(_) => self.inner.used.store(sa.used() as usize, Ordering::Relaxed),
+            Err(()) => {
+                self.inner
+                    .release_underflows
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Reserve `bytes` as an owned [`DeviceBlock`] whose drop is the one
+    /// legal free — the warehouse path, immune to double-release.
+    pub(crate) fn alloc_block(&self, bytes: usize) -> Result<DeviceBlock, GpuError> {
+        let offset = self.alloc_raw(bytes)?;
+        Ok(DeviceBlock {
+            device: self.clone(),
+            offset,
+            bytes,
+        })
+    }
+
+    /// Reserve `bytes` of device memory (fails cleanly at capacity or
+    /// fragmentation). Legacy offset-less API: the block is remembered in
+    /// an internal ledger so [`release`](Self::release) can find it.
+    pub fn try_reserve(&self, bytes: usize) -> Result<(), GpuError> {
+        let offset = self.alloc_raw(bytes)?;
+        if bytes > 0 {
+            self.inner.reserve_ledger.lock().unwrap().push((bytes, offset));
+        }
+        Ok(())
+    }
+
+    /// Release a reservation made with [`try_reserve`](Self::try_reserve).
+    /// A release with no matching live reservation — the double-release
+    /// that used to wrap `used` to ~2^64 via unchecked `fetch_sub` — is
+    /// rejected and counted in `release_underflows`.
+    pub fn release(&self, bytes: usize) {
+        if bytes == 0 {
+            return;
+        }
+        let popped = {
+            let mut ledger = self.inner.reserve_ledger.lock().unwrap();
+            let at = ledger.iter().rposition(|&(b, _)| b == bytes);
+            at.map(|i| ledger.remove(i))
+        };
+        match popped {
+            Some((b, offset)) => self.free_raw(offset, b),
+            None => {
+                self.inner
+                    .release_underflows
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Meter a host→device transfer on copy engine 0.
@@ -233,6 +418,59 @@ impl GpuDevice {
             .d2h
             .busy_ns
             .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Meter an LRU eviction that recovered `bytes` of device memory.
+    pub fn record_eviction(&self, bytes: usize) {
+        self.inner.evictions.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .evicted_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Meter a spill-to-host of an evicted patch variable. The transfer
+    /// itself is additionally metered via [`record_d2h`](Self::record_d2h)
+    /// by the caller — this counts the *policy* event.
+    pub fn record_spill(&self, bytes: usize) {
+        self.inner.spills.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .spilled_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Meter a transparent re-upload of a previously spilled variable.
+    pub fn record_reupload(&self, bytes: usize) {
+        self.inner.reuploads.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .reuploads_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Open an *inline* (synchronous-fallback) D2H transfer: meters the
+    /// transfer, bumps `inflight`, and tags a stream on the engine timeline
+    /// exactly like [`post_d2h`](Self::post_d2h) — so `sync_d2h` /
+    /// [`inflight_d2h_streams`](Self::inflight_d2h_streams) accounting is
+    /// identical whether the async engine is on or off. Pair with
+    /// [`end_inline_d2h`](Self::end_inline_d2h) after the drain memcpy.
+    pub fn begin_inline_d2h(&self, bytes: usize) -> Stream {
+        self.record_d2h(bytes);
+        self.inner.d2h.inflight.fetch_add(1, Ordering::Relaxed);
+        let stream = self.next_stream();
+        self.inner.d2h_streams.lock().unwrap().push(stream);
+        stream
+    }
+
+    /// Close an inline D2H transfer opened with
+    /// [`begin_inline_d2h`](Self::begin_inline_d2h): meters the drain
+    /// occupancy and retires the stream tag and in-flight count.
+    pub fn end_inline_d2h(&self, stream: Stream, busy: Duration) {
+        self.record_d2h_busy(busy);
+        let mut streams = self.inner.d2h_streams.lock().unwrap();
+        if let Some(i) = streams.iter().rposition(|s| *s == stream) {
+            streams.remove(i);
+        }
+        drop(streams);
+        self.inner.d2h.inflight.fetch_sub(1, Ordering::Release);
     }
 
     /// Post a device→host transfer to copy engine 1's timeline and return
@@ -276,11 +514,12 @@ impl GpuDevice {
                 stream,
                 Box::new(move || {
                     job();
-                    this.inner
-                        .d2h_streams
-                        .lock()
-                        .unwrap()
-                        .retain(|s| *s != stream);
+                    // Retire exactly this transfer's tag: stream ids
+                    // recycle, so remove one occurrence, not all.
+                    let mut streams = this.inner.d2h_streams.lock().unwrap();
+                    if let Some(i) = streams.iter().position(|s| *s == stream) {
+                        streams.remove(i);
+                    }
                 }),
             ))
             .expect("d2h copy-engine worker alive while device handles exist");
@@ -321,8 +560,35 @@ impl GpuDevice {
         self.inner.num_streams
     }
 
+    /// Structural self-check: the free list's invariants hold and the
+    /// lock-free `used` mirror agrees with the allocator. Used by the
+    /// oversubscription gate to prove zero meter drift at exit.
+    /// One-line arena map (live/free extents in address order) for OOM
+    /// diagnostics.
+    pub fn dump_allocator(&self) -> String {
+        self.inner.suballoc.lock().unwrap().dump()
+    }
+
+    pub fn validate_allocator(&self) -> Result<(), String> {
+        let sa = self.inner.suballoc.lock().unwrap();
+        sa.check_invariants()?;
+        let mirror = self.inner.used.load(Ordering::Relaxed) as u64;
+        if mirror != sa.used() {
+            return Err(format!(
+                "used mirror {} disagrees with allocator {}",
+                mirror,
+                sa.used()
+            ));
+        }
+        Ok(())
+    }
+
     /// Snapshot every counter at once.
     pub fn counters(&self) -> DeviceCounters {
+        let (free_blocks, largest_free) = {
+            let sa = self.inner.suballoc.lock().unwrap();
+            (sa.free_blocks() as u64, sa.largest_free())
+        };
         DeviceCounters {
             kernels: self.inner.kernels.load(Ordering::Relaxed),
             h2d_bytes: self.inner.h2d.bytes.load(Ordering::Relaxed),
@@ -333,6 +599,16 @@ impl GpuDevice {
             d2h_busy_ns: self.inner.d2h.busy_ns.load(Ordering::Relaxed),
             d2h_inflight: self.inner.d2h.inflight.load(Ordering::Relaxed),
             alloc_failures: self.inner.alloc_failures.load(Ordering::Relaxed),
+            frag_failures: self.inner.frag_failures.load(Ordering::Relaxed),
+            release_underflows: self.inner.release_underflows.load(Ordering::Relaxed),
+            evictions: self.inner.evictions.load(Ordering::Relaxed),
+            evicted_bytes: self.inner.evicted_bytes.load(Ordering::Relaxed),
+            spills: self.inner.spills.load(Ordering::Relaxed),
+            spilled_bytes: self.inner.spilled_bytes.load(Ordering::Relaxed),
+            reuploads: self.inner.reuploads.load(Ordering::Relaxed),
+            reuploads_bytes: self.inner.reuploads_bytes.load(Ordering::Relaxed),
+            free_blocks,
+            largest_free,
             used: self.inner.used.load(Ordering::Relaxed) as u64,
             peak: self.inner.peak.load(Ordering::Relaxed) as u64,
         }
@@ -368,6 +644,84 @@ mod tests {
         assert_eq!(d.used(), 0);
         assert_eq!(d.peak(), 600);
         assert_eq!(d.counters().alloc_failures, 1);
+        d.validate_allocator().unwrap();
+    }
+
+    #[test]
+    fn double_release_is_rejected_not_wrapped() {
+        // Regression: release used to be an unchecked fetch_sub — a
+        // double-release wrapped `used` to ~2^64 and every subsequent
+        // try_reserve reported spurious OOM.
+        let d = GpuDevice::with_capacity("test", 1000);
+        d.try_reserve(400).unwrap();
+        d.release(400);
+        assert_eq!(d.used(), 0);
+        d.release(400); // double-release: rejected, counted, meter intact
+        assert_eq!(d.used(), 0, "used must not wrap");
+        assert_eq!(d.counters().release_underflows, 1);
+        d.release(123); // never-reserved size: same treatment
+        assert_eq!(d.counters().release_underflows, 2);
+        // The meter still works after the bad releases.
+        d.try_reserve(1000).unwrap();
+        assert_eq!(d.used(), 1000);
+        d.release(1000);
+        assert_eq!(d.used(), 0);
+        d.validate_allocator().unwrap();
+    }
+
+    #[test]
+    fn huge_request_fails_cleanly_instead_of_overflowing() {
+        // Regression: try_reserve computed `used + bytes` unchecked — a
+        // huge request wrapped past the capacity test.
+        let d = GpuDevice::with_capacity("test", 1000);
+        d.try_reserve(600).unwrap();
+        let err = d.try_reserve(usize::MAX).unwrap_err();
+        assert!(matches!(err, GpuError::OutOfMemory { requested, .. } if requested == usize::MAX));
+        assert_eq!(d.used(), 600, "failed reserve must not touch the meter");
+        assert_eq!(d.counters().alloc_failures, 1);
+        d.validate_allocator().unwrap();
+    }
+
+    #[test]
+    fn fragmentation_failures_are_distinguished() {
+        let d = GpuDevice::with_capacity("test", 1000);
+        // Carve four 250 B blocks, free the 1st and 3rd: 500 B free in two
+        // 250 B holes.
+        let blocks: Vec<DeviceBlock> = (0..4).map(|_| d.alloc_block(250).unwrap()).collect();
+        let mut blocks = blocks;
+        let b2 = blocks.remove(2);
+        let b0 = blocks.remove(0);
+        drop(b0);
+        drop(b2);
+        assert_eq!(d.used(), 500);
+        let err = d.alloc_block(400).unwrap_err();
+        assert!(matches!(err, GpuError::OutOfMemory { .. }));
+        let c = d.counters();
+        assert_eq!(c.alloc_failures, 1);
+        assert_eq!(c.frag_failures, 1, "free bytes sufficed; the hole did not");
+        assert_eq!(c.free_blocks, 2);
+        assert_eq!(c.largest_free, 250);
+        drop(blocks);
+        assert_eq!(d.used(), 0);
+        assert_eq!(d.counters().free_blocks, 1, "frees coalesce");
+        d.validate_allocator().unwrap();
+    }
+
+    #[test]
+    fn device_block_frees_exactly_once_on_drop() {
+        let d = GpuDevice::with_capacity("test", 1000);
+        let b = d.alloc_block(300).unwrap();
+        assert_eq!(d.used(), 300);
+        assert_eq!(b.bytes(), 300);
+        drop(b);
+        assert_eq!(d.used(), 0);
+        assert_eq!(d.counters().release_underflows, 0);
+        // Zero-byte blocks are sentinel-backed no-ops.
+        let z = d.alloc_block(0).unwrap();
+        assert_eq!(d.used(), 0);
+        drop(z);
+        assert_eq!(d.counters().release_underflows, 0);
+        d.validate_allocator().unwrap();
     }
 
     #[test]
@@ -402,10 +756,72 @@ mod tests {
                 d2h_busy_ns: 0,
                 d2h_inflight: 0,
                 alloc_failures: 0,
+                frag_failures: 0,
+                release_underflows: 0,
+                evictions: 0,
+                evicted_bytes: 0,
+                spills: 0,
+                spilled_bytes: 0,
+                reuploads: 0,
+                reuploads_bytes: 0,
+                free_blocks: 1,
+                largest_free: 700,
                 used: 300,
                 peak: 300,
             }
         );
+    }
+
+    #[test]
+    fn eviction_spill_reupload_counters_accumulate() {
+        let d = GpuDevice::with_capacity("test", 1000);
+        d.record_eviction(128);
+        d.record_eviction(64);
+        d.record_spill(128);
+        d.record_reupload(128);
+        let c = d.counters();
+        assert_eq!(c.evictions, 2);
+        assert_eq!(c.evicted_bytes, 192);
+        assert_eq!(c.spills, 1);
+        assert_eq!(c.spilled_bytes, 128);
+        assert_eq!(c.reuploads, 1);
+        assert_eq!(c.reuploads_bytes, 128);
+    }
+
+    #[test]
+    fn inline_d2h_matches_posted_bookkeeping() {
+        // Regression: the sync-fallback path used to burn a stream without
+        // tagging it in d2h_streams, so inflight accounting depended on
+        // the async mode. begin/end must mirror post_d2h exactly.
+        let d = GpuDevice::k20x();
+        let s = d.begin_inline_d2h(4096);
+        assert_eq!(d.counters().d2h_inflight, 1);
+        assert!(d.inflight_d2h_streams().contains(&s));
+        d.end_inline_d2h(s, Duration::from_micros(3));
+        let c = d.counters();
+        assert_eq!(c.d2h_inflight, 0);
+        assert!(d.inflight_d2h_streams().is_empty());
+        assert_eq!(c.d2h_transfers, 1);
+        assert_eq!(c.d2h_bytes, 4096);
+        assert_eq!(c.d2h_busy_ns, 3_000);
+        d.sync_d2h(); // must not hang: inline transfers fully retire
+    }
+
+    #[test]
+    fn inline_d2h_retires_one_tag_when_stream_ids_recycle() {
+        let d = GpuDevice::k20x();
+        // Drive the round-robin so two inline transfers share a stream id.
+        let s0 = d.begin_inline_d2h(10);
+        for _ in 0..15 {
+            d.next_stream();
+        }
+        let s1 = d.begin_inline_d2h(10);
+        assert_eq!(s0, s1, "16-stream round robin recycled the id");
+        assert_eq!(d.inflight_d2h_streams().len(), 2);
+        d.end_inline_d2h(s0, Duration::ZERO);
+        assert_eq!(d.inflight_d2h_streams().len(), 1, "only one tag retired");
+        d.end_inline_d2h(s1, Duration::ZERO);
+        assert!(d.inflight_d2h_streams().is_empty());
     }
 
     #[test]
@@ -528,5 +944,7 @@ mod tests {
         });
         assert_eq!(d.used(), 0);
         assert!(d.peak() <= d.capacity());
+        assert_eq!(d.counters().release_underflows, 0);
+        d.validate_allocator().unwrap();
     }
 }

@@ -23,10 +23,24 @@
 //! hash), and level staging targets an explicit device via the `_on`
 //! variants. All single-device entry points are preserved: a fleet of one
 //! behaves exactly as before.
+//!
+//! **Oversubscription.** Every reservation is a real [`DeviceBlock`] carved
+//! from the device's free-list sub-allocator, and when an allocation fails
+//! the warehouse *evicts* under an LRU policy instead of surfacing OOM:
+//! the least-recently-used database entry with no outstanding task handle
+//! is dropped. Level replicas are regenerable from host data and are simply
+//! released (the next `ensure_level*` re-uploads); patch variables are
+//! *spilled* to a host-side map over the D2H engine and transparently
+//! re-uploaded on the next [`GpuDataWarehouse::get_patch`]. Entries whose
+//! `Arc<DeviceVar>` is held by a running kernel are never victims, so a
+//! task's staged replicas stay resident for exactly the kernel's lifetime —
+//! which is why eviction is invisible to divQ (bit-identical to a
+//! non-evicting run) and only visible in the eviction/spill/re-upload
+//! counters and in wall time.
 
-use crate::device::{DeviceCounters, GpuDevice, GpuError, Stream};
+use crate::device::{DeviceBlock, DeviceCounters, GpuDevice, GpuError, Stream};
 use crate::fleet::{DeviceFleet, DeviceId};
-use parking_lot::RwLock;
+use parking_lot::{Mutex as StateMutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -37,13 +51,12 @@ use uintah_grid::{LevelIndex, PatchId, VarLabel};
 /// "device memory" is the accounting in [`GpuDevice`]).
 pub type DeviceData = uintah_grid::FieldData;
 
-/// A device-resident variable: releases its device memory when the last
-/// shared handle drops.
+/// A device-resident variable: owns a [`DeviceBlock`] extent, so its device
+/// memory is freed exactly once — when the last shared handle drops.
 #[derive(Debug)]
 pub struct DeviceVar {
     data: DeviceData,
-    bytes: usize,
-    device: GpuDevice,
+    block: DeviceBlock,
 }
 
 impl DeviceVar {
@@ -54,13 +67,7 @@ impl DeviceVar {
 
     #[inline]
     pub fn size_bytes(&self) -> usize {
-        self.bytes
-    }
-}
-
-impl Drop for DeviceVar {
-    fn drop(&mut self) {
-        self.device.release(self.bytes);
+        self.block.bytes()
     }
 }
 
@@ -145,25 +152,81 @@ impl PendingD2H {
         let blocked = if self.inline { drain } else { t0.elapsed() };
         (data, drain, blocked)
     }
+
+    /// A handle whose "drain" already happened — used when a take is served
+    /// from the host spill map (the bytes left the device at eviction time,
+    /// so there is nothing in flight).
+    fn complete(data: DeviceData, stream: Stream) -> Self {
+        let shared = Arc::new(PendingShared::default());
+        *shared.slot.lock().unwrap() = Some((data, Duration::ZERO));
+        PendingD2H {
+            shared,
+            bytes: 0,
+            stream,
+            inline: true,
+        }
+    }
 }
 
-/// A level-database slot: the device-resident replica plus the timestep
-/// epoch at which it was last validated against host data.
+/// A patch-database slot: the device-resident variable plus its LRU stamp.
+struct PatchEntry {
+    var: Arc<DeviceVar>,
+    last_use: u64,
+}
+
+/// A level-database slot: the device-resident replica, the timestep epoch
+/// at which it was last validated against host data, and its LRU stamp.
 struct LevelEntry {
     var: Arc<DeviceVar>,
     epoch: u64,
+    last_use: u64,
 }
 
-/// One device's variable stores: its patch database and level database.
-/// The owning [`GpuDevice`] lives in the fleet at the same index.
+/// An eviction candidate, ordered worst-victim-first: oldest `last_use`,
+/// then patch entries before level replicas (a spilled patch round-trips
+/// its exact bytes; a dropped replica costs a full re-upload), then a
+/// deterministic key tiebreak so concurrent runs pick identical victims.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct VictimRank {
+    last_use: u64,
+    kind: u8,
+    label: u8,
+    index: u64,
+}
+
+/// One device's mutable store: patch database, level database, and the
+/// host-side spill map for evicted patch variables. A single mutex guards
+/// all three so eviction — which scans both databases and moves bytes into
+/// the spill map — is atomic with respect to every lookup and insert.
+#[derive(Default)]
+struct StoreState {
+    patch_db: HashMap<PatchKey, PatchEntry>,
+    level_db: HashMap<LevelKey, LevelEntry>,
+    /// Evicted patch variables, host-resident until re-upload or drop.
+    spill: HashMap<PatchKey, DeviceData>,
+    /// LRU clock: bumped on every access; entries stamp their `last_use`
+    /// from it.
+    clock: u64,
+}
+
+impl StoreState {
+    #[inline]
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+}
+
+/// One device's variable stores. The owning [`GpuDevice`] lives in the
+/// fleet at the same index.
 #[derive(Default)]
 struct DeviceStore {
-    patch_db: RwLock<HashMap<PatchKey, Arc<DeviceVar>>>,
-    level_db: RwLock<HashMap<LevelKey, LevelEntry>>,
+    state: StateMutex<StoreState>,
 }
 
 /// Fleet-aware variable store: per-device patch databases + per-device
-/// level databases, with patch→device affinity routing.
+/// level databases, with patch→device affinity routing and LRU
+/// eviction/host-spill under memory pressure.
 ///
 /// ```
 /// use uintah_gpu::{GpuDataWarehouse, GpuDevice};
@@ -192,6 +255,11 @@ pub struct GpuDataWarehouse {
     /// completes inline — same handle API, same bytes, zero overlap — so the
     /// synchronous baseline runs the identical task-body code.
     async_d2h: bool,
+    /// When true (the default), a failed device allocation evicts LRU
+    /// entries (spilling patch data to host) and retries instead of
+    /// surfacing OOM — the oversubscription path. When false the warehouse
+    /// fails exactly at capacity, the pre-allocator behaviour.
+    eviction: bool,
     /// Timestep epoch: bumped by [`Self::begin_timestep`]. Level-DB entries
     /// stamped with an older epoch are *stale* — still device-resident, but
     /// requiring revalidation (diff + incremental re-upload) before reuse
@@ -216,8 +284,21 @@ impl GpuDataWarehouse {
         Self::with_fleet(DeviceFleet::single(device), level_db_enabled, async_d2h)
     }
 
-    /// Fleet construction: one patch DB + one level DB per device.
+    /// Fleet construction: one patch DB + one level DB per device, LRU
+    /// eviction enabled.
     pub fn with_fleet(fleet: DeviceFleet, level_db_enabled: bool, async_d2h: bool) -> Self {
+        Self::with_fleet_opts(fleet, level_db_enabled, async_d2h, true)
+    }
+
+    /// Fleet construction with explicit eviction control: `eviction: false`
+    /// restores hard-OOM-at-capacity (the ablation baseline for the
+    /// oversubscription gate).
+    pub fn with_fleet_opts(
+        fleet: DeviceFleet,
+        level_db_enabled: bool,
+        async_d2h: bool,
+        eviction: bool,
+    ) -> Self {
         let stores = (0..fleet.num_devices()).map(|_| DeviceStore::default()).collect();
         Self {
             fleet,
@@ -225,6 +306,7 @@ impl GpuDataWarehouse {
             affinity: RwLock::new(HashMap::new()),
             level_db_enabled,
             async_d2h,
+            eviction,
             epoch: AtomicU64::new(0),
         }
     }
@@ -278,6 +360,12 @@ impl GpuDataWarehouse {
         self.async_d2h
     }
 
+    /// Whether memory pressure evicts LRU entries instead of failing.
+    #[inline]
+    pub fn eviction_enabled(&self) -> bool {
+        self.eviction
+    }
+
     /// The home device for a patch: the cost-balanced override if one is
     /// installed, else the deterministic sticky hash. Every patch op on
     /// this warehouse routes through here, so kernel-side puts and the
@@ -310,16 +398,130 @@ impl GpuDataWarehouse {
         self.affinity.read().len()
     }
 
-    fn upload_on(&self, dev: DeviceId, data: DeviceData) -> Result<Arc<DeviceVar>, GpuError> {
+    /// Evict the best victim from `st`'s databases: the least-recently-used
+    /// entry with no handle outside the database (a task still holding the
+    /// `Arc` pins the bytes — evicting under a running kernel would be a
+    /// stale serve). Patch victims spill their bytes to the host map over
+    /// the D2H engine; level victims are dropped outright (regenerable from
+    /// host data at the next `ensure_level*`). Returns false when nothing
+    /// is evictable.
+    fn evict_one(device: &GpuDevice, st: &mut StoreState) -> bool {
+        let patch_victim = st
+            .patch_db
+            .iter()
+            .filter(|(_, e)| Arc::strong_count(&e.var) == 1 && e.var.size_bytes() > 0)
+            .map(|(k, e)| {
+                (
+                    VictimRank {
+                        last_use: e.last_use,
+                        kind: 0,
+                        label: k.0.id(),
+                        index: k.1 .0 as u64,
+                    },
+                    *k,
+                )
+            })
+            .min_by(|a, b| a.0.cmp(&b.0));
+        let level_victim = st
+            .level_db
+            .iter()
+            .filter(|(_, e)| Arc::strong_count(&e.var) == 1 && e.var.size_bytes() > 0)
+            .map(|(k, e)| {
+                (
+                    VictimRank {
+                        last_use: e.last_use,
+                        kind: 1,
+                        label: k.0.id(),
+                        index: k.1 as u64,
+                    },
+                    *k,
+                )
+            })
+            .min_by(|a, b| a.0.cmp(&b.0));
+        match (patch_victim, level_victim) {
+            (Some((pr, pk)), Some((lr, _))) if pr <= lr => Self::evict_patch(device, st, pk),
+            (Some((_, pk)), None) => Self::evict_patch(device, st, pk),
+            (_, Some((_, lk))) => {
+                let e = st.level_db.remove(&lk).expect("victim chosen under lock");
+                device.record_eviction(e.var.size_bytes());
+                true
+            }
+            (None, None) => false,
+        }
+    }
+
+    fn evict_patch(device: &GpuDevice, st: &mut StoreState, key: PatchKey) -> bool {
+        let e = st.patch_db.remove(&key).expect("victim chosen under lock");
+        let bytes = e.var.size_bytes();
+        // Spill: the bytes cross PCIe device→host on the D2H engine (the
+        // clone below is the drain memcpy), then the device copy drops.
+        device.record_d2h(bytes);
+        let t0 = Instant::now();
+        let data = e.var.data().clone();
+        device.record_d2h_busy(t0.elapsed());
+        device.record_spill(bytes);
+        device.record_eviction(bytes);
+        st.spill.insert(key, data);
+        true
+    }
+
+    /// Carve `bytes` from `dev`'s sub-allocator, evicting LRU entries and
+    /// retrying on failure (when eviction is enabled). Each eviction frees
+    /// a nonzero extent, so the loop terminates: either the allocation
+    /// succeeds or nothing evictable remains. Before surfacing that error,
+    /// one escalation: drain the D2H engine and retry — posted drains pin
+    /// their source blocks until the copy lands, and under oversubscription
+    /// those transients are routinely the mid-arena blocks whose release
+    /// re-coalesces a hole big enough for the request (the simulated
+    /// equivalent of the sync-then-retry dance real CUDA apps do on OOM).
+    fn alloc_with_evict(
+        &self,
+        dev: DeviceId,
+        st: &mut StoreState,
+        bytes: usize,
+    ) -> Result<DeviceBlock, GpuError> {
         let device = self.fleet.device(dev);
+        let mut drained = false;
+        loop {
+            match device.alloc_block(bytes) {
+                Ok(b) => return Ok(b),
+                Err(e) => {
+                    if !self.eviction {
+                        return Err(e);
+                    }
+                    if Self::evict_one(device, st) {
+                        continue;
+                    }
+                    if drained || device.counters().d2h_inflight == 0 {
+                        return Err(e);
+                    }
+                    // Safe under the store lock: drain jobs touch only the
+                    // allocator mutex and their own pending slots, never
+                    // this store's state.
+                    device.sync_d2h();
+                    drained = true;
+                }
+            }
+        }
+    }
+
+    /// Upload `data` to `dev` under an already-held store lock: reserve (with
+    /// eviction), meter the H2D transfer, wrap in a shared handle.
+    fn upload_locked(
+        &self,
+        dev: DeviceId,
+        st: &mut StoreState,
+        data: DeviceData,
+    ) -> Result<Arc<DeviceVar>, GpuError> {
         let bytes = data.size_bytes();
-        device.try_reserve(bytes)?;
-        device.record_h2d(bytes);
-        Ok(Arc::new(DeviceVar {
-            data,
-            bytes,
-            device: device.clone(),
-        }))
+        let block = self.alloc_with_evict(dev, st, bytes)?;
+        self.fleet.device(dev).record_h2d(bytes);
+        Ok(Arc::new(DeviceVar { data, block }))
+    }
+
+    fn upload_on(&self, dev: DeviceId, data: DeviceData) -> Result<Arc<DeviceVar>, GpuError> {
+        let mut st = self.stores[dev].state.lock();
+        self.upload_locked(dev, &mut st, data)
     }
 
     /// Materialize host data through `producer`, charging the wall time to
@@ -341,15 +543,19 @@ impl GpuDataWarehouse {
         data: DeviceData,
     ) -> Result<Arc<DeviceVar>, GpuError> {
         let dev = self.device_for_patch(patch);
-        let device = self.fleet.device(dev);
+        let mut st = self.stores[dev].state.lock();
+        st.spill.remove(&(label, patch));
         let bytes = data.size_bytes();
-        device.try_reserve(bytes)?;
-        let var = Arc::new(DeviceVar {
-            data,
-            bytes,
-            device: device.clone(),
-        });
-        self.stores[dev].patch_db.write().insert((label, patch), Arc::clone(&var));
+        let block = self.alloc_with_evict(dev, &mut st, bytes)?;
+        let var = Arc::new(DeviceVar { data, block });
+        let clock = st.tick();
+        st.patch_db.insert(
+            (label, patch),
+            PatchEntry {
+                var: Arc::clone(&var),
+                last_use: clock,
+            },
+        );
         Ok(var)
     }
 
@@ -362,30 +568,77 @@ impl GpuDataWarehouse {
         data: DeviceData,
     ) -> Result<Arc<DeviceVar>, GpuError> {
         let dev = self.device_for_patch(patch);
-        let var = self.upload_on(dev, data)?;
-        self.stores[dev].patch_db.write().insert((label, patch), Arc::clone(&var));
+        let mut st = self.stores[dev].state.lock();
+        // Fresh data supersedes any spilled copy of this variable.
+        st.spill.remove(&(label, patch));
+        let var = self.upload_locked(dev, &mut st, data)?;
+        let clock = st.tick();
+        st.patch_db.insert(
+            (label, patch),
+            PatchEntry {
+                var: Arc::clone(&var),
+                last_use: clock,
+            },
+        );
         Ok(var)
     }
 
-    /// Device-side handle for a per-patch variable.
+    /// Device-side handle for a per-patch variable. A variable evicted to
+    /// the host spill map is transparently re-uploaded (metered as an H2D
+    /// transfer and counted as a re-upload); `None` means the variable is
+    /// neither resident nor spilled — or re-upload failed because even
+    /// after eviction nothing fits, in which case the spilled copy is kept.
     pub fn get_patch(&self, label: VarLabel, patch: PatchId) -> Option<Arc<DeviceVar>> {
         let dev = self.device_for_patch(patch);
-        self.stores[dev].patch_db.read().get(&(label, patch)).cloned()
+        let device = self.fleet.device(dev);
+        let mut st = self.stores[dev].state.lock();
+        let clock = st.tick();
+        if let Some(e) = st.patch_db.get_mut(&(label, patch)) {
+            e.last_use = clock;
+            return Some(Arc::clone(&e.var));
+        }
+        // Transparent re-upload from the host spill map.
+        let data = st.spill.remove(&(label, patch))?;
+        let bytes = data.size_bytes();
+        let block = match self.alloc_with_evict(dev, &mut st, bytes) {
+            Ok(b) => b,
+            Err(_) => {
+                st.spill.insert((label, patch), data);
+                return None;
+            }
+        };
+        device.record_h2d(bytes);
+        device.record_reupload(bytes);
+        let var = Arc::new(DeviceVar { data, block });
+        st.patch_db.insert(
+            (label, patch),
+            PatchEntry {
+                var: Arc::clone(&var),
+                last_use: clock,
+            },
+        );
+        Some(var)
     }
 
     /// Copy a per-patch variable device→host and drop it from the device
     /// (the task-output path: e.g. `divQ` after the RMCRT kernel). Blocks
     /// the calling thread for the whole drain; prefer
-    /// [`Self::take_patch_to_host_async`] from task bodies.
+    /// [`Self::take_patch_to_host_async`] from task bodies. A variable that
+    /// was evicted is served from the spill map with no further transfer —
+    /// its bytes already crossed PCIe at eviction time.
     pub fn take_patch_to_host(&self, label: VarLabel, patch: PatchId) -> Option<DeviceData> {
         let dev = self.device_for_patch(patch);
         let device = self.fleet.device(dev);
-        let var = self.stores[dev].patch_db.write().remove(&(label, patch))?;
-        device.record_d2h(var.size_bytes());
-        let t0 = Instant::now();
-        let data = var.data().clone();
-        device.record_d2h_busy(t0.elapsed());
-        Some(data)
+        let mut st = self.stores[dev].state.lock();
+        if let Some(e) = st.patch_db.remove(&(label, patch)) {
+            drop(st);
+            device.record_d2h(e.var.size_bytes());
+            let t0 = Instant::now();
+            let data = e.var.data().clone();
+            device.record_d2h_busy(t0.elapsed());
+            return Some(data);
+        }
+        st.spill.remove(&(label, patch))
     }
 
     /// Post the device→host copy of a per-patch variable to its home
@@ -399,26 +652,40 @@ impl GpuDataWarehouse {
     /// already hidden.
     ///
     /// In synchronous-fallback mode (`async_d2h == false`) the drain
-    /// completes inline before returning: identical data, identical
-    /// counters, `blocked == drain` so the reported overlap is zero.
+    /// completes inline before returning — identical data, identical
+    /// transfer/stream/in-flight bookkeeping (via the device's inline-D2H
+    /// pair), `blocked == drain` so the reported overlap is zero. A variable
+    /// already evicted to the spill map returns an already-complete handle
+    /// with no new transfer in either mode.
     pub fn take_patch_to_host_async(&self, label: VarLabel, patch: PatchId) -> Option<PendingD2H> {
         let dev = self.device_for_patch(patch);
         let device = self.fleet.device(dev);
-        let var = self.stores[dev].patch_db.write().remove(&(label, patch))?;
+        let mut st = self.stores[dev].state.lock();
+        let Some(e) = st.patch_db.remove(&(label, patch)) else {
+            let data = st.spill.remove(&(label, patch))?;
+            drop(st);
+            return Some(PendingD2H::complete(data, device.next_stream()));
+        };
+        drop(st);
+        let var = e.var;
         let bytes = var.size_bytes();
         let shared = Arc::new(PendingShared::default());
         if !self.async_d2h {
-            device.record_d2h(bytes);
+            // Inline fallback: same engine bookkeeping as the posted path —
+            // the transfer is metered, counted in flight, and stream-tagged
+            // for the duration of the drain, so sync_d2h/inflight accounting
+            // is mode-independent.
+            let stream = device.begin_inline_d2h(bytes);
             let t0 = Instant::now();
             let data = var.data().clone();
             let drain = t0.elapsed();
-            device.record_d2h_busy(drain);
             drop(var);
+            device.end_inline_d2h(stream, drain);
             *shared.slot.lock().unwrap() = Some((data, drain));
             return Some(PendingD2H {
                 shared,
                 bytes,
-                stream: device.next_stream(),
+                stream,
                 inline: true,
             });
         }
@@ -442,10 +709,13 @@ impl GpuDataWarehouse {
     }
 
     /// Drop a per-patch input without a device→host transfer (inputs are
-    /// discarded after the kernel; only outputs cross PCIe back).
+    /// discarded after the kernel; only outputs cross PCIe back). Clears
+    /// any spilled copy too.
     pub fn drop_patch(&self, label: VarLabel, patch: PatchId) {
         let dev = self.device_for_patch(patch);
-        self.stores[dev].patch_db.write().remove(&(label, patch));
+        let mut st = self.stores[dev].state.lock();
+        st.patch_db.remove(&(label, patch));
+        st.spill.remove(&(label, patch));
     }
 
     /// Obtain the shared per-level variable on device 0, uploading it at
@@ -476,23 +746,23 @@ impl GpuDataWarehouse {
         if !self.level_db_enabled {
             return self.upload_on(dev, self.produce_timed_on(dev, producer));
         }
-        let store = &self.stores[dev];
-        if let Some(e) = store.level_db.read().get(&(label, level)) {
+        // One mutex guards the whole store, so holding it across the
+        // check-and-upload is what prevents duplicate uploads under
+        // contention (uploads are rare: once per level variable per step).
+        let mut st = self.stores[dev].state.lock();
+        let clock = st.tick();
+        if let Some(e) = st.level_db.get_mut(&(label, level)) {
+            e.last_use = clock;
             return Ok(Arc::clone(&e.var));
         }
-        // Upload outside the write lock would allow duplicate uploads under
-        // contention; take the write lock across the check-and-upload
-        // (uploads are rare: once per level variable per timestep).
-        let mut db = store.level_db.write();
-        if let Some(e) = db.get(&(label, level)) {
-            return Ok(Arc::clone(&e.var));
-        }
-        let var = self.upload_on(dev, self.produce_timed_on(dev, producer))?;
-        db.insert(
+        let host = self.produce_timed_on(dev, producer);
+        let var = self.upload_locked(dev, &mut st, host)?;
+        st.level_db.insert(
             (label, level),
             LevelEntry {
                 var: Arc::clone(&var),
                 epoch: self.epoch(),
+                last_use: clock,
             },
         );
         Ok(var)
@@ -520,7 +790,8 @@ impl GpuDataWarehouse {
     ///   data is re-uploaded metering only the changed bytes (the
     ///   incremental-update model of §III-C: the coarse radiative properties
     ///   barely move between radiation solves).
-    /// * No entry → full upload, as in [`Self::ensure_level_on`].
+    /// * No entry (including one evicted under memory pressure) → full
+    ///   upload, as in [`Self::ensure_level_on`].
     ///
     /// Each device revalidates independently: a replica fresh on device 0
     /// says nothing about device 1's copy. With the level DB disabled (E4
@@ -537,60 +808,75 @@ impl GpuDataWarehouse {
             return self.upload_on(dev, self.produce_timed_on(dev, producer));
         }
         let device = self.fleet.device(dev);
-        let store = &self.stores[dev];
         let now = self.epoch();
-        if let Some(e) = store.level_db.read().get(&(label, level)) {
-            if e.epoch == now {
-                return Ok(Arc::clone(&e.var));
+        let key = (label, level);
+        let mut st = self.stores[dev].state.lock();
+        let clock = st.tick();
+        let existing = st.level_db.get(&key).map(|e| (Arc::clone(&e.var), e.epoch));
+        match existing {
+            Some((var, epoch)) if epoch == now => {
+                drop(var);
+                let e = st.level_db.get_mut(&key).expect("entry present: lock held");
+                e.last_use = clock;
+                Ok(Arc::clone(&e.var))
             }
-        }
-        let mut db = store.level_db.write();
-        match db.get_mut(&(label, level)) {
-            Some(e) if e.epoch == now => Ok(Arc::clone(&e.var)),
-            Some(e) => {
+            Some((var, _)) => {
                 // Stale resident replica: revalidate against host data.
                 let host = self.produce_timed_on(dev, producer);
-                let changed = e.var.data().diff_bytes(&host);
+                let changed = var.data().diff_bytes(&host);
+                let same_size = host.size_bytes() == var.size_bytes();
+                // Drop the probe handle so the DB entry can observe a
+                // unique Arc (the in-place condition) under the held lock.
+                drop(var);
                 if changed == 0 {
+                    let e = st.level_db.get_mut(&key).expect("entry present: lock held");
                     e.epoch = now;
+                    e.last_use = clock;
                     return Ok(Arc::clone(&e.var));
                 }
-                let same_size = host.size_bytes() == e.var.size_bytes();
-                match Arc::get_mut(&mut e.var) {
-                    Some(var) if same_size => {
+                if same_size {
+                    let e = st.level_db.get_mut(&key).expect("entry present: lock held");
+                    if let Some(v) = Arc::get_mut(&mut e.var) {
                         // Overwrite in place: this DB holds the only handle,
                         // so the update happens device-side and only the
                         // changed bytes cross PCIe.
                         device.record_h2d(changed);
-                        var.data = host;
-                    }
-                    _ => {
-                        // Replace: concurrent holders keep the old bytes
-                        // alive until they drop, so the *whole* new buffer
-                        // crosses PCIe into a fresh allocation. Reserve
-                        // first — an OOM here must leave the counters and
-                        // the stale epoch untouched — then meter the full
-                        // replacement buffer, not just the diff.
-                        let bytes = host.size_bytes();
-                        device.try_reserve(bytes)?;
-                        device.record_h2d(bytes);
-                        e.var = Arc::new(DeviceVar {
-                            data: host,
-                            bytes,
-                            device: device.clone(),
-                        });
+                        v.data = host;
+                        e.epoch = now;
+                        e.last_use = clock;
+                        return Ok(Arc::clone(&e.var));
                     }
                 }
-                e.epoch = now;
-                Ok(Arc::clone(&e.var))
-            }
-            None => {
-                let var = self.upload_on(dev, self.produce_timed_on(dev, producer))?;
-                db.insert(
-                    (label, level),
+                // Replace: concurrent holders keep the old bytes alive
+                // until they drop, so the *whole* new buffer crosses PCIe
+                // into a fresh allocation. Reserve first — an OOM here must
+                // leave the counters and the stale epoch untouched — then
+                // meter the full replacement buffer, not just the diff.
+                // (Eviction may reclaim the unreferenced old entry itself,
+                // which is fine: it is superseded by the insert below.)
+                let bytes = host.size_bytes();
+                let block = self.alloc_with_evict(dev, &mut st, bytes)?;
+                device.record_h2d(bytes);
+                let var = Arc::new(DeviceVar { data: host, block });
+                st.level_db.insert(
+                    key,
                     LevelEntry {
                         var: Arc::clone(&var),
                         epoch: now,
+                        last_use: clock,
+                    },
+                );
+                Ok(var)
+            }
+            None => {
+                let host = self.produce_timed_on(dev, producer);
+                let var = self.upload_locked(dev, &mut st, host)?;
+                st.level_db.insert(
+                    key,
+                    LevelEntry {
+                        var: Arc::clone(&var),
+                        epoch: now,
+                        last_use: clock,
                     },
                 );
                 Ok(var)
@@ -611,7 +897,12 @@ impl GpuDataWarehouse {
         label: VarLabel,
         level: LevelIndex,
     ) -> Option<Arc<DeviceVar>> {
-        self.stores[dev].level_db.read().get(&(label, level)).map(|e| Arc::clone(&e.var))
+        self.stores[dev]
+            .state
+            .lock()
+            .level_db
+            .get(&(label, level))
+            .map(|e| Arc::clone(&e.var))
     }
 
     /// The epoch a device-0 level entry was last validated at, if resident.
@@ -626,21 +917,24 @@ impl GpuDataWarehouse {
         label: VarLabel,
         level: LevelIndex,
     ) -> Option<u64> {
-        self.stores[dev].level_db.read().get(&(label, level)).map(|e| e.epoch)
+        self.stores[dev].state.lock().level_db.get(&(label, level)).map(|e| e.epoch)
     }
 
     /// Drop every per-level entry on every device (end of radiation
     /// timestep).
     pub fn clear_level_db(&self) {
         for s in &self.stores {
-            s.level_db.write().clear();
+            s.state.lock().level_db.clear();
         }
     }
 
-    /// Drop every per-patch entry on every device.
+    /// Drop every per-patch entry on every device, including host-spilled
+    /// copies.
     pub fn clear_patch_db(&self) {
         for s in &self.stores {
-            s.patch_db.write().clear();
+            let mut st = s.state.lock();
+            st.patch_db.clear();
+            st.spill.clear();
         }
     }
 
@@ -653,7 +947,8 @@ impl GpuDataWarehouse {
 
     /// Evict the named devices for a regrid: wait for each device's D2H
     /// copy-engine timeline to drain (releasing in-flight device memory),
-    /// then drop its per-patch and per-level entries so
+    /// then drop its per-patch and per-level entries — and any host-spilled
+    /// copies, which describe pre-regrid patches — so
     /// `ensure_level_fresh_on` repopulates from the post-regrid host data
     /// instead of trusting a poisoned cache. Devices *not* named keep their
     /// resident replicas — a regrid that only migrates patches homed on
@@ -666,17 +961,12 @@ impl GpuDataWarehouse {
         let mut levels = 0;
         for &dev in devices {
             self.fleet.device(dev).sync_d2h();
-            let store = &self.stores[dev];
-            {
-                let mut db = store.patch_db.write();
-                patches += db.len();
-                db.clear();
-            }
-            {
-                let mut db = store.level_db.write();
-                levels += db.len();
-                db.clear();
-            }
+            let mut st = self.stores[dev].state.lock();
+            patches += st.patch_db.len();
+            st.patch_db.clear();
+            st.spill.clear();
+            levels += st.level_db.len();
+            st.level_db.clear();
         }
         (patches, levels)
     }
@@ -693,22 +983,57 @@ impl GpuDataWarehouse {
 
     /// Number of live per-level entries across all devices.
     pub fn level_entries(&self) -> usize {
-        self.stores.iter().map(|s| s.level_db.read().len()).sum()
+        self.stores.iter().map(|s| s.state.lock().level_db.len()).sum()
     }
 
     /// Number of live per-level entries on one device.
     pub fn level_entries_on(&self, dev: DeviceId) -> usize {
-        self.stores[dev].level_db.read().len()
+        self.stores[dev].state.lock().level_db.len()
     }
 
     /// Number of live per-patch entries across all devices.
     pub fn patch_entries(&self) -> usize {
-        self.stores.iter().map(|s| s.patch_db.read().len()).sum()
+        self.stores.iter().map(|s| s.state.lock().patch_db.len()).sum()
     }
 
     /// Number of live per-patch entries on one device.
     pub fn patch_entries_on(&self, dev: DeviceId) -> usize {
-        self.stores[dev].patch_db.read().len()
+        self.stores[dev].state.lock().patch_db.len()
+    }
+
+    /// Bytes registered in one device's databases (patch + level). Excludes
+    /// variables alive only through external handles (in-flight drains,
+    /// disabled-level-DB uploads), which the device meter still counts —
+    /// the two reconcile exactly at quiescent points.
+    pub fn resident_bytes_on(&self, dev: DeviceId) -> usize {
+        let st = self.stores[dev].state.lock();
+        st.patch_db.values().map(|e| e.var.size_bytes()).sum::<usize>()
+            + st.level_db.values().map(|e| e.var.size_bytes()).sum::<usize>()
+    }
+
+    /// Bytes registered in every device's databases.
+    pub fn resident_bytes(&self) -> usize {
+        (0..self.num_devices()).map(|d| self.resident_bytes_on(d)).sum()
+    }
+
+    /// Number of host-spilled patch variables on one device.
+    pub fn spill_entries_on(&self, dev: DeviceId) -> usize {
+        self.stores[dev].state.lock().spill.len()
+    }
+
+    /// Number of host-spilled patch variables across all devices.
+    pub fn spill_entries(&self) -> usize {
+        (0..self.num_devices()).map(|d| self.spill_entries_on(d)).sum()
+    }
+
+    /// Host bytes held in one device's spill map.
+    pub fn spill_bytes_on(&self, dev: DeviceId) -> usize {
+        self.stores[dev].state.lock().spill.values().map(|d| d.size_bytes()).sum()
+    }
+
+    /// Host bytes held in every device's spill map.
+    pub fn spill_bytes(&self) -> usize {
+        (0..self.num_devices()).map(|d| self.spill_bytes_on(d)).sum()
     }
 }
 
@@ -784,7 +1109,8 @@ mod tests {
     #[test]
     fn capacity_exhaustion_is_a_clean_error() {
         // A device too small for the coarse field: the failure mode the
-        // level DB avoids at scale.
+        // level DB avoids at scale. With an empty warehouse there is
+        // nothing to evict, so eviction changes nothing here.
         let device = GpuDevice::with_capacity("tiny", 1024);
         let dw = GpuDataWarehouse::new(device);
         let err = dw.ensure_level(ABSKG, 0, || field(8, 0.0)).unwrap_err();
@@ -894,7 +1220,9 @@ mod tests {
         // *before* try_reserve, so an OOM inflated the H2D counters for a
         // transfer that never happened and left the entry stamped stale
         // after metering. Counters must be bit-identical before/after a
-        // failed revalidate (alloc_failures aside).
+        // failed revalidate (alloc_failures aside). The live handle also
+        // pins the entry against eviction, so the LRU policy cannot save
+        // the allocation.
         let field_bytes = 8usize.pow(3) * 8;
         let device = GpuDevice::with_capacity("tiny", field_bytes + 512);
         let dw = GpuDataWarehouse::new(device.clone());
@@ -909,6 +1237,7 @@ mod tests {
         assert_eq!(after.h2d_transfers, before.h2d_transfers);
         assert_eq!(after.used, before.used);
         assert_eq!(after.alloc_failures, before.alloc_failures + 1);
+        assert_eq!(after.evictions, 0, "nothing evictable: the handle is live");
         assert_eq!(
             dw.level_entry_epoch(ABSKG, 0),
             Some(0),
@@ -997,6 +1326,31 @@ mod tests {
     }
 
     #[test]
+    fn inline_take_matches_async_counters_exactly() {
+        // Regression: the inline fallback used to consume next_stream()
+        // without registering the transfer in d2h_streams, so stream/
+        // in-flight bookkeeping depended on the async mode. Every counter
+        // except engine occupancy (busy_ns is wall-time measured) must now
+        // be identical across modes for the same operation sequence.
+        let run = |async_d2h: bool| {
+            let device = GpuDevice::with_capacity("mode-test", 1 << 20);
+            let dw = GpuDataWarehouse::with_options(device.clone(), true, async_d2h);
+            for p in 0..4u32 {
+                dw.put_patch(DIVQ, PatchId(p), field(8, p as f64)).unwrap();
+                let pending = dw.take_patch_to_host_async(DIVQ, PatchId(p)).unwrap();
+                let got = pending.wait();
+                assert_eq!(got.as_f64()[uintah_grid::IntVector::ZERO], p as f64);
+            }
+            dw.sync_d2h_all();
+            let mut c = device.counters();
+            c.h2d_busy_ns = 0;
+            c.d2h_busy_ns = 0;
+            c
+        };
+        assert_eq!(run(true), run(false), "counters must be mode-independent");
+    }
+
+    #[test]
     fn disabled_level_db_pays_full_upload_every_step() {
         let dw = GpuDataWarehouse::with_level_db(GpuDevice::k20x(), false);
         let a = dw.ensure_level_fresh(ABSKG, 0, || field(16, 0.9)).unwrap();
@@ -1005,6 +1359,153 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(dw.device().counters().h2d_transfers, 2, "no persistence without the DB");
         assert_eq!(dw.device().counters().h2d_bytes, 2 * 16u64.pow(3) * 8);
+    }
+
+    // ---- eviction / spill / re-upload ----------------------------------
+
+    #[test]
+    fn lru_eviction_spills_cold_patch_and_reuploads_on_access() {
+        let patch_bytes = 8usize.pow(3) * 8; // 4096
+        // Room for two patches, not three.
+        let device = GpuDevice::with_capacity("small", 2 * patch_bytes + 100);
+        let dw = GpuDataWarehouse::new(device.clone());
+        dw.put_patch(DIVQ, PatchId(0), field(8, 10.0)).map(drop).unwrap();
+        dw.put_patch(DIVQ, PatchId(1), field(8, 11.0)).map(drop).unwrap();
+        // Touch patch 0 so patch 1 is the LRU victim.
+        dw.get_patch(DIVQ, PatchId(0)).map(drop).unwrap();
+        // Third put forces one eviction.
+        dw.put_patch(DIVQ, PatchId(2), field(8, 12.0)).map(drop).unwrap();
+        let c = device.counters();
+        assert_eq!(c.evictions, 1);
+        assert_eq!(c.evicted_bytes, patch_bytes as u64);
+        assert_eq!(c.spills, 1);
+        assert_eq!(c.spilled_bytes, patch_bytes as u64);
+        assert_eq!(dw.spill_entries(), 1);
+        assert_eq!(dw.spill_bytes(), patch_bytes);
+        assert!(dw.get_patch(DIVQ, PatchId(0)).is_some(), "recently-used survives");
+        assert_eq!(dw.patch_entries(), 2);
+        // Accessing the victim re-uploads it transparently — same bytes.
+        let v = dw.get_patch(DIVQ, PatchId(1)).expect("spilled patch comes back");
+        assert_eq!(v.data().as_f64()[uintah_grid::IntVector::ZERO], 11.0);
+        let c = device.counters();
+        assert_eq!(c.reuploads, 1);
+        assert_eq!(c.reuploads_bytes, patch_bytes as u64);
+        assert_eq!(c.evictions, 2, "the re-upload itself evicted another entry");
+        assert_eq!(dw.spill_entries(), 1, "patch 0 or 2 spilled to make room");
+        assert_eq!(device.counters().release_underflows, 0);
+        device.validate_allocator().unwrap();
+    }
+
+    #[test]
+    fn level_replicas_evict_without_spill() {
+        let field_bytes = 8usize.pow(3) * 8;
+        let device = GpuDevice::with_capacity("small", field_bytes + 100);
+        let dw = GpuDataWarehouse::new(device.clone());
+        dw.ensure_level_fresh(ABSKG, 0, || field(8, 0.5)).map(drop).unwrap();
+        // A patch put that doesn't fit evicts the replica — dropped, not
+        // spilled: level data is regenerable from the host warehouse.
+        dw.put_patch(DIVQ, PatchId(0), field(8, 1.0)).map(drop).unwrap();
+        let c = device.counters();
+        assert_eq!(c.evictions, 1);
+        assert_eq!(c.spills, 0, "level replicas never spill");
+        assert_eq!(dw.level_entries(), 0);
+        assert_eq!(dw.spill_entries(), 0);
+        // The next ensure pays a fresh full upload (which evicts the patch
+        // in turn — spilling it, since patches round-trip).
+        let before = device.counters().h2d_transfers;
+        dw.ensure_level_fresh(ABSKG, 0, || field(8, 0.5)).map(drop).unwrap();
+        assert_eq!(device.counters().h2d_transfers, before + 1);
+        assert_eq!(device.counters().spills, 1);
+        assert_eq!(dw.spill_entries(), 1);
+        device.validate_allocator().unwrap();
+    }
+
+    #[test]
+    fn live_handles_are_never_evicted() {
+        let patch_bytes = 8usize.pow(3) * 8;
+        let device = GpuDevice::with_capacity("small", patch_bytes + 100);
+        let dw = GpuDataWarehouse::new(device.clone());
+        let held = dw.put_patch(DIVQ, PatchId(0), field(8, 1.0)).unwrap();
+        // The held Arc pins the only resident entry: OOM, not a stale serve.
+        let err = dw.put_patch(DIVQ, PatchId(1), field(8, 2.0)).unwrap_err();
+        assert!(matches!(err, GpuError::OutOfMemory { .. }));
+        assert_eq!(device.counters().evictions, 0);
+        assert_eq!(held.data().as_f64()[uintah_grid::IntVector::ZERO], 1.0);
+        drop(held);
+        // Unpinned, the entry is a legal victim.
+        dw.put_patch(DIVQ, PatchId(1), field(8, 2.0)).map(drop).unwrap();
+        assert_eq!(device.counters().evictions, 1);
+        device.validate_allocator().unwrap();
+    }
+
+    #[test]
+    fn eviction_disabled_fails_hard_at_capacity() {
+        let patch_bytes = 8usize.pow(3) * 8;
+        let fleet = DeviceFleet::with_capacity(1, "small", patch_bytes + 100);
+        let dw = GpuDataWarehouse::with_fleet_opts(fleet, true, true, false);
+        assert!(!dw.eviction_enabled());
+        dw.put_patch(DIVQ, PatchId(0), field(8, 1.0)).map(drop).unwrap();
+        let err = dw.put_patch(DIVQ, PatchId(1), field(8, 2.0)).unwrap_err();
+        assert!(matches!(err, GpuError::OutOfMemory { .. }));
+        assert_eq!(dw.device().counters().evictions, 0);
+        assert_eq!(dw.spill_entries(), 0);
+    }
+
+    #[test]
+    fn spilled_patch_served_by_take_without_new_transfer() {
+        let patch_bytes = 8usize.pow(3) * 8;
+        let device = GpuDevice::with_capacity("small", patch_bytes + 100);
+        let dw = GpuDataWarehouse::new(device.clone());
+        dw.put_patch(DIVQ, PatchId(0), field(8, 5.0)).map(drop).unwrap();
+        dw.put_patch(DIVQ, PatchId(1), field(8, 6.0)).map(drop).unwrap(); // evicts 0
+        let d2h_after_spill = device.counters().d2h_transfers;
+        assert_eq!(device.counters().spills, 1);
+        // Synchronous take: served straight from the spill map.
+        let data = dw.take_patch_to_host(DIVQ, PatchId(0)).expect("spilled data served");
+        assert_eq!(data.as_f64()[uintah_grid::IntVector::ZERO], 5.0);
+        assert_eq!(
+            device.counters().d2h_transfers,
+            d2h_after_spill,
+            "bytes already crossed PCIe at eviction time"
+        );
+        assert_eq!(dw.spill_entries(), 0);
+        // Async take of a spilled variable: an already-complete handle.
+        dw.put_patch(DIVQ, PatchId(2), field(8, 7.0)).map(drop).unwrap(); // evicts 1
+        let pending = dw.take_patch_to_host_async(DIVQ, PatchId(1)).expect("spilled");
+        assert!(pending.is_complete());
+        let (data, drain, blocked) = pending.wait_timed();
+        assert_eq!(data.as_f64()[uintah_grid::IntVector::ZERO], 6.0);
+        assert_eq!(drain, Duration::ZERO);
+        assert_eq!(blocked, Duration::ZERO);
+        device.validate_allocator().unwrap();
+    }
+
+    #[test]
+    fn drop_patch_clears_spilled_copies() {
+        let patch_bytes = 8usize.pow(3) * 8;
+        let device = GpuDevice::with_capacity("small", patch_bytes + 100);
+        let dw = GpuDataWarehouse::new(device.clone());
+        dw.put_patch(DIVQ, PatchId(0), field(8, 1.0)).map(drop).unwrap();
+        dw.put_patch(DIVQ, PatchId(1), field(8, 2.0)).map(drop).unwrap(); // spills 0
+        assert_eq!(dw.spill_entries(), 1);
+        dw.drop_patch(DIVQ, PatchId(0));
+        assert_eq!(dw.spill_entries(), 0);
+        assert!(dw.get_patch(DIVQ, PatchId(0)).is_none(), "dropped, not resurrected");
+    }
+
+    #[test]
+    fn regrid_invalidate_clears_spill_map() {
+        let patch_bytes = 8usize.pow(3) * 8;
+        let device = GpuDevice::with_capacity("small", patch_bytes + 100);
+        let dw = GpuDataWarehouse::new(device.clone());
+        dw.put_patch(DIVQ, PatchId(0), field(8, 1.0)).map(drop).unwrap();
+        dw.put_patch(DIVQ, PatchId(1), field(8, 2.0)).map(drop).unwrap(); // spills 0
+        assert_eq!(dw.spill_entries(), 1);
+        let (patches, _levels) = dw.invalidate_for_regrid();
+        assert_eq!(patches, 1, "one resident entry evicted");
+        assert_eq!(dw.spill_entries(), 0, "pre-regrid spill data is poison");
+        assert_eq!(device.used(), 0);
+        device.validate_allocator().unwrap();
     }
 
     // ---- fleet routing -------------------------------------------------

@@ -29,6 +29,6 @@ pub mod device;
 pub mod dw;
 pub mod fleet;
 
-pub use device::{CopyEngineStats, DeviceCounters, GpuDevice, GpuError, Stream};
+pub use device::{CopyEngineStats, DeviceBlock, DeviceCounters, GpuDevice, GpuError, Stream};
 pub use dw::{DeviceData, DeviceVar, GpuDataWarehouse, PendingD2H};
 pub use fleet::{lpt_assign, sticky_device, DeviceFleet, DeviceId, GpuAffinity};

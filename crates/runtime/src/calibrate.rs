@@ -407,6 +407,7 @@ mod tests {
                     h2d_busy_ns: 2_000,
                     d2h_busy_ns: 900,
                     peak_bytes: 1 << 20,
+                    ..Default::default()
                 },
                 DeviceStepStats {
                     device: 1,
@@ -421,6 +422,7 @@ mod tests {
                     h2d_busy_ns: 1_100,
                     d2h_busy_ns: 450,
                     peak_bytes: 1 << 19,
+                    ..Default::default()
                 },
             ],
             per_patch: vec![

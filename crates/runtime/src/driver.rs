@@ -42,6 +42,12 @@ pub struct WorldConfig {
     /// transfer/kernel pipelining). `false` drains inline inside task
     /// bodies — the synchronous baseline; results are bit-identical.
     pub gpu_async_d2h: bool,
+    /// Evict LRU device-DB entries (spilling patch data to host) when an
+    /// allocation fails, instead of surfacing OOM — the oversubscription
+    /// path. `false` fails hard at capacity (the ablation baseline);
+    /// results are bit-identical either way, only wall time and the
+    /// eviction/spill counters differ.
+    pub gpu_eviction: bool,
     /// Bundle all whole-level windows per (producer instance, destination
     /// rank) into one message (Uintah's rank-pair message packing).
     pub aggregate_level_windows: bool,
@@ -75,6 +81,7 @@ impl Default for WorldConfig {
             gpu_affinity: GpuAffinity::Sticky,
             gpu_level_db: true,
             gpu_async_d2h: true,
+            gpu_eviction: true,
             aggregate_level_windows: false,
             persistent: true,
             regrid_interval: None,
@@ -150,10 +157,11 @@ pub fn run_world(grid: Arc<Grid>, decls: Arc<Vec<TaskDecl>>, cfg: WorldConfig) -
             let comm = world.communicator(rank);
             let dw = Arc::new(DataWarehouse::new(Arc::clone(&grid)));
             let gpu = cfg.gpu_capacity.map(|cap| {
-                Arc::new(GpuDataWarehouse::with_fleet(
+                Arc::new(GpuDataWarehouse::with_fleet_opts(
                     DeviceFleet::with_capacity(cfg.gpus_per_rank.max(1), "K20X-sim", cap),
                     cfg.gpu_level_db,
                     cfg.gpu_async_d2h,
+                    cfg.gpu_eviction,
                 ))
             });
             // Cost-balanced affinity: after each step, re-home patches to

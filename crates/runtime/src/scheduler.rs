@@ -76,6 +76,13 @@ pub struct DeviceStepStats {
     /// The device's memory high-water mark (absolute, not a delta — the
     /// capacity-meter number that must stay under the 6 GB budget).
     pub peak_bytes: u64,
+    /// LRU evictions this step (oversubscription pressure; 0 when the
+    /// problem fits).
+    pub evictions: u64,
+    /// Bytes spilled device→host by evictions this step.
+    pub spilled_bytes: u64,
+    /// Bytes transparently re-uploaded from the host spill map this step.
+    pub reuploaded_bytes: u64,
 }
 
 /// Execution statistics for one `execute` call on one rank.
@@ -114,6 +121,13 @@ pub struct ExecStats {
     /// overlap won by posting drains to the copy engine instead of blocking
     /// the worker inside the task body. Zero on the synchronous path.
     pub gpu_d2h_overlap: Duration,
+    /// LRU evictions across the fleet this step (delta of the device
+    /// counters; nonzero only when the problem oversubscribes a device).
+    pub gpu_evictions: u64,
+    /// Bytes spilled device→host by evictions across the fleet this step.
+    pub gpu_spill_bytes: u64,
+    /// Bytes re-uploaded from host spill maps across the fleet this step.
+    pub gpu_reupload_bytes: u64,
     /// Kernel metering summed over this step's `Device` execution spaces:
     /// launches, cell invocations, logical bytes and wall time inside
     /// device dispatches (all zero without a GPU warehouse). Feeds the
@@ -184,6 +198,15 @@ impl ExecStats {
                 ms(self.migrate_wall),
             );
         }
+        if self.gpu_evictions > 0 || self.gpu_reupload_bytes > 0 {
+            let _ = writeln!(
+                out,
+                "gpu oversub: {} evictions | spilled {} B | reuploaded {} B",
+                self.gpu_evictions,
+                self.gpu_spill_bytes,
+                self.gpu_reupload_bytes,
+            );
+        }
         if !self.per_device.is_empty() {
             // One line per fleet device: its launches, PCIe traffic, and
             // engine occupancy — the aggregate is recoverable by summing.
@@ -201,6 +224,13 @@ impl ExecStats {
                     d.d2h_busy_ns,
                     d.peak_bytes,
                 );
+                if d.evictions > 0 || d.reuploaded_bytes > 0 {
+                    let _ = writeln!(
+                        out,
+                        "gpu[{}]   evictions {} | spilled {} B | reuploaded {} B",
+                        d.device, d.evictions, d.spilled_bytes, d.reuploaded_bytes,
+                    );
+                }
             }
         } else if self.kernel_stats.launches > 0 {
             // Hand-built stats without a per-device breakdown.
@@ -568,6 +598,9 @@ impl Scheduler {
                 h2d_busy_ns: after.h2d_busy_ns.saturating_sub(before.h2d_busy_ns),
                 d2h_busy_ns: after.d2h_busy_ns.saturating_sub(before.d2h_busy_ns),
                 peak_bytes: after.peak,
+                evictions: after.evictions - before.evictions,
+                spilled_bytes: after.spilled_bytes - before.spilled_bytes,
+                reuploaded_bytes: after.reuploads_bytes - before.reuploads_bytes,
             })
             .collect();
 
@@ -587,6 +620,9 @@ impl Scheduler {
             gpu_d2h_bytes: per_device.iter().map(|d| d.d2h_bytes).sum(),
             gpu_d2h_wait: dw.d2h_wait().saturating_sub(d2h_wait_before),
             gpu_d2h_overlap: dw.d2h_overlap().saturating_sub(d2h_overlap_before),
+            gpu_evictions: per_device.iter().map(|d| d.evictions).sum(),
+            gpu_spill_bytes: per_device.iter().map(|d| d.spilled_bytes).sum(),
+            gpu_reupload_bytes: per_device.iter().map(|d| d.reuploaded_bytes).sum(),
             kernel_stats: KernelStats::sum(per_device.iter().map(|d| &d.kernel_stats)),
             per_device,
             regrids: 0,

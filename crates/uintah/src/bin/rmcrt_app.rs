@@ -80,9 +80,10 @@ fn main() {
             nthreads: cfg.threads,
             store: cfg.store,
             timesteps: cfg.timesteps,
-            gpu_capacity: cfg.gpu.then_some(6 << 30),
+            gpu_capacity: cfg.gpu.then_some(cfg.gpu_capacity_mb << 20),
             gpus_per_rank: cfg.gpus_per_rank,
             gpu_affinity: cfg.gpu_affinity,
+            gpu_eviction: cfg.gpu_eviction,
             aggregate_level_windows: cfg.aggregate,
             regrid_interval: (cfg.regrid_interval > 0).then_some(cfg.regrid_interval),
             regrid_policy: cfg.regrid_policy,
@@ -162,6 +163,8 @@ store      = waitfree     # waitfree | mutex | racy
 gpu        = false
 gpus_per_rank = 1         # simulated GPUs per rank (6 = Summit-style)
 gpu_affinity  = sticky    # sticky | cost (LPT from measured per-patch costs)
+gpu_capacity_mb = 6144    # per-device memory budget (6144 = K20X 6 GB)
+gpu_eviction  = lru       # lru (spill-to-host oversubscription) | off (hard OOM)
 aggregate  = false        # bundle level windows per rank pair
 timesteps  = 1
 sampling   = independent  # independent | lhc

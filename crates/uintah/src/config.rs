@@ -49,6 +49,14 @@ pub struct RunConfig {
     pub gpus_per_rank: usize,
     /// Patch→device affinity policy for multi-GPU ranks.
     pub gpu_affinity: GpuAffinity,
+    /// Per-device memory capacity in MiB (default 6144 — the K20X's 6 GB).
+    /// Problems larger than this per device exercise the oversubscription
+    /// path: LRU eviction with spill-to-host.
+    pub gpu_capacity_mb: usize,
+    /// Device-memory eviction policy: `lru` (default) evicts
+    /// least-recently-used DB entries under pressure; `off` fails hard at
+    /// capacity (the pre-sub-allocator behaviour).
+    pub gpu_eviction: bool,
     pub timesteps: usize,
     pub sampling: rmcrt_core::RaySampling,
     /// `true` = adaptive per-cell ray counts ([`rmcrt_core::RayCountMode::Adaptive`]
@@ -94,6 +102,8 @@ impl Default for RunConfig {
             gpu: false,
             gpus_per_rank: 1,
             gpu_affinity: GpuAffinity::Sticky,
+            gpu_capacity_mb: 6144,
+            gpu_eviction: true,
             timesteps: 1,
             sampling: rmcrt_core::RaySampling::Independent,
             adaptive_rays: false,
@@ -159,6 +169,8 @@ impl RunConfig {
                     "gpu" => "gpu",
                     "gpus_per_rank" => "gpus_per_rank",
                     "gpu_affinity" => "gpu_affinity",
+                    "gpu_capacity_mb" => "gpu_capacity_mb",
+                    "gpu_eviction" => "gpu_eviction",
                     "aggregate" => "aggregate",
                     "regrid_interval" => "regrid_interval",
                     "regrid_policy" => "regrid_policy",
@@ -226,6 +238,14 @@ impl RunConfig {
                     }
                 }
                 "gpus_per_rank" => cfg.gpus_per_rank = num(value, key, line_no)?,
+                "gpu_capacity_mb" => cfg.gpu_capacity_mb = num(value, key, line_no)?,
+                "gpu_eviction" => {
+                    cfg.gpu_eviction = match value {
+                        "lru" => true,
+                        "off" => false,
+                        v => return Err(bad(format!("unknown gpu_eviction '{v}'"))),
+                    }
+                }
                 "gpu_affinity" => {
                     cfg.gpu_affinity = match value {
                         "sticky" => GpuAffinity::Sticky,
@@ -302,6 +322,9 @@ impl RunConfig {
         }
         if self.gpus_per_rank == 0 {
             return Err("gpus_per_rank must be >= 1".into());
+        }
+        if self.gpu_capacity_mb == 0 {
+            return Err("gpu_capacity_mb must be >= 1".into());
         }
         if self.nrays == 0 {
             return Err("nrays must be >= 1".into());
@@ -408,6 +431,16 @@ mod tests {
         assert_eq!(cfg.gpus_per_rank, 1, "single K20X per rank by default");
         assert!(RunConfig::parse("gpu_affinity = roundrobin").is_err());
         assert!(RunConfig::parse("gpus_per_rank = 0").is_err());
+        // Oversubscription keys: capacity in MiB and the eviction policy.
+        assert_eq!(cfg.gpu_capacity_mb, 6144, "K20X 6 GB by default");
+        assert!(cfg.gpu_eviction, "LRU eviction on by default");
+        let cfg = RunConfig::parse("gpu_capacity_mb = 512\ngpu_eviction = off").unwrap();
+        assert_eq!(cfg.gpu_capacity_mb, 512);
+        assert!(!cfg.gpu_eviction);
+        let cfg = RunConfig::parse("gpu_eviction = lru").unwrap();
+        assert!(cfg.gpu_eviction);
+        assert!(RunConfig::parse("gpu_eviction = maybe").is_err());
+        assert!(RunConfig::parse("gpu_capacity_mb = 0").is_err());
     }
 
     #[test]

@@ -436,3 +436,80 @@ fn fleet_regrid_race_evicts_only_affected_devices_without_leaks() {
         }
     }
 }
+
+/// LRU eviction racing a regrid: writer threads hammer an oversubscribed
+/// device (12 patches cycling through room for ~6, forcing constant
+/// eviction, host spill, and transparent re-upload) while a regrid thread
+/// repeatedly invalidates the warehouse mid-storm. Invariants under the
+/// race: no stale serves (every successful get returns the patch's one
+/// true value), no leaked device bytes, no meter drift (the allocator's
+/// free list stays coherent and `release_underflows == 0`), and the
+/// eviction/spill counters reconcile exactly — every evicted byte of patch
+/// data was spilled, and every re-upload round-tripped the same bytes.
+#[test]
+fn lru_eviction_racing_regrid_no_stale_serves_no_leaks() {
+    use uintah::gpu::GpuDataWarehouse;
+    let patch_bytes = 8usize.pow(3) * 8;
+    // Room for six patches (plus slack); twelve in play → constant
+    // pressure. Four worker threads pin at most four entries at any
+    // moment, so an eviction victim always exists and puts never OOM.
+    let device = GpuDevice::with_capacity("oversub", 6 * patch_bytes + 256);
+    let dw = Arc::new(GpuDataWarehouse::new(device.clone()));
+    std::thread::scope(|s| {
+        for t in 0..4usize {
+            let dw = Arc::clone(&dw);
+            s.spawn(move || {
+                for i in 0..300usize {
+                    let p = uintah_grid::PatchId(((i * 7 + t * 3) % 12) as u32);
+                    let want = p.0 as f64;
+                    let put = dw
+                        .put_patch(DIVQ, p, FieldData::F64(CcVariable::filled(Region::cube(8), want)))
+                        .expect("a victim always exists");
+                    assert_eq!(put.data().as_f64().as_slice()[0], want);
+                    drop(put);
+                    // A get may miss (another thread's regrid or drop), but
+                    // a hit — resident or re-uploaded from spill — must
+                    // carry the patch's one true value.
+                    if let Some(v) = dw.get_patch(DIVQ, p) {
+                        assert_eq!(v.data().as_f64().as_slice()[0], want, "stale serve");
+                    }
+                    if i % 31 == 0 {
+                        dw.drop_patch(DIVQ, p);
+                    }
+                    // Probe a patch this iteration did NOT put: under
+                    // pressure it is often evicted, so this get exercises
+                    // the transparent re-upload path — and must still see
+                    // the one true value.
+                    let q = uintah_grid::PatchId(((i * 5 + t) % 12) as u32);
+                    if let Some(v) = dw.get_patch(DIVQ, q) {
+                        assert_eq!(v.data().as_f64().as_slice()[0], q.0 as f64, "stale serve");
+                    }
+                }
+            });
+        }
+        let dw = Arc::clone(&dw);
+        s.spawn(move || {
+            for _ in 0..20 {
+                dw.invalidate_for_regrid();
+                std::thread::yield_now();
+            }
+        });
+    });
+    let c = device.counters();
+    assert!(c.evictions > 0, "the storm must actually oversubscribe");
+    assert!(c.reuploads > 0, "spilled patches must come back");
+    // Patch-only workload: eviction and spill reconcile one-to-one.
+    assert_eq!(c.evictions, c.spills);
+    assert_eq!(c.evicted_bytes, c.spilled_bytes);
+    assert_eq!(c.spilled_bytes % patch_bytes as u64, 0);
+    assert_eq!(c.reuploads_bytes % patch_bytes as u64, 0);
+    // No meter drift: zero underflows, allocator invariants intact, and
+    // clearing the databases returns the device to exactly zero.
+    assert_eq!(c.release_underflows, 0);
+    device.validate_allocator().expect("free list coherent after the storm");
+    dw.clear_patch_db();
+    dw.clear_level_db();
+    assert_eq!(device.used(), 0, "no leaked device bytes");
+    assert_eq!(dw.spill_entries(), 0);
+    device.validate_allocator().unwrap();
+}

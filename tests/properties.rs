@@ -182,6 +182,87 @@ proptest! {
         }
     }
 
+    /// Device sub-allocator free-list invariants hold under arbitrary
+    /// alloc/free sequences: blocks never overlap, adjacent free extents
+    /// coalesce, and `used == sum(live blocks)` at every step — including
+    /// after failed allocations (which must not perturb the accounting).
+    #[test]
+    fn suballoc_free_list_invariants(
+        ops in proptest::collection::vec((1u64..9_000, any::<bool>()), 1..80),
+        best_fit in any::<bool>(),
+        small_class in 0u64..8_192,
+    ) {
+        use uintah::mem::{FitPolicy, SubAllocator};
+        let policy = if best_fit { FitPolicy::BestFit } else { FitPolicy::FirstFit };
+        // Small enough that some sequences hit capacity/fragmentation; the
+        // two-ended small-class split (0 disables) must keep every
+        // invariant regardless of which end a block was carved from.
+        let mut sa = SubAllocator::with_small_class(64 * 1024, 1, policy, small_class);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        let mut expect = 0u64;
+        for (size, do_free) in ops {
+            if do_free && !live.is_empty() {
+                let (off, sz) = live.swap_remove(0);
+                prop_assert_eq!(sa.free(off), Ok(sz));
+                expect -= sz;
+            } else {
+                match sa.alloc(size) {
+                    Ok(off) => {
+                        live.push((off, size));
+                        expect += size;
+                    }
+                    Err(_) => {
+                        // A failed alloc leaves the ledger untouched.
+                        prop_assert_eq!(sa.used(), expect);
+                    }
+                }
+            }
+            prop_assert_eq!(sa.used(), expect, "used == sum(live)");
+            prop_assert!(sa.check_invariants().is_ok(),
+                "{}", sa.check_invariants().unwrap_err());
+        }
+        // Tear down in the model's (arbitrary) residual order: everything
+        // coalesces back to one maximal free extent.
+        for (off, _) in live {
+            prop_assert!(sa.free(off).is_ok());
+        }
+        prop_assert_eq!(sa.used(), 0);
+        prop_assert_eq!(sa.free_blocks(), 1);
+        prop_assert_eq!(sa.largest_free(), sa.capacity());
+        prop_assert!(sa.check_invariants().is_ok());
+        prop_assert_eq!(sa.stats().unknown_frees, 0);
+    }
+
+    /// Double-frees and frees of fabricated offsets are rejected and
+    /// counted, never corrupting the accounting.
+    #[test]
+    fn suballoc_rejects_bad_frees(
+        sizes in proptest::collection::vec(1u64..500, 1..12),
+        bogus in any::<u64>(),
+    ) {
+        use uintah::mem::{FitPolicy, SubAllocator};
+        let mut sa = SubAllocator::new(1 << 20, 1, FitPolicy::FirstFit);
+        let offs: Vec<u64> = sizes.iter().map(|&s| sa.alloc(s).unwrap()).collect();
+        let used = sa.used();
+        // A bogus offset is only "valid" if it collides with a live block.
+        if !offs.contains(&bogus) {
+            prop_assert_eq!(sa.free(bogus), Err(()));
+            prop_assert_eq!(sa.stats().unknown_frees, 1);
+            prop_assert_eq!(sa.used(), used);
+        }
+        // Free everything once — fine; free it all again — all rejected.
+        for &o in &offs {
+            prop_assert!(sa.free(o).is_ok());
+        }
+        let unknown_before = sa.stats().unknown_frees;
+        for &o in &offs {
+            prop_assert_eq!(sa.free(o), Err(()));
+        }
+        prop_assert_eq!(sa.stats().unknown_frees, unknown_before + offs.len() as u64);
+        prop_assert_eq!(sa.used(), 0);
+        prop_assert!(sa.check_invariants().is_ok());
+    }
+
     /// The wait-free pool behaves as a multiset under any sequential
     /// program of insert / conditional-remove operations.
     #[test]

@@ -15,6 +15,14 @@ cargo test -q -p uintah --test regrid
 # leaked device bytes) — likewise pinned by name.
 cargo test -q -p uintah --test exec_spaces divq_is_bit_identical_across_fleet_sizes_and_thread_counts
 cargo test -q -p uintah --test concurrency fleet_regrid_race_evicts_only_affected_devices_without_leaks
+# Oversubscription pins: the LRU-eviction-vs-regrid race (no stale
+# serves, counters reconcile bit-exactly, no leaked device bytes), the
+# sub-allocator free-list invariant proptests, and the D2H
+# mode-independence pin (inline fallback and async engine produce equal
+# DeviceCounters) — by name, so they can never be silently filtered out.
+cargo test -q -p uintah --test concurrency lru_eviction_racing_regrid_no_stale_serves_no_leaks
+cargo test -q -p uintah --test properties suballoc
+cargo test -q -p uintah-gpu --lib inline_take_matches_async_counters_exactly
 # The measured-calibration pipeline (snapshot round trip bit-identity,
 # run-to-run structural determinism) — pinned by name.
 cargo test -q -p uintah --test calibration
@@ -39,3 +47,12 @@ cargo run --release -q -p rmcrt-bench --bin scaling_gate
 # intentional engine changes with:
 #   cargo run --release -p rmcrt-bench --bin ray_march_gate -- --update
 cargo run --release -q -p rmcrt-bench --bin ray_march_gate
+# E14 device-memory oversubscription gate: a problem 2x larger than
+# per-device capacity (capacity = measured reference peak / 2) completes
+# on 1- and 6-device fleets with a regrid raced mid-run, divQ
+# bit-identical to the non-evicting reference, evictions > 0, slowdown
+# <= 8x, and zero meter drift at exit (allocator invariants, used ==
+# DB-resident, no stranded spill, DBs clear to 0 B). Regenerate the
+# bookkeeping JSON after intentional changes with:
+#   cargo run --release -p rmcrt-bench --bin oversub_gate -- --update
+cargo run --release -q -p rmcrt-bench --bin oversub_gate
