@@ -298,6 +298,22 @@ impl GpuDevice {
         self.inner.peak.load(Ordering::Relaxed)
     }
 
+    /// Bytes not currently allocated (`capacity - used`). An upper bound
+    /// on what a new tenant could reserve — fragmentation may make any
+    /// single allocation smaller; see [`Self::largest_free_block`].
+    pub fn available(&self) -> usize {
+        self.inner.capacity.saturating_sub(self.used())
+    }
+
+    /// The largest single allocation the device heap can satisfy right
+    /// now (the suballocator's biggest contiguous hole). Admission control
+    /// reads this alongside [`Self::available`]: a job whose biggest
+    /// window exceeds it would fail with `Fragmentation` even though the
+    /// byte total fits.
+    pub fn largest_free_block(&self) -> usize {
+        self.inner.suballoc.lock().unwrap().largest_free() as usize
+    }
+
     /// Carve `bytes` from the device free list; returns the block offset.
     /// Any failure — capacity, fragmentation, or a request so large the
     /// internal arithmetic would overflow — is a clean `OutOfMemory`, never

@@ -66,6 +66,10 @@ pub struct WorldConfig {
     pub regrid_interval: Option<usize>,
     /// Which rebalance policy the regridder applies at each interval.
     pub regrid_policy: RebalancePolicy,
+    /// Job/run identifier stamped into every rank's [`ExecStats`] as
+    /// `<run_id>/r<rank>`, so logs from concurrently running jobs stay
+    /// attributable line by line. `None` keeps bare summaries.
+    pub run_id: Option<String>,
 }
 
 impl Default for WorldConfig {
@@ -86,6 +90,7 @@ impl Default for WorldConfig {
             persistent: true,
             regrid_interval: None,
             regrid_policy: RebalancePolicy::CostedSfc,
+            run_id: None,
         }
     }
 }
@@ -206,6 +211,9 @@ pub fn run_world(grid: Arc<Grid>, decls: Arc<Vec<TaskDecl>>, cfg: WorldConfig) -
                     step_cost.fill(0.0);
                     Some(Arc::new(regridder.rebalance(&grid, &costs, current)))
                 };
+            // Per-rank run id: `<job>/r<rank>` keys every summary line.
+            let rank_run_id: Option<Arc<str>> =
+                cfg.run_id.as_ref().map(|id| Arc::from(format!("{id}/r{rank}").as_str()));
             let final_dist;
             if cfg.persistent {
                 let mut exec = PersistentExecutor::new(
@@ -217,6 +225,7 @@ pub fn run_world(grid: Arc<Grid>, decls: Arc<Vec<TaskDecl>>, cfg: WorldConfig) -
                     gpu.clone(),
                     cfg.aggregate_level_windows,
                 );
+                exec.set_run_id(rank_run_id.clone());
                 for ts in 0..cfg.timesteps {
                     if let Some(next) = agree_on_rebalance(ts, &mut step_cost, exec.dist()) {
                         exec.regrid(next);
@@ -257,6 +266,7 @@ pub fn run_world(grid: Arc<Grid>, decls: Arc<Vec<TaskDecl>>, cfg: WorldConfig) -
                     let compile_time = t0.elapsed();
                     let mut s = sched.execute(&grid, &decls, &cg, &dw, gpu.as_deref());
                     s.graph_compile = compile_time;
+                    s.run_id = rank_run_id.clone();
                     for &(pid, d) in &s.per_patch {
                         step_cost[pid.index()] += d.as_secs_f64();
                     }

@@ -26,7 +26,7 @@
 //! [`graph_signature`]: crate::graph::graph_signature
 
 use crate::dw::DataWarehouse;
-use crate::graph::{self, CompiledGraph};
+use crate::graph::{self, CompiledGraph, GraphCache};
 use crate::regrid::{self, RegridEvent};
 use crate::scheduler::{ExecStats, Scheduler};
 use crate::task::TaskDecl;
@@ -47,7 +47,16 @@ pub struct PersistentExecutor {
     gpu: Option<Arc<GpuDataWarehouse>>,
     aggregate_level_windows: bool,
     /// Cached compiled graph keyed by its input signature.
-    cached: Option<(u64, CompiledGraph)>,
+    cached: Option<(u64, Arc<CompiledGraph>)>,
+    /// Optional cross-executor graph cache (the multi-tenant server's
+    /// shared tier): consulted on a local miss before compiling, fed after
+    /// every compile.
+    shared_cache: Option<Arc<GraphCache>>,
+    /// Graphs adopted from the shared cache instead of compiled locally.
+    shared_graph_hits: u64,
+    /// Job/run identifier stamped into every [`ExecStats`] this executor
+    /// produces, so interleaved multi-job logs stay attributable.
+    run_id: Option<Arc<str>>,
     step: u64,
     compiles: usize,
     /// Regrid cost accumulated since the last step, folded into the next
@@ -76,10 +85,43 @@ impl PersistentExecutor {
             gpu,
             aggregate_level_windows,
             cached: None,
+            shared_cache: None,
+            shared_graph_hits: 0,
+            run_id: None,
             step: 0,
             compiles: 0,
             pending_regrid: None,
         }
+    }
+
+    /// Attach a cross-executor [`GraphCache`]: on a local signature miss
+    /// the executor adopts a matching shared graph instead of compiling,
+    /// and feeds the cache after every compile it does perform.
+    pub fn set_graph_cache(&mut self, cache: Arc<GraphCache>) {
+        self.shared_cache = Some(cache);
+    }
+
+    /// Swap the task declarations (a new job on a reused executor). The
+    /// cached graph is *not* dropped: [`graph_signature`] hashes the
+    /// declarations' shape (names, levels, requirements, computes), so a
+    /// job whose declarations differ only in captured parameters — ray
+    /// counts, thresholds, seeds — keeps the compiled graph, while any
+    /// structural change perturbs the signature and recompiles on the
+    /// next [`Self::step`].
+    pub fn set_decls(&mut self, decls: Arc<Vec<TaskDecl>>) {
+        self.decls = decls;
+    }
+
+    /// Stamp subsequent steps' [`ExecStats`] with a job/run identifier
+    /// (`None` clears it). Interleaved multi-job logs key lines by it.
+    pub fn set_run_id(&mut self, run_id: Option<Arc<str>>) {
+        self.run_id = run_id;
+    }
+
+    /// Graphs adopted from the shared cache instead of compiled locally.
+    #[inline]
+    pub fn shared_graph_hits(&self) -> u64 {
+        self.shared_graph_hits
     }
 
     /// Execute the next timestep. Opens the step (epoch bump + storage
@@ -105,25 +147,35 @@ impl PersistentExecutor {
         );
         let mut compile_time = Duration::ZERO;
         if !matches!(&self.cached, Some((s, _)) if *s == sig) {
-            let t0 = Instant::now();
-            let g = graph::compile_opts(
-                &self.grid,
-                &self.dist,
-                &self.decls,
-                self.sched.rank(),
-                0,
-                self.aggregate_level_windows,
-            );
-            compile_time = t0.elapsed();
-            self.compiles += 1;
-            self.cached = Some((sig, g));
+            if let Some(shared) = self.shared_cache.as_ref().and_then(|c| c.lookup(sig)) {
+                self.shared_graph_hits += 1;
+                self.cached = Some((sig, shared));
+            } else {
+                let t0 = Instant::now();
+                let g = Arc::new(graph::compile_opts(
+                    &self.grid,
+                    &self.dist,
+                    &self.decls,
+                    self.sched.rank(),
+                    0,
+                    self.aggregate_level_windows,
+                ));
+                compile_time = t0.elapsed();
+                self.compiles += 1;
+                if let Some(cache) = &self.shared_cache {
+                    cache.insert(sig, Arc::clone(&g));
+                }
+                self.cached = Some((sig, g));
+            }
         }
         let (_, cg) = self.cached.as_ref().expect("graph just ensured");
+        let cg: &CompiledGraph = cg.as_ref();
         let phase = (self.step % 256) as u8;
         let mut stats =
             self.sched
                 .execute_phase(&self.grid, &self.decls, cg, &self.dw, self.gpu.as_deref(), phase);
         stats.graph_compile = compile_time;
+        stats.run_id = self.run_id.clone();
         if let Some(ev) = self.pending_regrid.take() {
             stats.regrids = 1;
             stats.regrid_compile = compile_time;

@@ -8,6 +8,8 @@
 
 use crate::task::{Computes, Requirement, TaskDecl};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex};
 use uintah_comm::Tag;
 use uintah_grid::{Grid, IntVector, LevelIndex, PatchDistribution, PatchId, Region, VarLabel};
 
@@ -613,6 +615,121 @@ pub fn graph_signature(
         }
     }
     h.0
+}
+
+/// Counter snapshot of a [`GraphCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GraphCacheStats {
+    /// Lookups that found a compiled graph under the requested signature.
+    pub hits: u64,
+    /// Lookups that found nothing (the caller compiles and inserts).
+    pub misses: u64,
+    /// Graphs inserted.
+    pub insertions: u64,
+    /// Graphs dropped to keep the cache under its entry cap.
+    pub evictions: u64,
+}
+
+/// A process-wide cache of compiled graphs keyed by [`graph_signature`].
+///
+/// One [`crate::PersistentExecutor`] already caches *its own* last graph;
+/// this cache is the cross-executor tier: every executor of a multi-tenant
+/// server consults it before compiling, so a job whose grid shape,
+/// ownership and task list match something any tenant compiled earlier
+/// reuses that graph instead of paying compilation again. Safe to share
+/// because a [`CompiledGraph`] is immutable during execution — the
+/// scheduler copies dependency counts into fresh atomics per
+/// `execute_phase` call and re-stamps tags with the step's phase byte, so
+/// one `Arc<CompiledGraph>` can back any number of concurrent jobs.
+///
+/// The signature covers the executing rank, so a cached entry is only ever
+/// served to an executor playing the same rank of an identically shaped
+/// world (see [`graph_signature`]).
+/// Signature → (graph, last-use stamp), plus the next stamp to issue.
+/// The stamp orders LRU eviction.
+type StampedGraphs = (HashMap<u64, (Arc<CompiledGraph>, u64)>, u64);
+
+#[derive(Debug)]
+pub struct GraphCache {
+    map: Mutex<StampedGraphs>,
+    cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl GraphCache {
+    /// A cache holding at most `cap` graphs (LRU beyond that).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "a graph cache needs room for at least one graph");
+        Self {
+            map: Mutex::new((HashMap::new(), 0)),
+            cap,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a compiled graph by signature, refreshing its LRU stamp.
+    pub fn lookup(&self, sig: u64) -> Option<Arc<CompiledGraph>> {
+        let mut guard = self.map.lock().expect("graph cache poisoned");
+        let (map, clock) = &mut *guard;
+        *clock += 1;
+        match map.get_mut(&sig) {
+            Some((g, stamp)) => {
+                *stamp = *clock;
+                self.hits.fetch_add(1, AtomicOrdering::Relaxed);
+                Some(Arc::clone(g))
+            }
+            None => {
+                self.misses.fetch_add(1, AtomicOrdering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly compiled graph; evicts the least recently used
+    /// entry when the cap is exceeded. Racing inserts under one signature
+    /// are benign (last writer wins; both graphs are identical by
+    /// construction).
+    pub fn insert(&self, sig: u64, graph: Arc<CompiledGraph>) {
+        let mut guard = self.map.lock().expect("graph cache poisoned");
+        let (map, clock) = &mut *guard;
+        *clock += 1;
+        map.insert(sig, (graph, *clock));
+        self.insertions.fetch_add(1, AtomicOrdering::Relaxed);
+        while map.len() > self.cap {
+            let victim = map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(&k, _)| k)
+                .expect("non-empty map over cap");
+            map.remove(&victim);
+            self.evictions.fetch_add(1, AtomicOrdering::Relaxed);
+        }
+    }
+
+    /// Graphs currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("graph cache poisoned").0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot (hits/misses/insertions/evictions).
+    pub fn stats(&self) -> GraphCacheStats {
+        GraphCacheStats {
+            hits: self.hits.load(AtomicOrdering::Relaxed),
+            misses: self.misses.load(AtomicOrdering::Relaxed),
+            insertions: self.insertions.load(AtomicOrdering::Relaxed),
+            evictions: self.evictions.load(AtomicOrdering::Relaxed),
+        }
+    }
 }
 
 #[cfg(test)]

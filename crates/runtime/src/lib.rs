@@ -50,7 +50,7 @@ pub use calibrate::{CalibrationSnapshot, DeviceCalibration};
 pub use driver::{run_world, WorldConfig, WorldResult};
 pub use dw::DataWarehouse;
 pub use executor::PersistentExecutor;
-pub use graph::{graph_signature, CompiledGraph, GraphStats};
+pub use graph::{graph_signature, CompiledGraph, GraphCache, GraphCacheStats, GraphStats};
 pub use regrid::RegridEvent;
 pub use scheduler::{DeviceStepStats, ExecStats, Scheduler, StoreKind};
 pub use task::{Computes, Requirement, TaskContext, TaskDecl, TaskFn, TaskKind};

@@ -88,6 +88,11 @@ pub struct DeviceStepStats {
 /// Execution statistics for one `execute` call on one rank.
 #[derive(Clone, Debug, Default)]
 pub struct ExecStats {
+    /// Job/run identifier of the step these stats describe (e.g.
+    /// `job-17/r0`). When set, every [`Self::summary`] line is prefixed
+    /// with `[<run_id>]` so interleaved multi-job logs stay attributable
+    /// to their tenant; `None` (single-job runs) keeps the bare format.
+    pub run_id: Option<Arc<str>>,
     pub tasks_executed: usize,
     pub gathers_executed: usize,
     pub messages_sent: usize,
@@ -161,7 +166,29 @@ impl ExecStats {
     /// local comm, idle/parked, graph compile), message and H2D traffic,
     /// and the per-task lines. Used by the bench binaries (`fig1_table1`)
     /// and handy from tests/examples.
+    ///
+    /// When [`Self::run_id`] is set, **every** line carries a `[<run_id>]`
+    /// prefix — a multi-tenant server interleaves summaries from many jobs
+    /// into one log, and a bare per-step line would be unattributable.
     pub fn summary(&self) -> String {
+        let body = self.summary_body();
+        match &self.run_id {
+            Some(id) => {
+                let mut out = String::with_capacity(body.len() + (id.len() + 3) * 16);
+                for line in body.lines() {
+                    out.push('[');
+                    out.push_str(id);
+                    out.push_str("] ");
+                    out.push_str(line);
+                    out.push('\n');
+                }
+                out
+            }
+            None => body,
+        }
+    }
+
+    fn summary_body(&self) -> String {
         use std::fmt::Write as _;
         let ms = |d: Duration| d.as_secs_f64() * 1e3;
         let mut out = String::new();
@@ -605,6 +632,7 @@ impl Scheduler {
             .collect();
 
         ExecStats {
+            run_id: None,
             tasks_executed: tasks_executed.load(Ordering::Relaxed),
             gathers_executed: gathers_executed.load(Ordering::Relaxed),
             messages_sent: messages_sent.load(Ordering::Relaxed),

@@ -1,0 +1,90 @@
+//! `rmcrt_submit` — submit a job to a running `rmcrt_serve` and wait for
+//! its result.
+//!
+//! ```text
+//! rmcrt_submit /tmp/rmcrt.sock run.cfg        # submit + wait + print report
+//! rmcrt_submit /tmp/rmcrt.sock --stats        # server counters
+//! rmcrt_submit /tmp/rmcrt.sock --shutdown     # ask the server to drain and exit
+//! ```
+
+use std::path::Path;
+use uintah_serve::{JobOutcome, ServeClient};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (socket, rest) = match args.split_first() {
+        Some((s, rest)) => (Path::new(s), rest),
+        None => {
+            usage();
+            std::process::exit(2);
+        }
+    };
+    let mut client = ServeClient::connect(socket).unwrap_or_else(|e| {
+        die(&format!("cannot connect to {}: {e}", socket.display()));
+    });
+    match rest {
+        [flag] if flag == "--stats" => {
+            let s = client.stats().unwrap_or_else(|e| die(&e.to_string()));
+            println!("{s:#?}");
+        }
+        [flag] if flag == "--shutdown" => {
+            client.shutdown().unwrap_or_else(|e| die(&e.to_string()));
+            println!("rmcrt_submit: shutdown acknowledged");
+        }
+        [cfg_path] => {
+            let text = std::fs::read_to_string(cfg_path).unwrap_or_else(|e| {
+                die(&format!("cannot read {cfg_path}: {e}"));
+            });
+            let job_id = client.submit(&text).unwrap_or_else(|e| {
+                die(&format!("submit refused: {e}"));
+            });
+            println!("rmcrt_submit: accepted as job {job_id}, waiting…");
+            match client.wait(job_id).unwrap_or_else(|e| die(&e.to_string())) {
+                JobOutcome::Done(report) => {
+                    let (min, mean, max) = report.divq.min_mean_max();
+                    let s = &report.stats;
+                    println!(
+                        "{}: {} steps, {} tasks, {} messages ({} B); \
+                         queued {:.1} ms, ran {:.1} ms{}",
+                        report.run_id,
+                        s.steps,
+                        s.tasks,
+                        s.messages,
+                        s.bytes_sent,
+                        s.queued_ns as f64 / 1e6,
+                        s.exec_ns as f64 / 1e6,
+                        if s.slot_reused { " (warm slot)" } else { "" },
+                    );
+                    if let Some(solve) = &report.solve {
+                        println!("rays: {} over {} cells", solve.total_rays, solve.cells);
+                    }
+                    println!(
+                        "divQ over {} fine cells: min {min:+.4}  mean {mean:+.4}  max {max:+.4} (W/m³)",
+                        report.divq.data.len()
+                    );
+                }
+                JobOutcome::Canceled => {
+                    println!("job {job_id}: canceled");
+                    std::process::exit(3);
+                }
+                JobOutcome::Failed(m) => {
+                    println!("job {job_id}: FAILED: {m}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => {
+            usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() {
+    println!("usage: rmcrt_submit <socket-path> <config-file> | --stats | --shutdown");
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("rmcrt_submit: {msg}");
+    std::process::exit(1);
+}

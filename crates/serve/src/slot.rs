@@ -1,0 +1,359 @@
+//! Executor slots: the per-shape pool of warm multi-rank execution state
+//! the server recycles across jobs.
+//!
+//! A slot is everything `run_world` would build from scratch for one job
+//! — a [`CommWorld`], and per rank a [`Scheduler`], a host
+//! [`DataWarehouse`] and (for GPU jobs) a [`GpuDataWarehouse`] over the
+//! *server's shared* [`DeviceFleet`] — wrapped in per-rank
+//! [`PersistentExecutor`]s. Two jobs with the same *shape* (grid
+//! structure, world size, store kind, GPU options) can run back to back
+//! on the same slot: the second job swaps in its own task declarations
+//! ([`PersistentExecutor::set_decls`]) and inherits
+//!
+//! * the compiled task graph (signature hashes declaration *shape*, not
+//!   captured parameters — a different ray count reuses the graph);
+//! * the warehouse recycler pools (warm storage, no fresh allocations);
+//! * the device-resident level replicas (the diff-based
+//!   `ensure_level_fresh` re-uploads only changed bytes).
+//!
+//! Shape keying is strict on anything baked into the slot's structures
+//! and deliberately loose on per-job parameters (ray counts, thresholds,
+//! halos, timestep counts, regrid schedules), which flow through
+//! declarations and per-step calls.
+
+use crate::job::{JobId, JobStats};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use uintah::config::RunConfig;
+use uintah_comm::{AllReduceVec, CommWorld};
+use uintah_gpu::{lpt_assign, DeviceFleet, GpuAffinity, GpuDataWarehouse};
+use uintah_grid::{
+    DistributionPolicy, Grid, PatchCosts, PatchDistribution, Region, Regridder,
+};
+use uintah_runtime::{DataWarehouse, GraphCache, PersistentExecutor, Scheduler, TaskDecl};
+
+/// Everything the server needs to run one job: identity plus the
+/// materialized problem (grid and declarations are built once, at
+/// submission, and shared with admission).
+pub(crate) struct JobSpec {
+    pub id: JobId,
+    pub run_id: String,
+    pub cfg: RunConfig,
+    pub grid: Arc<Grid>,
+    pub decls: Arc<Vec<TaskDecl>>,
+}
+
+/// The slot-compatibility key: hashes exactly the configuration a slot's
+/// structures bake in at construction. Jobs with equal keys can share a
+/// slot; anything else (ray counts, halos, priorities, timesteps, regrid
+/// schedules) deliberately stays out.
+pub(crate) fn shape_signature(cfg: &RunConfig) -> u64 {
+    let mut h = DefaultHasher::new();
+    cfg.fine_cells.hash(&mut h);
+    cfg.patch_size.hash(&mut h);
+    cfg.levels.hash(&mut h);
+    cfg.refinement_ratio.hash(&mut h);
+    cfg.ranks.hash(&mut h);
+    cfg.threads.hash(&mut h);
+    (cfg.store as u8).hash(&mut h);
+    cfg.gpu.hash(&mut h);
+    cfg.gpu_eviction.hash(&mut h);
+    (cfg.gpu_affinity == GpuAffinity::CostBalanced).hash(&mut h);
+    cfg.aggregate.hash(&mut h);
+    h.finish()
+}
+
+/// What one job's execution on a slot produced.
+pub(crate) struct JobRun {
+    pub stats: JobStats,
+    pub summaries: Vec<String>,
+    /// Fine-level divQ as per-patch packed windows (assembled by the
+    /// server into one dense field). Empty when no step completed.
+    pub divq_pieces: Vec<(Region, Vec<f64>)>,
+    pub canceled: bool,
+}
+
+/// A warm multi-rank execution world, reusable across same-shape jobs.
+pub(crate) struct Slot {
+    pub key: u64,
+    grid: Arc<Grid>,
+    /// The canonical initial distribution every job starts from; a job
+    /// that regridded mid-run is reset here before the next job, so
+    /// graph-cache signatures stay stable across tenants.
+    initial_dist: Arc<PatchDistribution>,
+    execs: Vec<PersistentExecutor>,
+    /// Per-step cancel agreement for multi-rank jobs: all ranks abort at
+    /// the same step boundary or none do (a one-sided abort would strand
+    /// the others' receives).
+    cancel_reduce: AllReduceVec,
+    /// Cost exchange for mid-run rebalances (same role as in the driver).
+    cost_reduce: AllReduceVec,
+    pub jobs_served: u64,
+}
+
+impl Slot {
+    /// Build a cold slot for `cfg`'s shape. GPU warehouses attach to the
+    /// *server's* fleet — every tenant meters against the same devices.
+    pub fn new(
+        cfg: &RunConfig,
+        grid: Arc<Grid>,
+        decls: Arc<Vec<TaskDecl>>,
+        fleet: &DeviceFleet,
+        graph_cache: &Arc<GraphCache>,
+    ) -> Self {
+        let nranks = cfg.ranks;
+        let world = CommWorld::new(nranks);
+        let initial_dist =
+            Arc::new(PatchDistribution::new(&grid, nranks, DistributionPolicy::MortonSfc));
+        let mut execs = Vec::with_capacity(nranks);
+        for rank in 0..nranks {
+            let comm = world.communicator(rank);
+            let dw = Arc::new(DataWarehouse::new(Arc::clone(&grid)));
+            let gpu = cfg.gpu.then(|| {
+                Arc::new(GpuDataWarehouse::with_fleet_opts(
+                    fleet.clone(),
+                    true,
+                    true,
+                    cfg.gpu_eviction,
+                ))
+            });
+            let sched = Scheduler::new(comm, cfg.threads, cfg.store);
+            let mut exec = PersistentExecutor::new(
+                Arc::clone(&grid),
+                Arc::clone(&decls),
+                Arc::clone(&initial_dist),
+                sched,
+                dw,
+                gpu,
+                cfg.aggregate,
+            );
+            exec.set_graph_cache(Arc::clone(graph_cache));
+            execs.push(exec);
+        }
+        Self {
+            key: shape_signature(cfg),
+            grid,
+            initial_dist,
+            execs,
+            cancel_reduce: AllReduceVec::new(nranks),
+            cost_reduce: AllReduceVec::new(nranks),
+            jobs_served: 0,
+        }
+    }
+
+    /// Device bytes this slot still holds while idle (level replicas kept
+    /// warm for the next same-shape tenant). Dropping the slot frees them.
+    pub fn resident_bytes(&self) -> u64 {
+        self.execs
+            .iter()
+            .filter_map(|e| e.gpu())
+            .map(|g| g.resident_bytes() as u64)
+            .sum()
+    }
+
+    /// Device-resident level-replica entries across the slot's ranks.
+    pub fn level_entries(&self) -> u64 {
+        self.execs
+            .iter()
+            .filter_map(|e| e.gpu())
+            .map(|g| g.level_entries() as u64)
+            .sum()
+    }
+
+    /// Run one job to completion (or cancellation) on this slot. All
+    /// ranks execute concurrently on scoped threads, exactly like
+    /// `run_world`, but against the slot's persistent state. On return
+    /// the slot is clean for the next tenant: D2H engines drained,
+    /// per-patch device staging cleared (level replicas intentionally
+    /// kept), ownership reset to the canonical initial distribution.
+    pub fn run_job(&mut self, job: &JobSpec, cancel: &AtomicBool) -> JobRun {
+        let t0 = Instant::now();
+        let nranks = self.execs.len();
+        let cfg = &job.cfg;
+        let grid = Arc::clone(&self.grid);
+        let initial = Arc::clone(&self.initial_dist);
+        let cancel_reduce = &self.cancel_reduce;
+        let cost_reduce = &self.cost_reduce;
+        let inherited: u64 = self.level_entries();
+        let regridder = Regridder::new(cfg.regrid_policy);
+        let per_rank: Vec<RankRun> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(nranks);
+            for (rank, exec) in self.execs.iter_mut().enumerate() {
+                let grid = Arc::clone(&grid);
+                let initial = Arc::clone(&initial);
+                let decls = Arc::clone(&job.decls);
+                let regridder = &regridder;
+                handles.push(scope.spawn(move || {
+                    exec.set_decls(decls);
+                    exec.set_run_id(Some(Arc::from(
+                        format!("{}/r{rank}", job.run_id).as_str(),
+                    )));
+                    // A previous tenant may have regridded: restore the
+                    // canonical ownership so every job sees the same
+                    // initial distribution a standalone run would
+                    // (collective — every rank takes this branch or none,
+                    // since they all compare the same maps).
+                    if exec.dist().rank_map() != initial.rank_map() {
+                        exec.regrid(Arc::clone(&initial));
+                    }
+                    let compiles0 = exec.compiles() as u64;
+                    let shared0 = exec.shared_graph_hits();
+                    let mut rr = RankRun::default();
+                    let mut step_cost = vec![0.0f64; grid.num_patches()];
+                    for ts in 0..cfg.timesteps {
+                        // Cancel agreement at the step boundary: the flag
+                        // is all-reduced so every rank aborts at the same
+                        // step (a lone abort would strand peers' receives).
+                        let want = cancel.load(Ordering::Relaxed);
+                        let abort = if nranks > 1 {
+                            cancel_reduce.sum(&[if want { 1.0 } else { 0.0 }])[0] > 0.0
+                        } else {
+                            want
+                        };
+                        if abort {
+                            rr.canceled = true;
+                            break;
+                        }
+                        if cfg.regrid_interval > 0 && ts > 0 && ts % cfg.regrid_interval == 0 {
+                            let global = cost_reduce.sum(&step_cost);
+                            let costs = if global.iter().sum::<f64>() > 0.0 {
+                                PatchCosts::from_values((*global).clone())
+                            } else {
+                                PatchCosts::from_cells(&grid)
+                            };
+                            step_cost.fill(0.0);
+                            let next =
+                                Arc::new(regridder.rebalance(&grid, &costs, exec.dist()));
+                            exec.regrid(next);
+                        }
+                        let s = exec.step();
+                        for &(pid, d) in &s.per_patch {
+                            step_cost[pid.index()] += d.as_secs_f64();
+                        }
+                        if cfg.gpu_affinity == GpuAffinity::CostBalanced {
+                            if let Some(g) = exec.gpu() {
+                                if g.num_devices() > 1 && !s.per_patch.is_empty() {
+                                    g.set_affinity(&lpt_assign(&s.per_patch, g.num_devices()));
+                                }
+                            }
+                        }
+                        rr.steps += 1;
+                        rr.tasks += s.tasks_executed as u64;
+                        rr.messages += s.messages_sent as u64;
+                        rr.bytes_sent += s.bytes_sent;
+                        rr.gpu_h2d_bytes += s.gpu_h2d_bytes;
+                        rr.gpu_d2h_bytes += s.gpu_d2h_bytes;
+                        rr.gpu_evictions += s.gpu_evictions;
+                        rr.regrids += s.regrids as u64;
+                        rr.summaries.push(s.summary());
+                    }
+                    rr.graph_compiles = exec.compiles() as u64 - compiles0;
+                    rr.shared_graph_hits = exec.shared_graph_hits() - shared0;
+                    // End-of-job hygiene: settle in-flight D2H traffic and
+                    // drop per-patch device staging. Level replicas stay
+                    // resident — they are the cross-job sharing the next
+                    // same-shape tenant inherits.
+                    exec.dw().drain_pending_d2h();
+                    if let Some(g) = exec.gpu() {
+                        g.sync_d2h_all();
+                        g.clear_patch_db();
+                    }
+                    if rr.steps > 0 && !rr.canceled {
+                        let fine = grid.fine_level_index();
+                        for &pid in exec.dist().owned_by(rank) {
+                            if grid.patch(pid).level_index() != fine {
+                                continue;
+                            }
+                            let interior = grid.patch(pid).interior();
+                            let v = exec
+                                .dw()
+                                .get_patch(rmcrt_core::labels::DIVQ, pid)
+                                .expect("divQ computed for owned fine patch");
+                            rr.divq_pieces.push(v.as_f64().pack_window(&interior));
+                        }
+                    }
+                    rr
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+        });
+        self.jobs_served += 1;
+
+        let mut stats = JobStats {
+            level_replicas_inherited: inherited,
+            ..JobStats::default()
+        };
+        let mut summaries = Vec::new();
+        let mut divq_pieces = Vec::new();
+        let mut canceled = false;
+        for rr in per_rank {
+            stats.steps = stats.steps.max(rr.steps);
+            stats.tasks += rr.tasks;
+            stats.messages += rr.messages;
+            stats.bytes_sent += rr.bytes_sent;
+            stats.gpu_h2d_bytes += rr.gpu_h2d_bytes;
+            stats.gpu_d2h_bytes += rr.gpu_d2h_bytes;
+            stats.gpu_evictions += rr.gpu_evictions;
+            stats.regrids += rr.regrids;
+            stats.graph_compiles += rr.graph_compiles;
+            stats.shared_graph_hits += rr.shared_graph_hits;
+            canceled |= rr.canceled;
+            summaries.extend(rr.summaries);
+            divq_pieces.extend(rr.divq_pieces);
+        }
+        stats.exec_ns = t0.elapsed().as_nanos() as u64;
+        JobRun {
+            stats,
+            summaries,
+            divq_pieces,
+            canceled,
+        }
+    }
+}
+
+#[derive(Default)]
+struct RankRun {
+    steps: u64,
+    tasks: u64,
+    messages: u64,
+    bytes_sent: u64,
+    gpu_h2d_bytes: u64,
+    gpu_d2h_bytes: u64,
+    gpu_evictions: u64,
+    regrids: u64,
+    graph_compiles: u64,
+    shared_graph_hits: u64,
+    summaries: Vec<String>,
+    divq_pieces: Vec<(Region, Vec<f64>)>,
+    canceled: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_signature_ignores_per_job_parameters() {
+        let a = RunConfig::default();
+        let mut b = a.clone();
+        b.nrays = 999;
+        b.threshold = 0.5;
+        b.halo = 2;
+        b.timesteps = 7;
+        b.regrid_interval = 3;
+        assert_eq!(shape_signature(&a), shape_signature(&b));
+        let mut c = a.clone();
+        c.ranks = 4;
+        assert_ne!(shape_signature(&a), shape_signature(&c));
+        let mut d = a.clone();
+        d.fine_cells = 64;
+        d.patch_size = 16;
+        assert_ne!(shape_signature(&a), shape_signature(&d));
+        let mut e = a.clone();
+        e.gpu = true;
+        assert_ne!(shape_signature(&a), shape_signature(&e));
+    }
+}

@@ -7,7 +7,7 @@
 //! ```
 
 use std::sync::Arc;
-use uintah::config::{Problem, RunConfig};
+use uintah::config::RunConfig;
 use uintah::prelude::*;
 use uintah::runtime::DataArchive;
 
@@ -34,31 +34,9 @@ fn main() {
         }
     };
 
-    let Problem::Benchmark = cfg.problem;
-    let grid = Arc::new(
-        Grid::builder()
-            .fine_cells(IntVector::splat(cfg.fine_cells))
-            .num_levels(cfg.levels)
-            .refinement_ratio(cfg.refinement_ratio)
-            .fine_patch_size(IntVector::splat(cfg.patch_size))
-            .build(),
-    );
-    let pipeline = RmcrtPipeline {
-        params: RmcrtParams {
-            nrays: cfg.nrays,
-            threshold: cfg.threshold,
-            sampling: cfg.sampling,
-            ray_count: Some(cfg.ray_count()),
-            ..Default::default()
-        },
-        halo: cfg.halo,
-        problem: BurnsChriston::default(),
-    };
-    let decls = Arc::new(if cfg.levels >= 2 {
-        multilevel_decls(&grid, pipeline, cfg.gpu)
-    } else {
-        single_level_decls(&grid, pipeline, cfg.gpu)
-    });
+    // One shared construction path with the radiation server: the grid,
+    // pipeline and world shape all come from the config helpers.
+    let (grid, decls) = cfg.build_problem();
 
     println!(
         "rmcrt_app: {} levels, fine {}³ ({} patches of {}³), {} ranks × {} threads, {} rays/cell{}",
@@ -72,24 +50,7 @@ fn main() {
         if cfg.gpu { ", GPU" } else { "" },
     );
     let t0 = std::time::Instant::now();
-    let result = run_world(
-        Arc::clone(&grid),
-        decls,
-        WorldConfig {
-            nranks: cfg.ranks,
-            nthreads: cfg.threads,
-            store: cfg.store,
-            timesteps: cfg.timesteps,
-            gpu_capacity: cfg.gpu.then_some(cfg.gpu_capacity_mb << 20),
-            gpus_per_rank: cfg.gpus_per_rank,
-            gpu_affinity: cfg.gpu_affinity,
-            gpu_eviction: cfg.gpu_eviction,
-            aggregate_level_windows: cfg.aggregate,
-            regrid_interval: (cfg.regrid_interval > 0).then_some(cfg.regrid_interval),
-            regrid_policy: cfg.regrid_policy,
-            ..Default::default()
-        },
-    );
+    let result = run_world(Arc::clone(&grid), decls, cfg.world_config());
     println!(
         "done in {:.2?}: {} messages, {} payload bytes across ranks/timesteps",
         t0.elapsed(),
@@ -172,6 +133,7 @@ ray_count  = fixed        # fixed (nrays per cell) | adaptive
 rays_min   = 16           # adaptive: first batch size
 rays_max   = 1024         # adaptive: per-cell ray budget ceiling
 rel_var_target = 0.05     # adaptive: stop when sem(I) <= target * |mean I|
+priority   = normal       # queue tier under uintah-serve: normal | high
 #output    = ./rmcrt.uda"
     );
 }

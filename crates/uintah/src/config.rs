@@ -76,6 +76,8 @@ pub struct RunConfig {
     pub regrid_interval: usize,
     /// Rebalance policy applied at each regrid interval.
     pub regrid_policy: RebalancePolicy,
+    /// Queue tier when the config is submitted to the radiation server.
+    pub priority: JobPriority,
     pub output: Option<PathBuf>,
 }
 
@@ -83,6 +85,16 @@ pub struct RunConfig {
 pub enum Problem {
     /// The Burns & Christon benchmark (the paper's workload).
     Benchmark,
+}
+
+/// Scheduling tier of a job submitted to the radiation server
+/// (`uintah-serve`). High-priority jobs drain before any normal-tier job,
+/// FIFO within each tier; a single-run `rmcrt_app` ignores it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum JobPriority {
+    #[default]
+    Normal,
+    High,
 }
 
 impl Default for RunConfig {
@@ -113,6 +125,7 @@ impl Default for RunConfig {
             aggregate: false,
             regrid_interval: 0,
             regrid_policy: RebalancePolicy::CostedSfc,
+            priority: JobPriority::Normal,
             output: None,
         }
     }
@@ -180,6 +193,7 @@ impl RunConfig {
                     "rays_min" => "rays_min",
                     "rays_max" => "rays_max",
                     "rel_var_target" => "rel_var_target",
+                    "priority" => "priority",
                     "output" => "output",
                     other => {
                         return Err(ConfigError {
@@ -286,6 +300,13 @@ impl RunConfig {
                 "rays_min" => cfg.rays_min = num(value, key, line_no)?,
                 "rays_max" => cfg.rays_max = num(value, key, line_no)?,
                 "rel_var_target" => cfg.rel_var_target = num(value, key, line_no)?,
+                "priority" => {
+                    cfg.priority = match value {
+                        "normal" => JobPriority::Normal,
+                        "high" => JobPriority::High,
+                        v => return Err(bad(format!("unknown priority '{v}'"))),
+                    }
+                }
                 "output" => cfg.output = Some(PathBuf::from(value)),
                 _ => unreachable!("key validated above"),
             }
@@ -347,6 +368,65 @@ impl RunConfig {
             }
         }
         Ok(())
+    }
+
+    /// Materialize the configured problem: the AMR grid and the task
+    /// declarations of the selected pipeline. The one construction path
+    /// shared by `rmcrt_app` (single run) and `uintah-serve` (per job), so
+    /// a job served over the wire is guaranteed to solve exactly what a
+    /// standalone run of the same config would.
+    pub fn build_problem(
+        &self,
+    ) -> (
+        std::sync::Arc<uintah_grid::Grid>,
+        std::sync::Arc<Vec<uintah_runtime::TaskDecl>>,
+    ) {
+        use std::sync::Arc;
+        let Problem::Benchmark = self.problem;
+        let grid = Arc::new(
+            uintah_grid::Grid::builder()
+                .fine_cells(uintah_grid::IntVector::splat(self.fine_cells))
+                .num_levels(self.levels)
+                .refinement_ratio(self.refinement_ratio)
+                .fine_patch_size(uintah_grid::IntVector::splat(self.patch_size))
+                .build(),
+        );
+        let pipeline = rmcrt_core::tasks::RmcrtPipeline {
+            params: rmcrt_core::RmcrtParams {
+                nrays: self.nrays,
+                threshold: self.threshold,
+                sampling: self.sampling,
+                ray_count: Some(self.ray_count()),
+                ..Default::default()
+            },
+            halo: self.halo,
+            problem: rmcrt_core::BurnsChriston::default(),
+        };
+        let decls = Arc::new(if self.levels >= 2 {
+            rmcrt_core::tasks::multilevel_decls(&grid, pipeline, self.gpu)
+        } else {
+            rmcrt_core::tasks::single_level_decls(&grid, pipeline, self.gpu)
+        });
+        (grid, decls)
+    }
+
+    /// The [`uintah_runtime::WorldConfig`] this run configuration selects
+    /// (ranks, threads, store, GPU fleet shape, regrid schedule).
+    pub fn world_config(&self) -> uintah_runtime::WorldConfig {
+        uintah_runtime::WorldConfig {
+            nranks: self.ranks,
+            nthreads: self.threads,
+            store: self.store,
+            timesteps: self.timesteps,
+            gpu_capacity: self.gpu.then_some(self.gpu_capacity_mb << 20),
+            gpus_per_rank: self.gpus_per_rank,
+            gpu_affinity: self.gpu_affinity,
+            gpu_eviction: self.gpu_eviction,
+            aggregate_level_windows: self.aggregate,
+            regrid_interval: (self.regrid_interval > 0).then_some(self.regrid_interval),
+            regrid_policy: self.regrid_policy,
+            ..Default::default()
+        }
     }
 
     /// The ray-count policy this configuration selects.
@@ -468,6 +548,31 @@ mod tests {
         assert!(RunConfig::parse("ray_count = magic").is_err());
         assert!(RunConfig::parse("ray_count = adaptive\nrays_min = 99\nrays_max = 10").is_err());
         assert!(RunConfig::parse("ray_count = adaptive\nrel_var_target = 2.0").is_err());
+    }
+
+    #[test]
+    fn parses_priority_key() {
+        assert_eq!(RunConfig::default().priority, JobPriority::Normal);
+        let cfg = RunConfig::parse("priority = high").unwrap();
+        assert_eq!(cfg.priority, JobPriority::High);
+        let cfg = RunConfig::parse("priority = normal").unwrap();
+        assert_eq!(cfg.priority, JobPriority::Normal);
+        assert!(RunConfig::parse("priority = urgent").is_err());
+    }
+
+    #[test]
+    fn build_problem_matches_manual_construction() {
+        let cfg = RunConfig::parse("fine_cells = 16\npatch_size = 4\nlevels = 2").unwrap();
+        let (grid, decls) = cfg.build_problem();
+        assert_eq!(grid.num_levels(), 2);
+        assert_eq!(grid.fine_level().cell_region().extent().x, 16);
+        assert!(!decls.is_empty());
+        let wc = cfg.world_config();
+        assert_eq!(wc.nranks, cfg.ranks);
+        assert_eq!(wc.nthreads, cfg.threads);
+        assert_eq!(wc.gpu_capacity, None, "gpu off by default");
+        let gcfg = RunConfig::parse("gpu = true\ngpu_capacity_mb = 64").unwrap();
+        assert_eq!(gcfg.world_config().gpu_capacity, Some(64 << 20));
     }
 
     #[test]

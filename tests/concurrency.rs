@@ -437,6 +437,116 @@ fn fleet_regrid_race_evicts_only_affected_devices_without_leaks() {
     }
 }
 
+/// Submit/cancel storm against the multi-tenant radiation server: a mixed
+/// stream of GPU, CPU, regrid-enabled and high-priority jobs where a third
+/// are canceled immediately (usually still queued) and a third are raced
+/// by a cancel thread mid-run. Whatever the interleaving: no job may fail,
+/// the ledger must reconcile (done + canceled = submitted), and after
+/// drain + shutdown the shared device fleet must be bone dry — zero
+/// resident bytes, zero `release_underflows`, idle copy engines, and the
+/// sub-allocator's invariants intact on every device.
+#[test]
+fn radiation_server_submit_cancel_storm_drains_clean() {
+    use std::time::Duration;
+    use uintah::config::{JobPriority, RunConfig};
+    use uintah_grid::RebalancePolicy;
+    use uintah_serve::{JobOutcome, RadiationServer, ServeConfig};
+
+    let server = RadiationServer::start(ServeConfig {
+        workers: 3,
+        gpus: 2,
+        gpu_capacity_mb: 16,
+        graph_cache_cap: 8,
+        max_idle_slots: 2,
+    });
+    let base = RunConfig {
+        fine_cells: 16,
+        patch_size: 4,
+        levels: 2,
+        ranks: 2,
+        threads: 1,
+        nrays: 4,
+        halo: 2,
+        gpu: true,
+        timesteps: 4,
+        ..RunConfig::default()
+    };
+    const JOBS: usize = 12;
+    let mut handles = Vec::with_capacity(JOBS);
+    for i in 0..JOBS {
+        let mut cfg = base.clone();
+        match i % 4 {
+            0 => {} // plain GPU tenant
+            1 => {
+                // Regridding tenant: rebalances ownership every step, so
+                // cancels race the executor's migration machinery.
+                cfg.regrid_interval = 1;
+                cfg.regrid_policy = RebalancePolicy::CostedLpt;
+                cfg.timesteps = 5;
+            }
+            2 => {
+                // CPU tenant in a different slot shape.
+                cfg.gpu = false;
+                cfg.ranks = 1;
+                cfg.levels = 1;
+                cfg.fine_cells = 8;
+            }
+            _ => {
+                cfg.priority = JobPriority::High;
+                cfg.nrays = 6;
+            }
+        }
+        let h = server.submit(cfg).expect("storm job admitted or queued");
+        match i % 3 {
+            0 => h.cancel(), // cancel immediately, usually while queued
+            1 => {
+                // Cancel from another thread mid-run.
+                let racer = h.clone();
+                std::thread::spawn(move || {
+                    std::thread::sleep(Duration::from_millis(3));
+                    racer.cancel();
+                });
+            }
+            _ => {} // run to completion
+        }
+        handles.push(h);
+    }
+
+    let (mut done, mut canceled) = (0u64, 0u64);
+    for h in &handles {
+        match h.wait() {
+            JobOutcome::Done(report) => {
+                assert!(report.stats.steps > 0, "completed job ran no steps");
+                done += 1;
+            }
+            JobOutcome::Canceled => canceled += 1,
+            JobOutcome::Failed(m) => panic!("job {} failed: {m}", h.id()),
+        }
+    }
+    assert_eq!(done + canceled, JOBS as u64);
+
+    server.drain();
+    let stats = server.stats();
+    assert_eq!(stats.completed + stats.canceled, JOBS as u64);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.active_jobs, 0);
+    assert_eq!(stats.queued_jobs, 0);
+
+    server.shutdown();
+    assert_eq!(
+        server.fleet().total_used(),
+        0,
+        "device meters must read zero after drain"
+    );
+    for (d, c) in server.fleet().counters_per_device().iter().enumerate() {
+        assert_eq!(c.release_underflows, 0, "device {d}: meter drift");
+        assert_eq!(c.d2h_inflight, 0, "device {d}: copy engine left in flight");
+    }
+    for d in server.fleet().devices() {
+        d.validate_allocator().expect("sub-allocator invariants after the storm");
+    }
+}
+
 /// LRU eviction racing a regrid: writer threads hammer an oversubscribed
 /// device (12 patches cycling through room for ~6, forcing constant
 /// eviction, host spill, and transparent re-upload) while a regrid thread

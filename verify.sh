@@ -56,3 +56,19 @@ cargo run --release -q -p rmcrt-bench --bin ray_march_gate
 # bookkeeping JSON after intentional changes with:
 #   cargo run --release -p rmcrt-bench --bin oversub_gate -- --update
 cargo run --release -q -p rmcrt-bench --bin oversub_gate
+# Multi-tenant serving pins: the radiation-server battery (concurrent and
+# mixed-config tenants bit-identical to solo runs, attributable summary
+# lines, queued-not-failed admission with typed rejection, priority
+# overtaking, wire round trip + disconnect cancellation) and the
+# submit/cancel storm that must drain the server to zero device bytes
+# with clean allocators — pinned by name.
+cargo test -q -p uintah --test serve
+cargo test -q -p uintah --test concurrency radiation_server_submit_cancel_storm_drains_clean
+# E15 serving gate: a mixed 4-tenant stream on a warm server must beat
+# the cold one-world-per-job serial workflow (floor 0.75 x min(tenants,
+# cores), i.e. the 3x service floor at >= 4 cores, never below 1x), with
+# per-tenant divQ bit-identity, a deterministic shared-graph adoption,
+# queued-not-failed admission on a tiny fleet, and zero meter drift after
+# every drain. Regenerate the bookkeeping JSON after intentional changes:
+#   cargo run --release -p rmcrt-bench --bin serve_gate -- --update
+cargo run --release -q -p rmcrt-bench --bin serve_gate
