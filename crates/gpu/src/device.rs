@@ -4,10 +4,12 @@
 //! device→host drain of one patch overlap the kernels (and host→device
 //! staging) of others. [`GpuDevice`] models each direction as a *timeline*:
 //! a FIFO of transfers with measured per-engine occupancy (`busy_ns`), an
-//! in-flight count, and — for the D2H direction — a real worker thread
-//! that drains posted transfers asynchronously ([`GpuDevice::post_d2h`]).
-//! Every in-flight transfer is tagged with the [`Stream`] it was issued
-//! on, mirroring how Uintah pins one CUDA stream per resident patch task.
+//! in-flight count, and a real worker thread per direction that drains
+//! posted transfers asynchronously ([`GpuDevice::post_d2h`] /
+//! [`GpuDevice::post_h2d`] — the upload twin added for the prefetch
+//! pipeline). Every in-flight transfer is tagged with the [`Stream`] it was
+//! issued on, mirroring how Uintah pins one CUDA stream per resident patch
+//! task.
 //!
 //! Device memory is no longer a bytes-only meter: every reservation is
 //! carved from a [`SubAllocator`] free list over `[0, capacity)`, so the
@@ -70,8 +72,9 @@ pub struct CopyEngineStats {
     pub inflight: AtomicU64,
 }
 
-/// A transfer job executed by the D2H copy-engine worker: the drain memcpy
-/// plus completion signalling, boxed by [`GpuDevice::post_d2h`].
+/// A transfer job executed by a copy-engine worker: the memcpy plus
+/// completion signalling, boxed by [`GpuDevice::post_d2h`] /
+/// [`GpuDevice::post_h2d`].
 type TransferJob = (Stream, Box<dyn FnOnce() + Send + 'static>);
 
 /// A CUDA-stream-like handle. Operations issued on different streams may
@@ -102,8 +105,18 @@ pub struct DeviceCounters {
     /// draining transfers (measured around the drain memcpy, on whichever
     /// thread performed it).
     pub d2h_busy_ns: u64,
+    /// H2D transfers posted but not yet staged at snapshot time.
+    pub h2d_inflight: u64,
     /// D2H transfers posted but not yet drained at snapshot time.
     pub d2h_inflight: u64,
+    /// Nanoseconds consumers stalled materializing posted uploads: in
+    /// async mode the residual wait at first use, in the synchronous
+    /// fallback the full inline upload wall (paid at post time).
+    pub h2d_wait_ns: u64,
+    /// Nanoseconds of posted-upload engine time hidden behind other work
+    /// (`burst - wait`, summed over materialized uploads; zero by
+    /// construction in the synchronous fallback).
+    pub h2d_overlap_ns: u64,
     /// Allocations rejected (capacity *or* fragmentation; the latter is
     /// also counted in `frag_failures`).
     pub alloc_failures: u64,
@@ -170,6 +183,12 @@ struct DeviceInner {
     spilled_bytes: AtomicU64,
     reuploads: AtomicU64,
     reuploads_bytes: AtomicU64,
+    /// Consumer stall materializing posted H2D uploads (see
+    /// [`DeviceCounters::h2d_wait_ns`]).
+    h2d_wait_ns: AtomicU64,
+    /// Posted-upload engine time hidden behind other work (see
+    /// [`DeviceCounters::h2d_overlap_ns`]).
+    h2d_overlap_ns: AtomicU64,
     /// The D2H copy-engine timeline: a FIFO worker thread, spawned lazily
     /// on the first posted transfer. Jobs execute in post order (one
     /// engine serializes its transfers, exactly like the hardware). The
@@ -180,6 +199,11 @@ struct DeviceInner {
     /// entry per transfer (stream ids recycle round-robin, so the same id
     /// may appear more than once).
     d2h_streams: Mutex<Vec<Stream>>,
+    /// The H2D copy-engine timeline: same lazy-worker FIFO design as the
+    /// D2H queue, draining posted uploads (copy engine 0).
+    h2d_queue: Mutex<Option<mpsc::Sender<TransferJob>>>,
+    /// Streams of transfers currently in flight on the H2D engine.
+    h2d_streams: Mutex<Vec<Stream>>,
 }
 
 /// A simulated GPU. Cheap to clone (shared accounting).
@@ -272,8 +296,12 @@ impl GpuDevice {
                 spilled_bytes: AtomicU64::new(0),
                 reuploads: AtomicU64::new(0),
                 reuploads_bytes: AtomicU64::new(0),
+                h2d_wait_ns: AtomicU64::new(0),
+                h2d_overlap_ns: AtomicU64::new(0),
                 d2h_queue: Mutex::new(None),
                 d2h_streams: Mutex::new(Vec::new()),
+                h2d_queue: Mutex::new(None),
+                h2d_streams: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -462,6 +490,24 @@ impl GpuDevice {
             .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    /// Meter consumer stall materializing a posted H2D upload: how long a
+    /// first-use `wait` blocked (async mode), or the full inline upload
+    /// wall in the synchronous fallback, where the stall is paid at post.
+    pub fn record_h2d_wait(&self, wait: Duration) {
+        self.inner
+            .h2d_wait_ns
+            .fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Meter posted-upload engine time hidden behind other work: the part
+    /// of a staged burst that had already landed when its first consumer
+    /// asked for it.
+    pub fn record_h2d_overlap(&self, overlap: Duration) {
+        self.inner
+            .h2d_overlap_ns
+            .fetch_add(overlap.as_nanos() as u64, Ordering::Relaxed);
+    }
+
     /// Open an *inline* (synchronous-fallback) D2H transfer: meters the
     /// transfer, bumps `inflight`, and tags a stream on the engine timeline
     /// exactly like [`post_d2h`](Self::post_d2h) — so `sync_d2h` /
@@ -557,6 +603,102 @@ impl GpuDevice {
         }
     }
 
+    /// Open an *inline* (synchronous-fallback) H2D transfer: meters the
+    /// transfer, bumps `inflight`, and tags a stream on the engine timeline
+    /// exactly like [`post_h2d`](Self::post_h2d) — so `sync_h2d` /
+    /// [`inflight_h2d_streams`](Self::inflight_h2d_streams) accounting is
+    /// identical whether the async engine is on or off. Pair with
+    /// [`end_inline_h2d`](Self::end_inline_h2d) after the staging memcpy.
+    pub fn begin_inline_h2d(&self, bytes: usize) -> Stream {
+        self.record_h2d(bytes);
+        self.inner.h2d.inflight.fetch_add(1, Ordering::Relaxed);
+        let stream = self.next_stream();
+        self.inner.h2d_streams.lock().unwrap().push(stream);
+        stream
+    }
+
+    /// Close an inline H2D transfer opened with
+    /// [`begin_inline_h2d`](Self::begin_inline_h2d): meters the staging
+    /// occupancy and retires the stream tag and in-flight count.
+    pub fn end_inline_h2d(&self, stream: Stream, busy: Duration) {
+        self.record_h2d_busy(busy);
+        let mut streams = self.inner.h2d_streams.lock().unwrap();
+        if let Some(i) = streams.iter().rposition(|s| *s == stream) {
+            streams.remove(i);
+        }
+        drop(streams);
+        self.inner.h2d.inflight.fetch_sub(1, Ordering::Release);
+    }
+
+    /// Post a host→device transfer to copy engine 0's timeline and return
+    /// the stream it was tagged with — the upload twin of
+    /// [`post_d2h`](Self::post_d2h). The engine worker (a real thread,
+    /// spawned lazily on first use) executes `job` — the staged upload plus
+    /// completion signalling — in FIFO order, timing it into the engine's
+    /// `busy_ns` occupancy counter. The caller returns immediately: this is
+    /// what lets next-step prefetch uploads proceed while current-step CPU
+    /// tasks drain.
+    pub fn post_h2d(&self, bytes: usize, job: impl FnOnce() + Send + 'static) -> Stream {
+        self.record_h2d(bytes);
+        self.inner.h2d.inflight.fetch_add(1, Ordering::Relaxed);
+        let stream = self.next_stream();
+        self.inner.h2d_streams.lock().unwrap().push(stream);
+        let mut q = self.inner.h2d_queue.lock().unwrap();
+        if q.is_none() {
+            let (tx, rx) = mpsc::channel::<TransferJob>();
+            // The worker captures only the engine-stats Arc — holding the
+            // full DeviceInner would keep the sender alive forever and the
+            // thread could never observe channel close.
+            let stats = Arc::clone(&self.inner.h2d);
+            std::thread::Builder::new()
+                .name("h2d-copy-engine".into())
+                .spawn(move || {
+                    while let Ok((_stream, job)) = rx.recv() {
+                        let t0 = Instant::now();
+                        job();
+                        stats
+                            .busy_ns
+                            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        stats.inflight.fetch_sub(1, Ordering::Relaxed);
+                    }
+                })
+                .expect("spawn h2d copy-engine worker");
+            *q = Some(tx);
+        }
+        let this = self.clone();
+        q.as_ref()
+            .expect("h2d engine queue just initialized")
+            .send((
+                stream,
+                Box::new(move || {
+                    job();
+                    // Retire exactly this transfer's tag: stream ids
+                    // recycle, so remove one occurrence, not all.
+                    let mut streams = this.inner.h2d_streams.lock().unwrap();
+                    if let Some(i) = streams.iter().position(|s| *s == stream) {
+                        streams.remove(i);
+                    }
+                }),
+            ))
+            .expect("h2d copy-engine worker alive while device handles exist");
+        stream
+    }
+
+    /// Streams with transfers currently in flight on the H2D engine
+    /// (snapshot; the engine drains them in FIFO order).
+    pub fn inflight_h2d_streams(&self) -> Vec<Stream> {
+        self.inner.h2d_streams.lock().unwrap().clone()
+    }
+
+    /// Block until the H2D engine timeline is empty — uploads posted for
+    /// prefetch are either installed or cancelled past this point, so
+    /// regrid/eviction can re-key residency safely.
+    pub fn sync_h2d(&self) {
+        while self.inner.h2d.inflight.load(Ordering::Acquire) != 0 {
+            std::thread::yield_now();
+        }
+    }
+
     /// Record a kernel launch and return its stream. The actual work runs on
     /// the calling host thread (concurrent kernels = concurrent patch tasks).
     pub fn launch_kernel(&self) -> Stream {
@@ -613,6 +755,7 @@ impl GpuDevice {
             d2h_transfers: self.inner.d2h.transfers.load(Ordering::Relaxed),
             h2d_busy_ns: self.inner.h2d.busy_ns.load(Ordering::Relaxed),
             d2h_busy_ns: self.inner.d2h.busy_ns.load(Ordering::Relaxed),
+            h2d_inflight: self.inner.h2d.inflight.load(Ordering::Relaxed),
             d2h_inflight: self.inner.d2h.inflight.load(Ordering::Relaxed),
             alloc_failures: self.inner.alloc_failures.load(Ordering::Relaxed),
             frag_failures: self.inner.frag_failures.load(Ordering::Relaxed),
@@ -623,6 +766,8 @@ impl GpuDevice {
             spilled_bytes: self.inner.spilled_bytes.load(Ordering::Relaxed),
             reuploads: self.inner.reuploads.load(Ordering::Relaxed),
             reuploads_bytes: self.inner.reuploads_bytes.load(Ordering::Relaxed),
+            h2d_wait_ns: self.inner.h2d_wait_ns.load(Ordering::Relaxed),
+            h2d_overlap_ns: self.inner.h2d_overlap_ns.load(Ordering::Relaxed),
             free_blocks,
             largest_free,
             used: self.inner.used.load(Ordering::Relaxed) as u64,
@@ -770,6 +915,7 @@ mod tests {
                 d2h_transfers: 0,
                 h2d_busy_ns: 0,
                 d2h_busy_ns: 0,
+                h2d_inflight: 0,
                 d2h_inflight: 0,
                 alloc_failures: 0,
                 frag_failures: 0,
@@ -780,6 +926,8 @@ mod tests {
                 spilled_bytes: 0,
                 reuploads: 0,
                 reuploads_bytes: 0,
+                h2d_wait_ns: 0,
+                h2d_overlap_ns: 0,
                 free_blocks: 1,
                 largest_free: 700,
                 used: 300,
@@ -916,6 +1064,121 @@ mod tests {
         });
         assert_ne!(rx2.recv().unwrap(), tid);
         d2.sync_d2h();
+    }
+
+    #[test]
+    fn inline_h2d_matches_posted_bookkeeping() {
+        // The upload twin of the inline-D2H regression: the sync-fallback
+        // upload path must tag its stream and bump inflight exactly like
+        // post_h2d, so accounting is mode-independent.
+        let d = GpuDevice::k20x();
+        let s = d.begin_inline_h2d(4096);
+        assert_eq!(d.counters().h2d_inflight, 1);
+        assert!(d.inflight_h2d_streams().contains(&s));
+        d.end_inline_h2d(s, Duration::from_micros(3));
+        let c = d.counters();
+        assert_eq!(c.h2d_inflight, 0);
+        assert!(d.inflight_h2d_streams().is_empty());
+        assert_eq!(c.h2d_transfers, 1);
+        assert_eq!(c.h2d_bytes, 4096);
+        assert_eq!(c.h2d_busy_ns, 3_000);
+        d.sync_h2d(); // must not hang: inline transfers fully retire
+    }
+
+    #[test]
+    fn inline_h2d_retires_one_tag_when_stream_ids_recycle() {
+        let d = GpuDevice::k20x();
+        let s0 = d.begin_inline_h2d(10);
+        for _ in 0..15 {
+            d.next_stream();
+        }
+        let s1 = d.begin_inline_h2d(10);
+        assert_eq!(s0, s1, "16-stream round robin recycled the id");
+        assert_eq!(d.inflight_h2d_streams().len(), 2);
+        d.end_inline_h2d(s0, Duration::ZERO);
+        assert_eq!(d.inflight_h2d_streams().len(), 1, "only one tag retired");
+        d.end_inline_h2d(s1, Duration::ZERO);
+        assert!(d.inflight_h2d_streams().is_empty());
+    }
+
+    #[test]
+    fn posted_h2d_drains_on_the_engine_thread_and_meters_occupancy() {
+        let d = GpuDevice::k20x();
+        let (tx, rx) = mpsc::channel();
+        let s = d.post_h2d(4096, move || {
+            std::thread::sleep(Duration::from_millis(2));
+            tx.send(std::thread::current().name().map(String::from)).unwrap();
+        });
+        let worker = rx.recv().unwrap();
+        assert_eq!(worker.as_deref(), Some("h2d-copy-engine"));
+        d.sync_h2d();
+        let c = d.counters();
+        assert_eq!(c.h2d_transfers, 1);
+        assert_eq!(c.h2d_bytes, 4096);
+        assert_eq!(c.h2d_inflight, 0);
+        assert!(c.h2d_busy_ns >= 1_000_000, "busy_ns {} too small", c.h2d_busy_ns);
+        assert!(
+            !d.inflight_h2d_streams().contains(&s) || d.inflight_h2d_streams().is_empty()
+        );
+    }
+
+    #[test]
+    fn inflight_h2d_transfers_are_stream_tagged_and_fifo() {
+        let d = GpuDevice::k20x();
+        let gate = Arc::new(Mutex::new(()));
+        let hold = gate.lock().unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut streams = Vec::new();
+        for i in 0..3 {
+            let gate = Arc::clone(&gate);
+            let order = Arc::clone(&order);
+            streams.push(d.post_h2d(100, move || {
+                if i == 0 {
+                    drop(gate.lock().unwrap());
+                }
+                order.lock().unwrap().push(i);
+            }));
+        }
+        let inflight = d.inflight_h2d_streams();
+        for s in &streams {
+            assert!(inflight.contains(s), "stream {s:?} not tagged in flight");
+        }
+        assert_eq!(d.counters().h2d_inflight, 3);
+        drop(hold);
+        d.sync_h2d();
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2], "engine is FIFO");
+        assert!(d.inflight_h2d_streams().is_empty());
+        assert_eq!(d.counters().h2d_transfers, 3);
+        assert_eq!(d.counters().h2d_bytes, 300);
+    }
+
+    #[test]
+    fn h2d_and_d2h_engines_are_independent_timelines() {
+        // Two copy engines: a stalled upload must not delay drains (and
+        // vice versa) — the K20X duplex-overlap property the prefetch
+        // pipeline depends on.
+        let d = GpuDevice::k20x();
+        let gate = Arc::new(Mutex::new(()));
+        let hold = gate.lock().unwrap();
+        {
+            let gate = Arc::clone(&gate);
+            d.post_h2d(64, move || {
+                drop(gate.lock().unwrap());
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        d.post_d2h(64, move || {
+            tx.send(()).unwrap();
+        });
+        // The drain completes while the upload engine is still stalled.
+        rx.recv_timeout(Duration::from_secs(5))
+            .expect("d2h engine blocked behind a stalled h2d upload");
+        assert_eq!(d.counters().h2d_inflight, 1);
+        drop(hold);
+        d.sync_h2d();
+        d.sync_d2h();
+        assert_eq!(d.counters().h2d_inflight, 0);
+        assert_eq!(d.counters().d2h_inflight, 0);
     }
 
     #[test]

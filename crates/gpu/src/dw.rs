@@ -37,6 +37,19 @@
 //! which is why eviction is invisible to divQ (bit-identical to a
 //! non-evicting run) and only visible in the eviction/spill/re-upload
 //! counters and in wall time.
+//!
+//! **Upload pipeline.** The H2D direction is asynchronous too: posted
+//! uploads ([`GpuDataWarehouse::put_patch_async`] and the prefetch entry
+//! points) snapshot host bytes into a recycled pinned-staging pool at post
+//! time, carve their device block immediately, and run the staged burst on
+//! the home device's H2D engine thread — coalesced per device into one
+//! metered transfer per batch. The first consumer *materializes* the
+//! finished upload into the database instead of uploading inline; regrid
+//! invalidation, wholesale clears, superseding writes and allocator
+//! pressure *cancel* unconsumed uploads rather than installing stale
+//! bytes. `async_h2d == false` keeps a bit-identical synchronous fallback
+//! with the same engine bookkeeping (the inline-H2D pair), zero overlap by
+//! construction.
 
 use crate::device::{DeviceBlock, DeviceCounters, GpuDevice, GpuError, Stream};
 use crate::fleet::{DeviceFleet, DeviceId};
@@ -45,7 +58,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-use uintah_grid::{LevelIndex, PatchId, VarLabel};
+use uintah_grid::{CcVariable, LevelIndex, PatchId, VarLabel};
+use uintah_mem::{AllocTracker, BufferRecycler};
 
 /// Device-resident variable payload (same representation as host fields;
 /// "device memory" is the accounting in [`GpuDevice`]).
@@ -168,6 +182,161 @@ impl PendingD2H {
     }
 }
 
+/// Shared completion state between a [`PendingH2D`] handle (or a pending
+/// slot in a device store) and the H2D engine filling it: the finished
+/// device-resident variable plus the measured burst duration and whether
+/// the upload completed inline (synchronous fallback).
+#[derive(Default)]
+struct PendingUploadShared {
+    slot: Mutex<Option<(Arc<DeviceVar>, Duration, bool)>>,
+    done: Condvar,
+}
+
+impl PendingUploadShared {
+    fn fill(&self, var: Arc<DeviceVar>, upload: Duration, inline: bool) {
+        *self.slot.lock().unwrap() = Some((var, upload, inline));
+        self.done.notify_all();
+    }
+
+    fn is_complete(&self) -> bool {
+        self.slot.lock().unwrap().is_some()
+    }
+
+    /// Block until the burst lands. Clones the finished handle out instead
+    /// of taking it so racing consumers can all observe it — the
+    /// pending-map entry, not this slot, elects the single installer.
+    fn wait(&self) -> (Arc<DeviceVar>, Duration, bool) {
+        let mut slot = self.slot.lock().unwrap();
+        while slot.is_none() {
+            slot = self.done.wait(slot).unwrap();
+        }
+        let (var, upload, inline) = slot.as_ref().expect("slot filled above");
+        (Arc::clone(var), *upload, *inline)
+    }
+}
+
+/// Completion handle for an asynchronous host→device upload posted by
+/// [`GpuDataWarehouse::put_patch_async`] — the upload twin of
+/// [`PendingD2H`].
+///
+/// The burst (the PCIe memcpy — here the real `clone` of the staged bytes)
+/// proceeds on the H2D copy-engine thread while the poster keeps running;
+/// the device-resident variable materializes on first use via
+/// [`Self::wait`] / [`Self::wait_timed`]. Consumers that go through
+/// [`GpuDataWarehouse::get_patch`] never need to touch the handle: the
+/// warehouse installs the finished upload on their behalf.
+pub struct PendingH2D {
+    shared: Arc<PendingUploadShared>,
+    bytes: usize,
+    stream: Stream,
+    /// True when the warehouse is in synchronous-fallback mode and the
+    /// burst completed inline at post time: the poster was charged the full
+    /// upload as stall (overlap is zero by construction).
+    inline: bool,
+}
+
+impl std::fmt::Debug for PendingH2D {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingH2D")
+            .field("bytes", &self.bytes)
+            .field("stream", &self.stream)
+            .field("inline", &self.inline)
+            .field("complete", &self.is_complete())
+            .finish()
+    }
+}
+
+impl PendingH2D {
+    /// Transfer size in bytes.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The stream the transfer was posted on.
+    #[inline]
+    pub fn stream(&self) -> Stream {
+        self.stream
+    }
+
+    /// Whether the burst has already landed (non-blocking).
+    pub fn is_complete(&self) -> bool {
+        self.shared.is_complete()
+    }
+
+    /// Block until the burst lands and take the device variable.
+    pub fn wait(self) -> Arc<DeviceVar> {
+        self.wait_timed().0
+    }
+
+    /// Block until the burst lands; returns `(var, upload, blocked)` where
+    /// `upload` is the wall time the copy engine spent moving the bytes
+    /// and `blocked` is how long *this call* stalled the consumer. An
+    /// upload that finished before first use reports `blocked ≈ 0`, so
+    /// `upload - blocked` is the wall hidden behind other work.
+    pub fn wait_timed(self) -> (Arc<DeviceVar>, Duration, Duration) {
+        let t0 = Instant::now();
+        let (var, upload, inline) = self.shared.wait();
+        let blocked = if inline { upload } else { t0.elapsed() };
+        (var, upload, blocked)
+    }
+}
+
+/// Recycled pinned-staging buffers for posted uploads. A posted transfer
+/// snapshots mutable host state into a pooled buffer *at post time* (the
+/// host→pinned memcpy), the engine burst copies pinned→device, and the
+/// staging buffer parks back in the pool for the next post — steady-state
+/// prefetch allocates no fresh host memory. Same [`BufferRecycler`]
+/// discipline the host warehouse applies to its transient grid variables.
+struct StagingPool {
+    f64: BufferRecycler<f64>,
+    u8: BufferRecycler<u8>,
+}
+
+impl StagingPool {
+    fn new() -> Self {
+        let tracker = AllocTracker::new();
+        StagingPool {
+            f64: BufferRecycler::new(tracker.clone()),
+            u8: BufferRecycler::new(tracker),
+        }
+    }
+
+    /// Copy `data` into a pooled staging buffer (the host→pinned memcpy).
+    fn snapshot(&self, data: &DeviceData) -> DeviceData {
+        match data {
+            DeviceData::F64(v) => {
+                let mut buf = self.f64.acquire(v.as_slice().len());
+                buf.copy_from_slice(v.as_slice());
+                DeviceData::F64(CcVariable::from_vec(v.region(), buf))
+            }
+            DeviceData::U8(v) => {
+                let mut buf = self.u8.acquire(v.as_slice().len());
+                buf.copy_from_slice(v.as_slice());
+                DeviceData::U8(CcVariable::from_vec(v.region(), buf))
+            }
+        }
+    }
+
+    /// Park a buffer after its burst landed. Any origin is fine — spilled
+    /// host copies re-uploaded by prefetch retire here too, which primes
+    /// the pool without a warm-up phase.
+    fn retire(&self, data: DeviceData) {
+        match data {
+            DeviceData::F64(v) => self.f64.retire(v.into_vec()),
+            DeviceData::U8(v) => self.u8.retire(v.into_vec()),
+        }
+    }
+
+    fn hits(&self) -> u64 {
+        self.f64.hits() + self.u8.hits()
+    }
+
+    fn pooled_bytes(&self) -> u64 {
+        self.f64.pooled_bytes() + self.u8.pooled_bytes()
+    }
+}
+
 /// A patch-database slot: the device-resident variable plus its LRU stamp.
 struct PatchEntry {
     var: Arc<DeviceVar>,
@@ -204,6 +373,15 @@ struct StoreState {
     level_db: HashMap<LevelKey, LevelEntry>,
     /// Evicted patch variables, host-resident until re-upload or drop.
     spill: HashMap<PatchKey, DeviceData>,
+    /// Posted-but-unconsumed prefetch uploads, keyed like the databases.
+    /// The map entry — not the completion slot — elects the installer:
+    /// removing an entry (supersede, clear, regrid, allocator pressure)
+    /// *cancels* the upload, and a consumer that waited re-checks that its
+    /// slot is still the mapped one before installing. Pending entries are
+    /// never eviction victims (they are not in the databases yet), so
+    /// their blocks stay pinned until consumed or canceled.
+    pending_patch: HashMap<PatchKey, Arc<PendingUploadShared>>,
+    pending_level: HashMap<LevelKey, Arc<PendingUploadShared>>,
     /// LRU clock: bumped on every access; entries stamp their `last_use`
     /// from it.
     clock: u64,
@@ -255,6 +433,15 @@ pub struct GpuDataWarehouse {
     /// completes inline — same handle API, same bytes, zero overlap — so the
     /// synchronous baseline runs the identical task-body code.
     async_d2h: bool,
+    /// When true (the default), posted uploads run on the H2D copy-engine
+    /// thread and consumers materialize them; when false every posted
+    /// upload completes inline at post time — same staging pool, same
+    /// engine bookkeeping, zero overlap — the bit-identical synchronous
+    /// baseline `gpu_async_h2d = false` selects.
+    async_h2d: bool,
+    /// Recycled pinned-staging buffers for posted uploads; shared with the
+    /// engine jobs that retire buffers after their burst lands.
+    staging: Arc<StagingPool>,
     /// When true (the default), a failed device allocation evicts LRU
     /// entries (spilling patch data to host) and retries instead of
     /// surfacing OOM — the oversubscription path. When false the warehouse
@@ -299,6 +486,19 @@ impl GpuDataWarehouse {
         async_d2h: bool,
         eviction: bool,
     ) -> Self {
+        Self::with_fleet_full(fleet, level_db_enabled, async_d2h, true, eviction)
+    }
+
+    /// Full fleet construction: every flag explicit. `async_h2d: false`
+    /// selects the bit-identical synchronous upload fallback (posted
+    /// uploads complete inline with the same engine bookkeeping).
+    pub fn with_fleet_full(
+        fleet: DeviceFleet,
+        level_db_enabled: bool,
+        async_d2h: bool,
+        async_h2d: bool,
+        eviction: bool,
+    ) -> Self {
         let stores = (0..fleet.num_devices()).map(|_| DeviceStore::default()).collect();
         Self {
             fleet,
@@ -306,6 +506,8 @@ impl GpuDataWarehouse {
             affinity: RwLock::new(HashMap::new()),
             level_db_enabled,
             async_d2h,
+            async_h2d,
+            staging: Arc::new(StagingPool::new()),
             eviction,
             epoch: AtomicU64::new(0),
         }
@@ -358,6 +560,12 @@ impl GpuDataWarehouse {
     #[inline]
     pub fn async_d2h(&self) -> bool {
         self.async_d2h
+    }
+
+    /// Whether posted uploads run asynchronously on the H2D copy engine.
+    #[inline]
+    pub fn async_h2d(&self) -> bool {
+        self.async_h2d
     }
 
     /// Whether memory pressure evicts LRU entries instead of failing.
@@ -474,6 +682,8 @@ impl GpuDataWarehouse {
     /// those transients are routinely the mid-arena blocks whose release
     /// re-coalesces a hole big enough for the request (the simulated
     /// equivalent of the sync-then-retry dance real CUDA apps do on OOM).
+    /// If that still fails and prefetch uploads are pending, a second
+    /// escalation cancels them — demand allocations outrank predictions.
     fn alloc_with_evict(
         &self,
         dev: DeviceId,
@@ -482,6 +692,7 @@ impl GpuDataWarehouse {
     ) -> Result<DeviceBlock, GpuError> {
         let device = self.fleet.device(dev);
         let mut drained = false;
+        let mut canceled_h2d = false;
         loop {
             match device.alloc_block(bytes) {
                 Ok(b) => return Ok(b),
@@ -492,17 +703,66 @@ impl GpuDataWarehouse {
                     if Self::evict_one(device, st) {
                         continue;
                     }
-                    if drained || device.counters().d2h_inflight == 0 {
-                        return Err(e);
+                    if !drained && device.counters().d2h_inflight != 0 {
+                        // Safe under the store lock: drain jobs touch only
+                        // the allocator mutex and their own pending slots,
+                        // never this store's state.
+                        device.sync_d2h();
+                        drained = true;
+                        continue;
                     }
-                    // Safe under the store lock: drain jobs touch only the
-                    // allocator mutex and their own pending slots, never
-                    // this store's state.
-                    device.sync_d2h();
-                    drained = true;
+                    let has_pending =
+                        !st.pending_patch.is_empty() || !st.pending_level.is_empty();
+                    if !canceled_h2d && has_pending {
+                        // Last escalation: cancel unconsumed prefetch
+                        // uploads — demand allocations outrank predictions.
+                        // The engine is drained first (upload jobs, like
+                        // drains, never take store locks) so every slot is
+                        // filled; patch bytes spill back to the host (the
+                        // posted copy may be the only one — a re-posted
+                        // spill entry), level predictions drop outright
+                        // (regenerable from host data).
+                        device.sync_h2d();
+                        let patch_keys: Vec<PatchKey> = st.pending_patch.keys().copied().collect();
+                        for key in patch_keys {
+                            let shared =
+                                st.pending_patch.remove(&key).expect("key listed under lock");
+                            let (var, _, _) = shared.wait();
+                            Self::evict_pending_to_spill(device, st, key, var);
+                        }
+                        let level_keys: Vec<LevelKey> = st.pending_level.keys().copied().collect();
+                        for key in level_keys {
+                            let shared =
+                                st.pending_level.remove(&key).expect("key listed under lock");
+                            let (var, _, _) = shared.wait();
+                            device.record_eviction(var.size_bytes());
+                        }
+                        canceled_h2d = true;
+                        continue;
+                    }
+                    return Err(e);
                 }
             }
         }
+    }
+
+    /// Spill a canceled pending-upload patch back to the host: the same
+    /// metering as [`Self::evict_patch`] (the bytes cross PCIe device→host,
+    /// then the device copy drops when the last slot handle goes).
+    fn evict_pending_to_spill(
+        device: &GpuDevice,
+        st: &mut StoreState,
+        key: PatchKey,
+        var: Arc<DeviceVar>,
+    ) {
+        let bytes = var.size_bytes();
+        device.record_d2h(bytes);
+        let t0 = Instant::now();
+        let data = var.data().clone();
+        device.record_d2h_busy(t0.elapsed());
+        device.record_spill(bytes);
+        device.record_eviction(bytes);
+        st.spill.insert(key, data);
     }
 
     /// Upload `data` to `dev` under an already-held store lock: reserve (with
@@ -534,6 +794,76 @@ impl GpuDataWarehouse {
         data
     }
 
+    /// Run one coalesced staged burst on `dev`'s H2D engine: every entry's
+    /// staging buffer is copied into its device variable (the PCIe burst),
+    /// retired back to the pool, and its completion slot filled with the
+    /// whole burst's wall time — one metered transfer regardless of how
+    /// many variables rode it. In the synchronous fallback the burst
+    /// completes inline with identical transfer/stream/in-flight
+    /// bookkeeping and the full wall charged as consumer stall.
+    fn post_upload(
+        &self,
+        dev: DeviceId,
+        batch: Vec<(DeviceData, DeviceBlock, Arc<PendingUploadShared>)>,
+    ) -> (Stream, bool) {
+        let device = self.fleet.device(dev);
+        let total: usize = batch.iter().map(|(d, _, _)| d.size_bytes()).sum();
+        let pool = Arc::clone(&self.staging);
+        if !self.async_h2d {
+            let stream = device.begin_inline_h2d(total);
+            let t0 = Instant::now();
+            let done: Vec<_> = batch
+                .into_iter()
+                .map(|(staged, block, shared)| {
+                    let data = staged.clone();
+                    pool.retire(staged);
+                    (Arc::new(DeviceVar { data, block }), shared)
+                })
+                .collect();
+            let upload = t0.elapsed();
+            device.end_inline_h2d(stream, upload);
+            // The inline burst ran on the poster's thread: the stall is
+            // paid here, so it is metered here; nothing was overlapped.
+            device.record_h2d_wait(upload);
+            for (var, shared) in done {
+                shared.fill(var, upload, true);
+            }
+            return (stream, true);
+        }
+        let stream = device.post_h2d(total, move || {
+            let t0 = Instant::now();
+            let done: Vec<_> = batch
+                .into_iter()
+                .map(|(staged, block, shared)| {
+                    let data = staged.clone();
+                    pool.retire(staged);
+                    (Arc::new(DeviceVar { data, block }), shared)
+                })
+                .collect();
+            let upload = t0.elapsed();
+            for (var, shared) in done {
+                shared.fill(var, upload, false);
+            }
+        });
+        (stream, false)
+    }
+
+    /// Wait out a posted upload, metering the consumer-visible stall and
+    /// the engine wall hidden behind other work. Inline (synchronous
+    /// fallback) uploads were fully charged at post time, so the consumer
+    /// side meters nothing.
+    fn settle_upload(&self, dev: DeviceId, shared: &PendingUploadShared) -> Arc<DeviceVar> {
+        let t0 = Instant::now();
+        let (var, upload, inline) = shared.wait();
+        if !inline {
+            let blocked = t0.elapsed();
+            let device = self.fleet.device(dev);
+            device.record_h2d_wait(blocked);
+            device.record_h2d_overlap(upload.saturating_sub(blocked));
+        }
+        var
+    }
+
     /// Allocate a kernel *output* variable on the patch's home device (no
     /// host→device transfer: the data is produced on the GPU).
     pub fn alloc_patch_output(
@@ -545,6 +875,8 @@ impl GpuDataWarehouse {
         let dev = self.device_for_patch(patch);
         let mut st = self.stores[dev].state.lock();
         st.spill.remove(&(label, patch));
+        // A kernel output supersedes (cancels) any posted upload in flight.
+        st.pending_patch.remove(&(label, patch));
         let bytes = data.size_bytes();
         let block = self.alloc_with_evict(dev, &mut st, bytes)?;
         let var = Arc::new(DeviceVar { data, block });
@@ -569,8 +901,10 @@ impl GpuDataWarehouse {
     ) -> Result<Arc<DeviceVar>, GpuError> {
         let dev = self.device_for_patch(patch);
         let mut st = self.stores[dev].state.lock();
-        // Fresh data supersedes any spilled copy of this variable.
+        // Fresh data supersedes any spilled copy of this variable — and
+        // cancels any posted upload still in flight.
         st.spill.remove(&(label, patch));
+        st.pending_patch.remove(&(label, patch));
         let var = self.upload_locked(dev, &mut st, data)?;
         let clock = st.tick();
         st.patch_db.insert(
@@ -583,41 +917,117 @@ impl GpuDataWarehouse {
         Ok(var)
     }
 
-    /// Device-side handle for a per-patch variable. A variable evicted to
-    /// the host spill map is transparently re-uploaded (metered as an H2D
-    /// transfer and counted as a re-upload); `None` means the variable is
-    /// neither resident nor spilled — or re-upload failed because even
-    /// after eviction nothing fits, in which case the spilled copy is kept.
+    /// Post the host→device copy of a per-patch variable to its home
+    /// device's H2D copy engine and return a [`PendingH2D`] completion
+    /// handle. The host bytes are snapshotted into the recycled staging
+    /// pool *before* this returns — the caller may mutate or drop its
+    /// buffer immediately — and the device block is carved (with LRU
+    /// eviction) at post time, so capacity errors surface here, not on the
+    /// engine thread. The post supersedes any resident, spilled, or
+    /// previously posted copy of the variable; the next
+    /// [`Self::get_patch`] installs the finished upload into the patch DB,
+    /// blocking only for the part of the burst not already hidden.
+    ///
+    /// In synchronous-fallback mode (`async_h2d == false`) the burst
+    /// completes inline before returning — identical data, identical
+    /// transfer/stream/in-flight bookkeeping via the device's inline-H2D
+    /// pair, the full upload wall metered as consumer stall.
+    pub fn put_patch_async(
+        &self,
+        label: VarLabel,
+        patch: PatchId,
+        data: &DeviceData,
+    ) -> Result<PendingH2D, GpuError> {
+        let dev = self.device_for_patch(patch);
+        let key = (label, patch);
+        let bytes = data.size_bytes();
+        let mut st = self.stores[dev].state.lock();
+        // The posted bytes are the variable's new truth: drop every older
+        // copy (resident, spilled, or a prior in-flight post — which is
+        // thereby canceled, never installed).
+        st.patch_db.remove(&key);
+        st.spill.remove(&key);
+        st.pending_patch.remove(&key);
+        let block = self.alloc_with_evict(dev, &mut st, bytes)?;
+        let staged = self.staging.snapshot(data);
+        let shared = Arc::new(PendingUploadShared::default());
+        st.pending_patch.insert(key, Arc::clone(&shared));
+        drop(st);
+        let (stream, inline) = self.post_upload(dev, vec![(staged, block, Arc::clone(&shared))]);
+        Ok(PendingH2D {
+            shared,
+            bytes,
+            stream,
+            inline,
+        })
+    }
+
+    /// Device-side handle for a per-patch variable. A posted upload in
+    /// flight for this key is *materialized* here: the call blocks only
+    /// for the part of the burst not already hidden, then installs the
+    /// finished variable into the patch DB (first consumer wins; a post
+    /// canceled while waiting is retried against current state, never
+    /// served stale). A variable evicted to the host spill map is
+    /// transparently re-uploaded (metered as an H2D transfer and counted
+    /// as a re-upload); `None` means the variable is neither resident,
+    /// pending, nor spilled — or re-upload failed because even after
+    /// eviction nothing fits, in which case the spilled copy is kept.
     pub fn get_patch(&self, label: VarLabel, patch: PatchId) -> Option<Arc<DeviceVar>> {
         let dev = self.device_for_patch(patch);
         let device = self.fleet.device(dev);
-        let mut st = self.stores[dev].state.lock();
-        let clock = st.tick();
-        if let Some(e) = st.patch_db.get_mut(&(label, patch)) {
-            e.last_use = clock;
-            return Some(Arc::clone(&e.var));
-        }
-        // Transparent re-upload from the host spill map.
-        let data = st.spill.remove(&(label, patch))?;
-        let bytes = data.size_bytes();
-        let block = match self.alloc_with_evict(dev, &mut st, bytes) {
-            Ok(b) => b,
-            Err(_) => {
-                st.spill.insert((label, patch), data);
-                return None;
+        loop {
+            let mut st = self.stores[dev].state.lock();
+            let clock = st.tick();
+            if let Some(e) = st.patch_db.get_mut(&(label, patch)) {
+                e.last_use = clock;
+                return Some(Arc::clone(&e.var));
             }
-        };
-        device.record_h2d(bytes);
-        device.record_reupload(bytes);
-        let var = Arc::new(DeviceVar { data, block });
-        st.patch_db.insert(
-            (label, patch),
-            PatchEntry {
-                var: Arc::clone(&var),
-                last_use: clock,
-            },
-        );
-        Some(var)
+            // A posted upload for this key: wait it out off-lock, then
+            // confirm the pending entry is still *this* slot — a regrid
+            // clear or a superseding write while we waited cancels the
+            // install and we retry against whatever is current.
+            if let Some(shared) = st.pending_patch.get(&(label, patch)).map(Arc::clone) {
+                drop(st);
+                let var = self.settle_upload(dev, &shared);
+                let mut st = self.stores[dev].state.lock();
+                match st.pending_patch.get(&(label, patch)) {
+                    Some(cur) if Arc::ptr_eq(cur, &shared) => {
+                        st.pending_patch.remove(&(label, patch));
+                        let clock = st.tick();
+                        st.patch_db.insert(
+                            (label, patch),
+                            PatchEntry {
+                                var: Arc::clone(&var),
+                                last_use: clock,
+                            },
+                        );
+                        return Some(var);
+                    }
+                    _ => continue,
+                }
+            }
+            // Transparent re-upload from the host spill map.
+            let data = st.spill.remove(&(label, patch))?;
+            let bytes = data.size_bytes();
+            let block = match self.alloc_with_evict(dev, &mut st, bytes) {
+                Ok(b) => b,
+                Err(_) => {
+                    st.spill.insert((label, patch), data);
+                    return None;
+                }
+            };
+            device.record_h2d(bytes);
+            device.record_reupload(bytes);
+            let var = Arc::new(DeviceVar { data, block });
+            st.patch_db.insert(
+                (label, patch),
+                PatchEntry {
+                    var: Arc::clone(&var),
+                    last_use: clock,
+                },
+            );
+            return Some(var);
+        }
     }
 
     /// Copy a per-patch variable device→host and drop it from the device
@@ -637,6 +1047,13 @@ impl GpuDataWarehouse {
             let data = e.var.data().clone();
             device.record_d2h_busy(t0.elapsed());
             return Some(data);
+        }
+        if st.pending_patch.contains_key(&(label, patch)) {
+            // A posted upload is the variable's current truth: materialize
+            // it into the DB, then take through the normal D2H path.
+            drop(st);
+            self.get_patch(label, patch)?;
+            return self.take_patch_to_host(label, patch);
         }
         st.spill.remove(&(label, patch))
     }
@@ -661,6 +1078,14 @@ impl GpuDataWarehouse {
         let dev = self.device_for_patch(patch);
         let device = self.fleet.device(dev);
         let mut st = self.stores[dev].state.lock();
+        if !st.patch_db.contains_key(&(label, patch)) && st.pending_patch.contains_key(&(label, patch))
+        {
+            // A posted upload is the variable's current truth: materialize
+            // it into the DB first, then post the drain as usual.
+            drop(st);
+            self.get_patch(label, patch)?;
+            return self.take_patch_to_host_async(label, patch);
+        }
         let Some(e) = st.patch_db.remove(&(label, patch)) else {
             let data = st.spill.remove(&(label, patch))?;
             drop(st);
@@ -710,12 +1135,13 @@ impl GpuDataWarehouse {
 
     /// Drop a per-patch input without a device→host transfer (inputs are
     /// discarded after the kernel; only outputs cross PCIe back). Clears
-    /// any spilled copy too.
+    /// any spilled copy too, and cancels a posted upload still in flight.
     pub fn drop_patch(&self, label: VarLabel, patch: PatchId) {
         let dev = self.device_for_patch(patch);
         let mut st = self.stores[dev].state.lock();
         st.patch_db.remove(&(label, patch));
         st.spill.remove(&(label, patch));
+        st.pending_patch.remove(&(label, patch));
     }
 
     /// Obtain the shared per-level variable on device 0, uploading it at
@@ -807,22 +1233,81 @@ impl GpuDataWarehouse {
         if !self.level_db_enabled {
             return self.upload_on(dev, self.produce_timed_on(dev, producer));
         }
-        let device = self.fleet.device(dev);
         let now = self.epoch();
         let key = (label, level);
         let mut st = self.stores[dev].state.lock();
         let clock = st.tick();
-        let existing = st.level_db.get(&key).map(|e| (Arc::clone(&e.var), e.epoch));
-        match existing {
-            Some((var, epoch)) if epoch == now => {
-                drop(var);
-                let e = st.level_db.get_mut(&key).expect("entry present: lock held");
+        let fresh = st.level_db.get_mut(&key).and_then(|e| {
+            if e.epoch == now {
                 e.last_use = clock;
-                Ok(Arc::clone(&e.var))
+                Some(Arc::clone(&e.var))
+            } else {
+                None
             }
-            Some((var, _)) => {
+        });
+        if let Some(var) = fresh {
+            // A prediction superseded by an already-fresh entry is dead
+            // weight: cancel it so its block frees when the burst lands.
+            st.pending_level.remove(&key);
+            return Ok(var);
+        }
+        if let Some(shared) = st.pending_level.get(&key).map(Arc::clone) {
+            // A posted prediction for this replica: wait it out off-lock,
+            // then *verify* — the producer's output is this step's truth,
+            // and the prediction installs only when it matches bit for bit
+            // (which is what keeps divQ identical in both upload modes).
+            drop(st);
+            let pvar = self.settle_upload(dev, &shared);
+            let host = self.produce_timed_on(dev, producer);
+            let mut st = self.stores[dev].state.lock();
+            let clock = st.tick();
+            let ours = match st.pending_level.get(&key) {
+                Some(cur) if Arc::ptr_eq(cur, &shared) => {
+                    st.pending_level.remove(&key);
+                    true
+                }
+                // Canceled or superseded while waiting: revalidate
+                // whatever is current instead.
+                _ => false,
+            };
+            if ours && pvar.data().diff_bytes(&host) == 0 {
+                st.level_db.insert(
+                    key,
+                    LevelEntry {
+                        var: Arc::clone(&pvar),
+                        epoch: now,
+                        last_use: clock,
+                    },
+                );
+                return Ok(pvar);
+            }
+            // Mispredicted (the wasted burst was already metered as engine
+            // traffic) or canceled: release the predicted bytes and fall
+            // back to the normal revalidation path with the host data
+            // already in hand.
+            drop(pvar);
+            return self.revalidate_level_locked(dev, &mut st, key, now, clock, host);
+        }
+        let host = self.produce_timed_on(dev, producer);
+        self.revalidate_level_locked(dev, &mut st, key, now, clock, host)
+    }
+
+    /// The stale/missing-replica revalidation core of
+    /// [`Self::ensure_level_fresh_on`], entered with the host data already
+    /// produced and the store lock held.
+    fn revalidate_level_locked(
+        &self,
+        dev: DeviceId,
+        st: &mut StoreState,
+        key: LevelKey,
+        now: u64,
+        clock: u64,
+        host: DeviceData,
+    ) -> Result<Arc<DeviceVar>, GpuError> {
+        let device = self.fleet.device(dev);
+        match st.level_db.get(&key).map(|e| Arc::clone(&e.var)) {
+            Some(var) => {
                 // Stale resident replica: revalidate against host data.
-                let host = self.produce_timed_on(dev, producer);
                 let changed = var.data().diff_bytes(&host);
                 let same_size = host.size_bytes() == var.size_bytes();
                 // Drop the probe handle so the DB entry can observe a
@@ -855,7 +1340,7 @@ impl GpuDataWarehouse {
                 // (Eviction may reclaim the unreferenced old entry itself,
                 // which is fine: it is superseded by the insert below.)
                 let bytes = host.size_bytes();
-                let block = self.alloc_with_evict(dev, &mut st, bytes)?;
+                let block = self.alloc_with_evict(dev, st, bytes)?;
                 device.record_h2d(bytes);
                 let var = Arc::new(DeviceVar { data: host, block });
                 st.level_db.insert(
@@ -869,8 +1354,7 @@ impl GpuDataWarehouse {
                 Ok(var)
             }
             None => {
-                let host = self.produce_timed_on(dev, producer);
-                let var = self.upload_locked(dev, &mut st, host)?;
+                let var = self.upload_locked(dev, st, host)?;
                 st.level_db.insert(
                     key,
                     LevelEntry {
@@ -882,6 +1366,137 @@ impl GpuDataWarehouse {
                 Ok(var)
             }
         }
+    }
+
+    /// Post one predicted level-replica revalidation on `dev` without
+    /// blocking for the burst. `host` is the *predicted* next-step data:
+    /// if a resident replica already matches it bit for bit nothing is
+    /// posted (the next `ensure_level_fresh_on` will re-stamp with no
+    /// transfer either way); a changed or missing replica is staged
+    /// through the pinned pool and posted to the H2D engine. Installs
+    /// nothing — the next `ensure_level_fresh_on` verifies the prediction
+    /// against its producer's output before trusting it, so a wrong
+    /// prediction costs a wasted burst, never a wrong answer. Returns
+    /// whether an upload was posted.
+    pub fn prefetch_level_on(
+        &self,
+        dev: DeviceId,
+        label: VarLabel,
+        level: LevelIndex,
+        host: &DeviceData,
+    ) -> bool {
+        if !self.level_db_enabled {
+            return false;
+        }
+        let key = (label, level);
+        let mut st = self.stores[dev].state.lock();
+        if st.pending_level.contains_key(&key) {
+            return false; // one prediction in flight is enough
+        }
+        let resident_matches = st
+            .level_db
+            .get(&key)
+            .is_some_and(|e| e.var.data().diff_bytes(host) == 0);
+        if resident_matches {
+            return false;
+        }
+        let Ok(block) = self.alloc_with_evict(dev, &mut st, host.size_bytes()) else {
+            return false; // capacity says no: the step will upload inline
+        };
+        let staged = self.staging.snapshot(host);
+        let shared = Arc::new(PendingUploadShared::default());
+        st.pending_level.insert(key, Arc::clone(&shared));
+        drop(st);
+        self.post_upload(dev, vec![(staged, block, shared)]);
+        true
+    }
+
+    /// Cross-step prefetch: post predicted revalidations for every level
+    /// replica resident on any device, coalesced into one staged burst per
+    /// device. `source` supplies the predicted host data per
+    /// `(label, level)` — typically the current step's sealed level fields,
+    /// posted at step close so the bursts overlap the inter-step CPU work.
+    /// Replicas whose resident bytes already match the prediction post
+    /// nothing; capacity pressure skips (never evicts for) a prediction.
+    /// Returns the number of uploads posted.
+    pub fn prefetch_resident_levels(
+        &self,
+        source: impl Fn(VarLabel, LevelIndex) -> Option<Arc<DeviceData>>,
+    ) -> usize {
+        if !self.level_db_enabled {
+            return 0;
+        }
+        let mut posted = 0;
+        for dev in 0..self.num_devices() {
+            let mut st = self.stores[dev].state.lock();
+            let keys: Vec<LevelKey> = st.level_db.keys().copied().collect();
+            let mut batch = Vec::new();
+            for key in keys {
+                if st.pending_level.contains_key(&key) {
+                    continue;
+                }
+                let Some(host) = source(key.0, key.1) else {
+                    continue;
+                };
+                let matches = st
+                    .level_db
+                    .get(&key)
+                    .is_some_and(|e| e.var.data().diff_bytes(&host) == 0);
+                if matches {
+                    continue;
+                }
+                let Ok(block) = self.alloc_with_evict(dev, &mut st, host.size_bytes()) else {
+                    continue;
+                };
+                let staged = self.staging.snapshot(&host);
+                let shared = Arc::new(PendingUploadShared::default());
+                st.pending_level.insert(key, Arc::clone(&shared));
+                batch.push((staged, block, shared));
+                posted += 1;
+            }
+            drop(st);
+            if !batch.is_empty() {
+                self.post_upload(dev, batch);
+            }
+        }
+        posted
+    }
+
+    /// Cross-step prefetch of spill re-uploads: post every host-spilled
+    /// patch variable back to its device in one coalesced burst per device,
+    /// so the next step's `get_patch` materializes a finished upload
+    /// instead of paying the re-upload wall inline. The spilled host copy
+    /// is authoritative (it *is* the variable), so it rides the burst
+    /// directly as staged data — no snapshot copy, no verify at consume —
+    /// and its buffer retires into the staging pool afterwards. Entries
+    /// whose allocation fails even after eviction stay spilled. Returns the
+    /// number of uploads posted.
+    pub fn prefetch_spill_reuploads(&self) -> usize {
+        let mut posted = 0;
+        for dev in 0..self.num_devices() {
+            let device = self.fleet.device(dev);
+            let mut st = self.stores[dev].state.lock();
+            let keys: Vec<PatchKey> = st.spill.keys().copied().collect();
+            let mut batch = Vec::new();
+            for key in keys {
+                let data = st.spill.remove(&key).expect("key listed under lock");
+                let bytes = data.size_bytes();
+                let Ok(block) = self.alloc_with_evict(dev, &mut st, bytes) else {
+                    st.spill.insert(key, data);
+                    continue;
+                };
+                device.record_reupload(bytes);
+                let shared = Arc::new(PendingUploadShared::default());
+                st.pending_patch.insert(key, Arc::clone(&shared));
+                batch.push((data, block, shared));
+                posted += 1;
+            }
+            drop(st);
+            if !batch.is_empty() {
+                self.post_upload(dev, batch);
+            }
+        }
+        posted
     }
 
     /// Look up a level variable on device 0 without uploading.
@@ -923,18 +1538,36 @@ impl GpuDataWarehouse {
     /// Drop every per-level entry on every device (end of radiation
     /// timestep).
     pub fn clear_level_db(&self) {
-        for s in &self.stores {
-            s.state.lock().level_db.clear();
+        for (i, s) in self.stores.iter().enumerate() {
+            let mut st = s.state.lock();
+            if !st.pending_level.is_empty() {
+                // Let in-flight bursts land so canceling below frees their
+                // blocks immediately (engine jobs never take store locks).
+                self.fleet.device(i).sync_h2d();
+            }
+            st.level_db.clear();
+            // Canceled, not installed: the consumer that was going to
+            // materialize these finds the map entry gone and regenerates.
+            st.pending_level.clear();
         }
     }
 
     /// Drop every per-patch entry on every device, including host-spilled
-    /// copies.
+    /// copies. Posted patch uploads still in flight are canceled (their
+    /// blocks free when the burst lands and the last slot handle drops);
+    /// posted *level* predictions survive — this runs at every step close,
+    /// and canceling there would defeat cross-step prefetch.
     pub fn clear_patch_db(&self) {
-        for s in &self.stores {
+        for (i, s) in self.stores.iter().enumerate() {
             let mut st = s.state.lock();
+            if !st.pending_patch.is_empty() {
+                // Let in-flight bursts land so canceling below frees their
+                // blocks immediately (engine jobs never take store locks).
+                self.fleet.device(i).sync_h2d();
+            }
             st.patch_db.clear();
             st.spill.clear();
+            st.pending_patch.clear();
         }
     }
 
@@ -961,12 +1594,20 @@ impl GpuDataWarehouse {
         let mut levels = 0;
         for &dev in devices {
             self.fleet.device(dev).sync_d2h();
+            // Let in-flight upload bursts land before canceling them: the
+            // engine never takes store locks, so this cannot deadlock, and
+            // afterwards every pending slot is filled — dropping the map
+            // entries below releases the uploaded blocks immediately
+            // instead of installing pre-regrid bytes.
+            self.fleet.device(dev).sync_h2d();
             let mut st = self.stores[dev].state.lock();
             patches += st.patch_db.len();
             st.patch_db.clear();
             st.spill.clear();
+            st.pending_patch.clear();
             levels += st.level_db.len();
             st.level_db.clear();
+            st.pending_level.clear();
         }
         (patches, levels)
     }
@@ -974,6 +1615,13 @@ impl GpuDataWarehouse {
     /// Block until every device's D2H copy-engine timeline is empty.
     pub fn sync_d2h_all(&self) {
         self.fleet.sync_d2h_all();
+    }
+
+    /// Block until every device's H2D copy-engine timeline is empty.
+    /// Pending uploads stay pending (completed, uninstalled) — consumers
+    /// still materialize them; this only guarantees no burst is mid-copy.
+    pub fn sync_h2d_all(&self) {
+        self.fleet.sync_h2d_all();
     }
 
     /// One counter snapshot per device, in device order.
@@ -1034,6 +1682,29 @@ impl GpuDataWarehouse {
     /// Host bytes held in every device's spill map.
     pub fn spill_bytes(&self) -> usize {
         (0..self.num_devices()).map(|d| self.spill_bytes_on(d)).sum()
+    }
+
+    /// Posted-but-unconsumed prefetch uploads (patch + level) across all
+    /// devices.
+    pub fn pending_uploads(&self) -> usize {
+        self.stores
+            .iter()
+            .map(|s| {
+                let st = s.state.lock();
+                st.pending_patch.len() + st.pending_level.len()
+            })
+            .sum()
+    }
+
+    /// Host bytes parked in the recycled staging pool, ready for reuse.
+    pub fn staging_pooled_bytes(&self) -> u64 {
+        self.staging.pooled_bytes()
+    }
+
+    /// Staging-buffer acquisitions served from the pool instead of a fresh
+    /// allocation.
+    pub fn staging_reuse_hits(&self) -> u64 {
+        self.staging.hits()
     }
 }
 
@@ -1622,5 +2293,229 @@ mod tests {
         assert_eq!(c[0].d2h_inflight, 0);
         assert_eq!(c[1].d2h_inflight, 0);
         assert_eq!(dw.fleet().total_used(), 0, "no leaked bytes on any device");
+    }
+
+    fn dw_with_h2d(async_h2d: bool) -> GpuDataWarehouse {
+        GpuDataWarehouse::with_fleet_full(
+            DeviceFleet::single(GpuDevice::k20x()),
+            true,
+            true,
+            async_h2d,
+            true,
+        )
+    }
+
+    #[test]
+    fn put_patch_async_materializes_on_first_get() {
+        let dw = dw_with_h2d(true);
+        let p = PatchId(7);
+        let data = field(8, 4.25);
+        let h = dw.put_patch_async(DIVQ, p, &data).unwrap();
+        assert_eq!(h.bytes(), 8usize.pow(3) * 8);
+        assert_eq!(dw.pending_uploads(), 1);
+        assert_eq!(dw.patch_entries(), 0, "not in the DB until consumed");
+        // The upload was metered at post time, on the engine timeline.
+        assert_eq!(dw.device().counters().h2d_transfers, 1);
+        let v = dw.get_patch(DIVQ, p).expect("materializes the posted upload");
+        assert_eq!(v.data().as_f64()[uintah_grid::IntVector::ZERO], 4.25);
+        assert_eq!(dw.pending_uploads(), 0);
+        assert_eq!(dw.patch_entries(), 1);
+        // No second transfer: the get consumed the posted burst.
+        dw.sync_h2d_all();
+        let c = dw.device().counters();
+        assert_eq!(c.h2d_transfers, 1);
+        assert_eq!(c.h2d_inflight, 0);
+        // The handle can also be waited directly and shares the same var.
+        let (hv, _upload, _blocked) = h.wait_timed();
+        assert!(Arc::ptr_eq(&hv, &v));
+    }
+
+    #[test]
+    fn inline_upload_matches_async_counters_exactly() {
+        // The synchronous fallback must leave the device meters in exactly
+        // the state the posted path does once both quiesce: same transfer
+        // counts, bytes, in-flight, streams — mode only moves wall-time
+        // buckets (busy/wait/overlap), which are zeroed for the comparison.
+        let run = |async_h2d: bool| {
+            let dw = dw_with_h2d(async_h2d);
+            let p = PatchId(3);
+            let h = dw.put_patch_async(DIVQ, p, &field(8, 1.5)).unwrap();
+            assert_eq!(h.inline, !async_h2d);
+            let v = dw.get_patch(DIVQ, p).unwrap();
+            assert_eq!(v.data().as_f64()[uintah_grid::IntVector::ZERO], 1.5);
+            drop(v);
+            let lvl = dw.prefetch_level_on(0, ABSKG, 0, &field(16, 0.9));
+            assert!(lvl, "missing replica: prediction posted");
+            dw.ensure_level_fresh(ABSKG, 0, || field(16, 0.9)).map(drop).unwrap();
+            dw.sync_h2d_all();
+            let mut c = dw.device().counters();
+            c.h2d_busy_ns = 0;
+            c.d2h_busy_ns = 0;
+            c.h2d_wait_ns = 0;
+            c.h2d_overlap_ns = 0;
+            c
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn inline_upload_charges_full_wall_and_zero_overlap() {
+        let dw = dw_with_h2d(false);
+        let h = dw.put_patch_async(DIVQ, PatchId(1), &field(8, 2.0)).unwrap();
+        assert!(h.is_complete(), "inline post completes before returning");
+        let c = dw.device().counters();
+        assert_eq!(c.h2d_overlap_ns, 0, "nothing is hidden in sync mode");
+        assert_eq!(c.h2d_inflight, 0);
+        let wait_at_post = c.h2d_wait_ns;
+        // Consuming an inline upload adds no further stall.
+        dw.get_patch(DIVQ, PatchId(1)).unwrap();
+        assert_eq!(dw.device().counters().h2d_wait_ns, wait_at_post);
+    }
+
+    #[test]
+    fn prefetch_spill_reuploads_posts_coalesced_burst() {
+        let dw = dw_with_h2d(true);
+        let device = dw.device().clone();
+        let patches = [PatchId(0), PatchId(1), PatchId(2)];
+        for (i, &p) in patches.iter().enumerate() {
+            dw.put_patch(DIVQ, p, field(8, i as f64)).unwrap();
+        }
+        // Force everything out to the host spill map.
+        while {
+            let mut st = dw.stores[0].state.lock();
+            GpuDataWarehouse::evict_one(&device, &mut st)
+        } {}
+        assert_eq!(dw.spill_entries(), 3);
+        assert_eq!(dw.device().used(), 0);
+        let before = dw.device().counters();
+        assert_eq!(dw.prefetch_spill_reuploads(), 3);
+        assert_eq!(dw.spill_entries(), 0);
+        assert_eq!(dw.pending_uploads(), 3);
+        let after = dw.device().counters();
+        assert_eq!(
+            after.h2d_transfers,
+            before.h2d_transfers + 1,
+            "three re-uploads coalesce into one staged burst"
+        );
+        assert_eq!(after.reuploads, before.reuploads + 3);
+        // Consumers see the exact spilled bytes, no additional transfer.
+        for (i, &p) in patches.iter().enumerate() {
+            let v = dw.get_patch(DIVQ, p).unwrap();
+            assert_eq!(v.data().as_f64()[uintah_grid::IntVector::ZERO], i as f64);
+        }
+        dw.sync_h2d_all();
+        assert_eq!(dw.device().counters().h2d_transfers, before.h2d_transfers + 1);
+        // Burst buffers retired into the staging pool for the next post.
+        assert!(dw.staging_pooled_bytes() > 0);
+    }
+
+    #[test]
+    fn regrid_cancels_posted_uploads_not_installed() {
+        let dw = dw_with_h2d(true);
+        let p = PatchId(9);
+        let _h = dw.put_patch_async(DIVQ, p, &field(8, 5.0)).unwrap();
+        dw.prefetch_level_on(0, ABSKG, 0, &field(16, 0.9));
+        assert_eq!(dw.pending_uploads(), 2);
+        dw.invalidate_for_regrid();
+        assert_eq!(dw.pending_uploads(), 0, "in-flight uploads canceled");
+        assert_eq!(dw.patch_entries(), 0);
+        assert_eq!(dw.level_entries(), 0);
+        assert!(dw.get_patch(DIVQ, p).is_none(), "canceled upload is never served");
+        // The canceled patch burst's block frees once the external handle
+        // drops; the level prediction (no external handle) freed already.
+        drop(_h);
+        assert_eq!(dw.device().used(), 0, "no leaked device bytes after cancel");
+        assert_eq!(dw.device().counters().release_underflows, 0);
+    }
+
+    #[test]
+    fn prefetch_level_confirmed_prediction_installs_without_new_transfer() {
+        let dw = dw_with_h2d(true);
+        dw.ensure_level_fresh(ABSKG, 0, || field(16, 0.9)).map(drop).unwrap();
+        dw.begin_timestep();
+        // Step close: post the predicted next-step replica (changed data).
+        assert!(dw.prefetch_level_on(0, ABSKG, 0, &field(16, 1.1)));
+        let transfers_after_post = dw.device().counters().h2d_transfers;
+        // Next step's consumer produces the same data → the prediction is
+        // verified bit-for-bit and installed with no further transfer.
+        let v = dw.ensure_level_fresh(ABSKG, 0, || field(16, 1.1)).unwrap();
+        assert_eq!(v.data().as_f64()[uintah_grid::IntVector::ZERO], 1.1);
+        dw.sync_h2d_all();
+        assert_eq!(dw.device().counters().h2d_transfers, transfers_after_post);
+        assert_eq!(dw.pending_uploads(), 0);
+        assert_eq!(dw.level_entry_epoch(ABSKG, 0), Some(1));
+        // An unchanged resident replica posts nothing at all.
+        dw.begin_timestep();
+        assert!(!dw.prefetch_level_on(0, ABSKG, 0, &field(16, 1.1)));
+    }
+
+    #[test]
+    fn prefetch_level_mispredicted_falls_back_bit_identical() {
+        let dw = dw_with_h2d(true);
+        dw.ensure_level_fresh(ABSKG, 0, || field(16, 0.9)).map(drop).unwrap();
+        dw.begin_timestep();
+        // A wrong prediction: the burst is wasted, never trusted.
+        assert!(dw.prefetch_level_on(0, ABSKG, 0, &field(16, 7.7)));
+        let v = dw.ensure_level_fresh(ABSKG, 0, || field(16, 1.1)).unwrap();
+        assert_eq!(
+            v.data().as_f64()[uintah_grid::IntVector::ZERO],
+            1.1,
+            "producer output wins over the misprediction"
+        );
+        assert_eq!(dw.pending_uploads(), 0);
+        dw.sync_h2d_all();
+        drop(v);
+        dw.clear_level_db();
+        assert_eq!(dw.device().used(), 0, "mispredicted bytes released");
+        assert_eq!(dw.device().counters().release_underflows, 0);
+    }
+
+    #[test]
+    fn staging_pool_recycles_upload_buffers() {
+        let dw = dw_with_h2d(true);
+        let data = field(8, 1.0);
+        dw.put_patch_async(DIVQ, PatchId(0), &data).unwrap();
+        dw.get_patch(DIVQ, PatchId(0)).map(drop).unwrap();
+        dw.sync_h2d_all();
+        let hits_before = dw.staging_reuse_hits();
+        assert!(dw.staging_pooled_bytes() > 0, "first burst parked its buffer");
+        // Same-shaped posts reuse the parked buffer instead of allocating.
+        for i in 1..5u32 {
+            dw.put_patch_async(DIVQ, PatchId(i), &data).unwrap();
+            dw.get_patch(DIVQ, PatchId(i)).map(drop).unwrap();
+            dw.sync_h2d_all();
+        }
+        assert!(dw.staging_reuse_hits() >= hits_before + 4);
+    }
+
+    #[test]
+    fn allocator_pressure_cancels_prefetch_and_respills() {
+        // Pending uploads outrank nothing — a demand allocation cancels
+        // them: patch bytes re-spill to the host (they may be the only
+        // copy), level predictions drop. The demand allocation succeeds.
+        let field_bytes = 8usize.pow(3) * 8;
+        let device = GpuDevice::with_capacity("tiny", field_bytes + 512);
+        let dw = GpuDataWarehouse::with_fleet_full(
+            DeviceFleet::single(device),
+            true,
+            true,
+            true,
+            true,
+        );
+        let h = dw.put_patch_async(DIVQ, PatchId(0), &field(8, 3.5)).unwrap();
+        drop(h); // no external pin
+        assert_eq!(dw.pending_uploads(), 1);
+        // Demand allocation for a second patch: nothing evictable in the
+        // DBs, so the pending upload is canceled and its bytes re-spilled.
+        dw.put_patch(DIVQ, PatchId(1), field(8, 9.0)).unwrap();
+        assert_eq!(dw.pending_uploads(), 0);
+        assert_eq!(dw.spill_entries(), 1, "canceled upload re-spilled, not lost");
+        // Both variables still serve their exact bytes.
+        let v1 = dw.get_patch(DIVQ, PatchId(1)).unwrap();
+        assert_eq!(v1.data().as_f64()[uintah_grid::IntVector::ZERO], 9.0);
+        drop(v1);
+        dw.drop_patch(DIVQ, PatchId(1));
+        let v0 = dw.get_patch(DIVQ, PatchId(0)).unwrap();
+        assert_eq!(v0.data().as_f64()[uintah_grid::IntVector::ZERO], 3.5);
     }
 }

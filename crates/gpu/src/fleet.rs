@@ -99,6 +99,14 @@ impl DeviceFleet {
         }
     }
 
+    /// Block until every device's H2D copy-engine timeline is empty —
+    /// every posted upload burst has landed (not necessarily consumed).
+    pub fn sync_h2d_all(&self) {
+        for d in &self.devices {
+            d.sync_h2d();
+        }
+    }
+
     /// One counter snapshot per device, in device order.
     pub fn counters_per_device(&self) -> Vec<DeviceCounters> {
         self.devices.iter().map(|d| d.counters()).collect()

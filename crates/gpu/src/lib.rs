@@ -30,5 +30,5 @@ pub mod dw;
 pub mod fleet;
 
 pub use device::{CopyEngineStats, DeviceBlock, DeviceCounters, GpuDevice, GpuError, Stream};
-pub use dw::{DeviceData, DeviceVar, GpuDataWarehouse, PendingD2H};
+pub use dw::{DeviceData, DeviceVar, GpuDataWarehouse, PendingD2H, PendingH2D};
 pub use fleet::{lpt_assign, sticky_device, DeviceFleet, DeviceId, GpuAffinity};

@@ -37,6 +37,13 @@ pub struct DeviceCalibration {
     pub h2d_bytes: u64,
     /// Copy-engine-0 occupancy, nanoseconds.
     pub h2d_busy_ns: u64,
+    /// Consumer stall on posted uploads, nanoseconds (residual wait on the
+    /// async path; the full inline upload wall on the synchronous
+    /// fallback).
+    pub h2d_wait_ns: u64,
+    /// Posted-upload wall hidden behind other work, nanoseconds (zero on
+    /// the synchronous fallback).
+    pub h2d_overlap_ns: u64,
     /// Device→host bytes drained through copy engine 1.
     pub d2h_bytes: u64,
     /// Copy-engine-1 occupancy, nanoseconds.
@@ -108,6 +115,8 @@ impl CalibrationSnapshot {
             dev.kernels.accumulate(&d.kernel_stats);
             dev.h2d_bytes += d.h2d_bytes;
             dev.h2d_busy_ns += d.h2d_busy_ns;
+            dev.h2d_wait_ns += d.h2d_wait_ns;
+            dev.h2d_overlap_ns += d.h2d_overlap_ns;
             dev.d2h_bytes += d.d2h_bytes;
             dev.d2h_busy_ns += d.d2h_busy_ns;
         }
@@ -153,17 +162,29 @@ impl CalibrationSnapshot {
     /// Copy-engine totals summed across devices and both directions:
     /// `(bytes, busy_ns)`.
     pub fn engine_totals(&self) -> (u64, u64) {
-        self.devices.iter().fold((0, 0), |(b, n), d| {
-            (
-                b + d.h2d_bytes + d.d2h_bytes,
-                n + d.h2d_busy_ns + d.d2h_busy_ns,
-            )
-        })
+        let (hb, hn) = self.h2d_totals();
+        let (db, dn) = self.d2h_totals();
+        (hb + db, hn + dn)
+    }
+
+    /// Upload-engine totals summed across devices: `(bytes, busy_ns)`.
+    pub fn h2d_totals(&self) -> (u64, u64) {
+        self.devices
+            .iter()
+            .fold((0, 0), |(b, n), d| (b + d.h2d_bytes, n + d.h2d_busy_ns))
+    }
+
+    /// Drain-engine totals summed across devices: `(bytes, busy_ns)`.
+    pub fn d2h_totals(&self) -> (u64, u64) {
+        self.devices
+            .iter()
+            .fold((0, 0), |(b, n), d| (b + d.d2h_bytes, n + d.d2h_busy_ns))
     }
 
     /// True when every *deterministic* counter matches: everything except
     /// the measured wall-clock fields (`local_comm_ns`, `task_ns`,
-    /// `wall_ns`, kernel `wall_ns`, engine `*_busy_ns`, per-patch costs).
+    /// `wall_ns`, kernel `wall_ns`, engine `*_busy_ns`, upload
+    /// `h2d_wait_ns`/`h2d_overlap_ns`, per-patch costs).
     /// Two executor runs of the identical workload must be
     /// `structural_eq`; their timings are measurements and may differ.
     pub fn structural_eq(&self, other: &CalibrationSnapshot) -> bool {
@@ -213,7 +234,7 @@ impl CalibrationSnapshot {
         for (i, d) in self.devices.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "device {} {} {} {} {} {} {} {} {}",
+                "device {} {} {} {} {} {} {} {} {} {} {}",
                 i,
                 d.kernels.launches,
                 d.kernels.invocations,
@@ -221,6 +242,8 @@ impl CalibrationSnapshot {
                 d.kernels.wall_ns,
                 d.h2d_bytes,
                 d.h2d_busy_ns,
+                d.h2d_wait_ns,
+                d.h2d_overlap_ns,
                 d.d2h_bytes,
                 d.d2h_busy_ns,
             );
@@ -298,6 +321,8 @@ impl CalibrationSnapshot {
                 },
                 h2d_bytes: parse_u64(it.next(), "h2d_bytes")?,
                 h2d_busy_ns: parse_u64(it.next(), "h2d_busy_ns")?,
+                h2d_wait_ns: parse_u64(it.next(), "h2d_wait_ns")?,
+                h2d_overlap_ns: parse_u64(it.next(), "h2d_overlap_ns")?,
                 d2h_bytes: parse_u64(it.next(), "d2h_bytes")?,
                 d2h_busy_ns: parse_u64(it.next(), "d2h_busy_ns")?,
             });
@@ -354,7 +379,9 @@ impl WorldResult {
 }
 
 const MAGIC: &str = "rmcrt-calibration-snapshot";
-const VERSION: &str = "v1";
+// v2: device lines carry the H2D engine wait/overlap fields so the model
+// calibrates PCIe from both directions.
+const VERSION: &str = "v2";
 
 /// Error from [`CalibrationSnapshot::from_text`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -405,6 +432,8 @@ mod tests {
                     h2d_bytes: 1 << 16,
                     d2h_bytes: 1 << 14,
                     h2d_busy_ns: 2_000,
+                    h2d_wait_ns: 350,
+                    h2d_overlap_ns: 1_650,
                     d2h_busy_ns: 900,
                     peak_bytes: 1 << 20,
                     ..Default::default()
@@ -420,6 +449,7 @@ mod tests {
                     h2d_bytes: 1 << 15,
                     d2h_bytes: 1 << 13,
                     h2d_busy_ns: 1_100,
+                    h2d_wait_ns: 1_100,
                     d2h_busy_ns: 450,
                     peak_bytes: 1 << 19,
                     ..Default::default()
@@ -502,8 +532,11 @@ mod tests {
         assert!(CalibrationSnapshot::from_text("").is_err());
         assert!(CalibrationSnapshot::from_text("not-a-snapshot v1").is_err());
         assert!(CalibrationSnapshot::from_text("rmcrt-calibration-snapshot v9\n").is_err());
-        // Truncated after the header.
+        // Old-format snapshots (v1: no H2D wait/overlap fields) are
+        // rejected by the version check, not mis-parsed.
         assert!(CalibrationSnapshot::from_text("rmcrt-calibration-snapshot v1\nsteps 1\n").is_err());
+        // Truncated after the header.
+        assert!(CalibrationSnapshot::from_text("rmcrt-calibration-snapshot v2\nsteps 1\n").is_err());
         // Trailing junk.
         let mut snap = CalibrationSnapshot::default();
         snap.record_step(&sample_stats());

@@ -42,6 +42,12 @@ pub struct WorldConfig {
     /// transfer/kernel pipelining). `false` drains inline inside task
     /// bodies — the synchronous baseline; results are bit-identical.
     pub gpu_async_d2h: bool,
+    /// Post host→device uploads (staged prefetch bursts, spill re-uploads,
+    /// cross-step level revalidations) to the H2D copy engine so the first
+    /// consumer materializes a finished transfer instead of uploading
+    /// inline. `false` completes every posted upload at post time — the
+    /// synchronous baseline; results are bit-identical.
+    pub gpu_async_h2d: bool,
     /// Evict LRU device-DB entries (spilling patch data to host) when an
     /// allocation fails, instead of surfacing OOM — the oversubscription
     /// path. `false` fails hard at capacity (the ablation baseline);
@@ -85,6 +91,7 @@ impl Default for WorldConfig {
             gpu_affinity: GpuAffinity::Sticky,
             gpu_level_db: true,
             gpu_async_d2h: true,
+            gpu_async_h2d: true,
             gpu_eviction: true,
             aggregate_level_windows: false,
             persistent: true,
@@ -162,10 +169,11 @@ pub fn run_world(grid: Arc<Grid>, decls: Arc<Vec<TaskDecl>>, cfg: WorldConfig) -
             let comm = world.communicator(rank);
             let dw = Arc::new(DataWarehouse::new(Arc::clone(&grid)));
             let gpu = cfg.gpu_capacity.map(|cap| {
-                Arc::new(GpuDataWarehouse::with_fleet_opts(
+                Arc::new(GpuDataWarehouse::with_fleet_full(
                     DeviceFleet::with_capacity(cfg.gpus_per_rank.max(1), "K20X-sim", cap),
                     cfg.gpu_level_db,
                     cfg.gpu_async_d2h,
+                    cfg.gpu_async_h2d,
                     cfg.gpu_eviction,
                 ))
             });

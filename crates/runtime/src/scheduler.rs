@@ -73,6 +73,13 @@ pub struct DeviceStepStats {
     pub h2d_busy_ns: u64,
     /// D2H engine occupancy this step, in nanoseconds.
     pub d2h_busy_ns: u64,
+    /// Consumer stall on posted uploads this step, in nanoseconds: the
+    /// residual wait materializing a staged burst on the async path, the
+    /// full inline upload wall on the synchronous fallback.
+    pub h2d_wait_ns: u64,
+    /// Posted-upload wall hidden behind other work this step, in
+    /// nanoseconds (burst minus wait; zero on the synchronous fallback).
+    pub h2d_overlap_ns: u64,
     /// The device's memory high-water mark (absolute, not a delta — the
     /// capacity-meter number that must stay under the 6 GB budget).
     pub peak_bytes: u64,
@@ -126,6 +133,15 @@ pub struct ExecStats {
     /// overlap won by posting drains to the copy engine instead of blocking
     /// the worker inside the task body. Zero on the synchronous path.
     pub gpu_d2h_overlap: Duration,
+    /// Wall time consumers spent blocked on posted H2D uploads this step —
+    /// the un-hidden part of the staged bursts on the async path, the full
+    /// inline upload wall on the synchronous fallback.
+    pub gpu_h2d_wait: Duration,
+    /// Posted-upload wall hidden behind other work this step — the overlap
+    /// won by staging uploads onto the H2D copy engine (prefetch, spill
+    /// re-uploads, coalesced level refreshes). Zero on the synchronous
+    /// fallback.
+    pub gpu_h2d_overlap: Duration,
     /// LRU evictions across the fleet this step (delta of the device
     /// counters; nonzero only when the problem oversubscribes a device).
     pub gpu_evictions: u64,
@@ -223,6 +239,15 @@ impl ExecStats {
                 ms(self.regrid_compile),
                 self.migrated_bytes,
                 ms(self.migrate_wall),
+            );
+        }
+        if self.gpu_h2d_wait > Duration::ZERO || self.gpu_h2d_overlap > Duration::ZERO {
+            let _ = writeln!(
+                out,
+                "gpu h2d: {} B (wait {:.3} ms, overlap {:.3} ms)",
+                self.gpu_h2d_bytes,
+                ms(self.gpu_h2d_wait),
+                ms(self.gpu_h2d_overlap),
             );
         }
         if self.gpu_evictions > 0 || self.gpu_reupload_bytes > 0 {
@@ -601,6 +626,20 @@ impl Scheduler {
             }
         });
 
+        // Cross-step prefetch at step close: the cached graph makes step
+        // N+1's device-resident set the same as step N's, so post predicted
+        // level-replica revalidations (against this step's sealed host
+        // data) now. The staged bursts ride the H2D engines while the
+        // inter-step CPU work drains; next step's first consumer verifies
+        // and materializes them instead of uploading inline. Replicas whose
+        // resident bytes already match post nothing, so steady state costs
+        // no extra traffic. The H2D engines are deliberately NOT synced
+        // here — leaving the bursts in flight across the step boundary is
+        // the point.
+        if let Some(g) = gpu {
+            g.prefetch_resident_levels(|label, level| dw.get_sealed_level(label, level));
+        }
+
         // End-of-step device synchronization (the `cudaDeviceSynchronize`
         // analogue, once per fleet device): settle every D2H drain no
         // consumer touched and wait for every copy-engine timeline to
@@ -624,6 +663,8 @@ impl Scheduler {
                 d2h_bytes: after.d2h_bytes - before.d2h_bytes,
                 h2d_busy_ns: after.h2d_busy_ns.saturating_sub(before.h2d_busy_ns),
                 d2h_busy_ns: after.d2h_busy_ns.saturating_sub(before.d2h_busy_ns),
+                h2d_wait_ns: after.h2d_wait_ns.saturating_sub(before.h2d_wait_ns),
+                h2d_overlap_ns: after.h2d_overlap_ns.saturating_sub(before.h2d_overlap_ns),
                 peak_bytes: after.peak,
                 evictions: after.evictions - before.evictions,
                 spilled_bytes: after.spilled_bytes - before.spilled_bytes,
@@ -648,6 +689,10 @@ impl Scheduler {
             gpu_d2h_bytes: per_device.iter().map(|d| d.d2h_bytes).sum(),
             gpu_d2h_wait: dw.d2h_wait().saturating_sub(d2h_wait_before),
             gpu_d2h_overlap: dw.d2h_overlap().saturating_sub(d2h_overlap_before),
+            gpu_h2d_wait: Duration::from_nanos(per_device.iter().map(|d| d.h2d_wait_ns).sum()),
+            gpu_h2d_overlap: Duration::from_nanos(
+                per_device.iter().map(|d| d.h2d_overlap_ns).sum(),
+            ),
             gpu_evictions: per_device.iter().map(|d| d.evictions).sum(),
             gpu_spill_bytes: per_device.iter().map(|d| d.spilled_bytes).sum(),
             gpu_reupload_bytes: per_device.iter().map(|d| d.reuploaded_bytes).sum(),

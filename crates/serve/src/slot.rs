@@ -61,6 +61,7 @@ pub(crate) fn shape_signature(cfg: &RunConfig) -> u64 {
     (cfg.store as u8).hash(&mut h);
     cfg.gpu.hash(&mut h);
     cfg.gpu_eviction.hash(&mut h);
+    cfg.gpu_async_h2d.hash(&mut h);
     (cfg.gpu_affinity == GpuAffinity::CostBalanced).hash(&mut h);
     cfg.aggregate.hash(&mut h);
     h.finish()
@@ -113,10 +114,11 @@ impl Slot {
             let comm = world.communicator(rank);
             let dw = Arc::new(DataWarehouse::new(Arc::clone(&grid)));
             let gpu = cfg.gpu.then(|| {
-                Arc::new(GpuDataWarehouse::with_fleet_opts(
+                Arc::new(GpuDataWarehouse::with_fleet_full(
                     fleet.clone(),
                     true,
                     true,
+                    cfg.gpu_async_h2d,
                     cfg.gpu_eviction,
                 ))
             });
@@ -252,12 +254,16 @@ impl Slot {
                     }
                     rr.graph_compiles = exec.compiles() as u64 - compiles0;
                     rr.shared_graph_hits = exec.shared_graph_hits() - shared0;
-                    // End-of-job hygiene: settle in-flight D2H traffic and
-                    // drop per-patch device staging. Level replicas stay
-                    // resident — they are the cross-job sharing the next
-                    // same-shape tenant inherits.
+                    // End-of-job hygiene: settle in-flight traffic in both
+                    // directions and drop per-patch device staging. Level
+                    // replicas stay resident — they are the cross-job
+                    // sharing the next same-shape tenant inherits — and so
+                    // do posted level-replica prefetches (the next tenant's
+                    // first `ensure_level_fresh` verifies them against its
+                    // own sealed data before serving).
                     exec.dw().drain_pending_d2h();
                     if let Some(g) = exec.gpu() {
+                        g.sync_h2d_all();
                         g.sync_d2h_all();
                         g.clear_patch_db();
                     }
@@ -355,5 +361,10 @@ mod tests {
         let mut e = a.clone();
         e.gpu = true;
         assert_ne!(shape_signature(&a), shape_signature(&e));
+        // The upload pipeline is baked into the slot's warehouses: a sync
+        // tenant must not land on an async slot or vice versa.
+        let mut f = a.clone();
+        f.gpu_async_h2d = false;
+        assert_ne!(shape_signature(&a), shape_signature(&f));
     }
 }

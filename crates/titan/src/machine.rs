@@ -127,9 +127,13 @@ impl MachineParams {
     ///   `cpu_cellsteps_per_s`, and `× device_multiplier` becomes
     ///   `gpu_cellsteps_per_s`. Idle devices (zero invocations or wall)
     ///   are excluded rather than averaged in as zero.
-    /// * **Bus bandwidth** — total copy-engine bytes over total engine
-    ///   occupancy, both directions, `× pcie_multiplier` (a host memcpy
-    ///   drain is much faster than a PCIe gen2 link).
+    /// * **Bus bandwidth** — each PCIe direction is calibrated on its own
+    ///   copy-engine timeline (upload bytes over upload occupancy, drain
+    ///   bytes over drain occupancy) and the non-degenerate directions are
+    ///   averaged, `× pcie_multiplier` (a host memcpy is much faster than a
+    ///   PCIe gen2 link). Per-direction rates keep an upload-heavy prefetch
+    ///   run from drowning out the drain measurement and vice versa; an
+    ///   idle direction is excluded rather than averaged in as zero.
     /// * **Per-message CPU cost** — measured local-comm wall time divided
     ///   by messages posted + processed, `× msg_cost_multiplier`.
     pub fn from_snapshot(
@@ -153,9 +157,15 @@ impl MachineParams {
             m.cpu_cellsteps_per_s = measured;
             m.gpu_cellsteps_per_s = measured * scale.device_multiplier;
         }
-        let (bytes, busy_ns) = snap.engine_totals();
-        if bytes > 0 && busy_ns > 0 {
-            m.pcie_bw = bytes as f64 / (busy_ns as f64 * 1e-9) * scale.pcie_multiplier;
+        let dir_bw = |(bytes, busy_ns): (u64, u64)| -> Option<f64> {
+            (bytes > 0 && busy_ns > 0).then(|| bytes as f64 / (busy_ns as f64 * 1e-9))
+        };
+        let dirs: Vec<f64> = [dir_bw(snap.h2d_totals()), dir_bw(snap.d2h_totals())]
+            .into_iter()
+            .flatten()
+            .collect();
+        if !dirs.is_empty() {
+            m.pcie_bw = dirs.iter().sum::<f64>() / dirs.len() as f64 * scale.pcie_multiplier;
         }
         // Prefer the min-over-steps per-message cost (uncontended; the
         // aggregate mean spikes whenever the OS deschedules a worker
@@ -317,14 +327,15 @@ mod tests {
     }
 
     #[test]
-    fn from_snapshot_calibrates_pcie_from_engine_totals() {
-        // 80 MB through the engines in 10 ms of occupancy → 8 GB/s
-        // measured; a 0.75 multiplier models the bus at 6 GB/s.
+    fn from_snapshot_calibrates_pcie_from_both_directions() {
+        // Upload engine: 48 MB in 6 ms → 8 GB/s. Drain engine: 32 MB in
+        // 4 ms → 8 GB/s. Mean 8 GB/s measured; a 0.75 multiplier models
+        // the bus at 6 GB/s.
         let snap = CalibrationSnapshot {
             devices: vec![DeviceCalibration {
-                h2d_bytes: 50_000_000,
+                h2d_bytes: 48_000_000,
                 h2d_busy_ns: 6_000_000,
-                d2h_bytes: 30_000_000,
+                d2h_bytes: 32_000_000,
                 d2h_busy_ns: 4_000_000,
                 ..DeviceCalibration::default()
             }],
@@ -334,6 +345,46 @@ mod tests {
         scale.pcie_multiplier = 0.75;
         let m = MachineParams::from_snapshot(MachineParams::titan(), &snap, &scale);
         assert!((m.pcie_bw - 6.0e9).abs() < 1.0, "pcie_bw {}", m.pcie_bw);
+    }
+
+    #[test]
+    fn from_snapshot_pcie_averages_directions_not_pooled_bytes() {
+        // Asymmetric traffic: a prefetch-heavy run uploads 90 MB at
+        // 9 GB/s while draining only 1 MB at 1 GB/s. Pooling bytes over
+        // occupancy would give ~8.26 GB/s — the drain measurement would
+        // vanish; the per-direction mean is 5 GB/s.
+        let snap = CalibrationSnapshot {
+            devices: vec![DeviceCalibration {
+                h2d_bytes: 90_000_000,
+                h2d_busy_ns: 10_000_000,
+                d2h_bytes: 1_000_000,
+                d2h_busy_ns: 1_000_000,
+                ..DeviceCalibration::default()
+            }],
+            ..CalibrationSnapshot::default()
+        };
+        let m = MachineParams::from_snapshot(
+            MachineParams::titan(),
+            &snap,
+            &CalibrationScale::identity(1.0),
+        );
+        assert!((m.pcie_bw - 5.0e9).abs() < 1.0, "pcie_bw {}", m.pcie_bw);
+
+        // An idle direction is excluded, not averaged in as zero.
+        let up_only = CalibrationSnapshot {
+            devices: vec![DeviceCalibration {
+                h2d_bytes: 90_000_000,
+                h2d_busy_ns: 10_000_000,
+                ..DeviceCalibration::default()
+            }],
+            ..CalibrationSnapshot::default()
+        };
+        let m = MachineParams::from_snapshot(
+            MachineParams::titan(),
+            &up_only,
+            &CalibrationScale::identity(1.0),
+        );
+        assert!((m.pcie_bw - 9.0e9).abs() < 1.0, "pcie_bw {}", m.pcie_bw);
     }
 
     #[test]

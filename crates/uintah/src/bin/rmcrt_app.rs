@@ -126,6 +126,7 @@ gpus_per_rank = 1         # simulated GPUs per rank (6 = Summit-style)
 gpu_affinity  = sticky    # sticky | cost (LPT from measured per-patch costs)
 gpu_capacity_mb = 6144    # per-device memory budget (6144 = K20X 6 GB)
 gpu_eviction  = lru       # lru (spill-to-host oversubscription) | off (hard OOM)
+gpu_h2d       = async     # async (staged uploads + cross-step prefetch) | sync
 aggregate  = false        # bundle level windows per rank pair
 timesteps  = 1
 sampling   = independent  # independent | lhc

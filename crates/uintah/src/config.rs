@@ -57,6 +57,11 @@ pub struct RunConfig {
     /// least-recently-used DB entries under pressure; `off` fails hard at
     /// capacity (the pre-sub-allocator behaviour).
     pub gpu_eviction: bool,
+    /// Upload pipeline: `async` (default) stages H2D copies through the
+    /// pinned pool and posts them on the per-device copy engine, with
+    /// cross-step prefetch; `sync` uploads inline on the posting thread
+    /// (the bit-identical fallback).
+    pub gpu_async_h2d: bool,
     pub timesteps: usize,
     pub sampling: rmcrt_core::RaySampling,
     /// `true` = adaptive per-cell ray counts ([`rmcrt_core::RayCountMode::Adaptive`]
@@ -116,6 +121,7 @@ impl Default for RunConfig {
             gpu_affinity: GpuAffinity::Sticky,
             gpu_capacity_mb: 6144,
             gpu_eviction: true,
+            gpu_async_h2d: true,
             timesteps: 1,
             sampling: rmcrt_core::RaySampling::Independent,
             adaptive_rays: false,
@@ -184,6 +190,7 @@ impl RunConfig {
                     "gpu_affinity" => "gpu_affinity",
                     "gpu_capacity_mb" => "gpu_capacity_mb",
                     "gpu_eviction" => "gpu_eviction",
+                    "gpu_h2d" => "gpu_h2d",
                     "aggregate" => "aggregate",
                     "regrid_interval" => "regrid_interval",
                     "regrid_policy" => "regrid_policy",
@@ -265,6 +272,13 @@ impl RunConfig {
                         "sticky" => GpuAffinity::Sticky,
                         "cost" | "cost_balanced" => GpuAffinity::CostBalanced,
                         v => return Err(bad(format!("unknown gpu_affinity '{v}'"))),
+                    }
+                }
+                "gpu_h2d" => {
+                    cfg.gpu_async_h2d = match value {
+                        "async" => true,
+                        "sync" => false,
+                        v => return Err(bad(format!("unknown gpu_h2d '{v}'"))),
                     }
                 }
                 "aggregate" => {
@@ -422,6 +436,7 @@ impl RunConfig {
             gpus_per_rank: self.gpus_per_rank,
             gpu_affinity: self.gpu_affinity,
             gpu_eviction: self.gpu_eviction,
+            gpu_async_h2d: self.gpu_async_h2d,
             aggregate_level_windows: self.aggregate,
             regrid_interval: (self.regrid_interval > 0).then_some(self.regrid_interval),
             regrid_policy: self.regrid_policy,

@@ -329,6 +329,79 @@ fn admission_queues_oversubscribed_jobs_and_rejects_impossible_ones() {
     }
 }
 
+/// Warm-slot reuse with the async upload pipeline on (the default): a
+/// second same-shape GPU tenant recycles the first tenant's slot, still
+/// inherits its device-resident level replicas (posted cross-step
+/// prefetches must not break the inheritance accounting), and its divQ
+/// stays bit-identical both to a solo run and to the synchronous-upload
+/// fallback. After drain + shutdown the shared fleet reads exactly zero.
+#[test]
+fn warm_slot_with_h2d_prefetch_inherits_replicas_bit_identical() {
+    let gcfg = RunConfig {
+        fine_cells: 16,
+        patch_size: 4,
+        levels: 2,
+        ranks: 1,
+        threads: 2,
+        nrays: 4,
+        halo: 2,
+        gpu: true,
+        timesteps: 2,
+        ..RunConfig::default()
+    };
+    assert!(gcfg.gpu_async_h2d, "async uploads are the default");
+    let baseline = solo_divq(&gcfg);
+
+    let server = RadiationServer::start(ServeConfig {
+        workers: 1,
+        gpus: 1,
+        ..ServeConfig::default()
+    });
+    let cold_outcome = server.submit(gcfg.clone()).unwrap().wait();
+    let cold = cold_outcome.expect_done();
+    assert!(!cold.stats.slot_reused, "first tenant is cold");
+    assert_bits_equal(&cold.divq.data, &baseline, "cold tenant");
+
+    // The warm tenant lands on the same slot and inherits the level
+    // replicas the cold tenant left device-resident — end-of-job hygiene
+    // drains the upload engine but keeps the replicas (and any posted
+    // level prefetches, which the warm tenant verifies before serving).
+    let warm_outcome = server.submit(gcfg.clone()).unwrap().wait();
+    let warm = warm_outcome.expect_done();
+    assert!(warm.stats.slot_reused, "same shape must recycle the slot");
+    assert!(
+        warm.stats.level_replicas_inherited > 0,
+        "prefetch must not break replica inheritance: {:?}",
+        warm.stats.level_replicas_inherited
+    );
+    assert_bits_equal(&warm.divq.data, &baseline, "warm tenant");
+    server.drain();
+    server.shutdown();
+    assert_eq!(server.fleet().total_used(), 0, "fleet must drain to zero");
+
+    // The synchronous fallback serves the same bits, warm or cold.
+    let sync_cfg = RunConfig {
+        gpu_async_h2d: false,
+        ..gcfg
+    };
+    assert_bits_equal(&solo_divq(&sync_cfg), &baseline, "sync fallback solo");
+    let server = RadiationServer::start(ServeConfig {
+        workers: 1,
+        gpus: 1,
+        ..ServeConfig::default()
+    });
+    let a_outcome = server.submit(sync_cfg.clone()).unwrap().wait();
+    let a = a_outcome.expect_done();
+    let b_outcome = server.submit(sync_cfg).unwrap().wait();
+    let b = b_outcome.expect_done();
+    assert_bits_equal(&a.divq.data, &baseline, "sync fallback cold tenant");
+    assert_bits_equal(&b.divq.data, &baseline, "sync fallback warm tenant");
+    assert!(b.stats.slot_reused);
+    server.drain();
+    server.shutdown();
+    assert_eq!(server.fleet().total_used(), 0);
+}
+
 /// The high tier drains before the normal tier: with one worker pinned by
 /// a long job, a high-priority job submitted *after* a normal one starts
 /// (and therefore stops queueing) first.

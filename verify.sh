@@ -56,6 +56,25 @@ cargo run --release -q -p rmcrt-bench --bin ray_march_gate
 # bookkeeping JSON after intentional changes with:
 #   cargo run --release -p rmcrt-bench --bin oversub_gate -- --update
 cargo run --release -q -p rmcrt-bench --bin oversub_gate
+# E16 async H2D upload-pipeline gate: the pipeline's upload pattern
+# (step-close posts of level revalidations, superseding patch uploads
+# and spill re-uploads consumed at the next step open) must take >= 10x
+# less critical-path stall with the engine on than the synchronous
+# fallback, hide >= 1/8 of the sync stall as measured overlap (exactly
+# zero overlap in sync mode), serve bit-identical bytes in both modes,
+# and keep divQ bit-identical across 1/2/3/7 threads x 1/2/4/6 devices
+# x both gpu_async_h2d modes plus an oversubscribed regrid-raced pair,
+# with zero meter drift after every drain. Regenerate the bookkeeping
+# JSON after intentional changes with:
+#   cargo run --release -p rmcrt-bench --bin h2d_overlap_gate -- --update
+cargo run --release -q -p rmcrt-bench --bin h2d_overlap_gate
+# H2D mode-independence and prefetch-race pins: the inline-upload
+# counter-parity test, the prefetch-vs-regrid-vs-eviction race, and the
+# warm-slot replica-inheritance bit-identity test — by name, so a
+# filtered run can never silently skip them.
+cargo test -q -p uintah-gpu --lib inline_upload_matches_async_counters_exactly
+cargo test -q -p uintah --test concurrency h2d_prefetch_racing_regrid_and_eviction_drains_clean
+cargo test -q -p uintah --test serve warm_slot_with_h2d_prefetch_inherits_replicas_bit_identical
 # Multi-tenant serving pins: the radiation-server battery (concurrent and
 # mixed-config tenants bit-identical to solo runs, attributable summary
 # lines, queued-not-failed admission with typed rejection, priority
