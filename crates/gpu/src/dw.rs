@@ -2519,3 +2519,50 @@ mod tests {
         assert_eq!(v0.data().as_f64()[uintah_grid::IntVector::ZERO], 3.5);
     }
 }
+
+#[cfg(test)]
+mod repro_deadlock {
+    use super::*;
+    use crate::device::GpuDevice;
+    use uintah_grid::{CcVariable, IntVector, Region};
+
+    fn field(n: i32, v: f64) -> DeviceData {
+        let r = Region::new(IntVector::ZERO, IntVector::new(n, n, n));
+        DeviceData::F64(CcVariable::filled(r, v))
+    }
+
+    #[test]
+    fn prefetch_spill_reuploads_under_pressure_does_not_hang() {
+        let field_bytes = 8usize.pow(3) * 8;
+        // Room for exactly two fields: the third re-upload hits the
+        // allocator cancel path while this batch's first two entries are
+        // pending but not yet posted.
+        let device = GpuDevice::with_capacity("tiny", field_bytes * 2 + 256);
+        let dw = GpuDataWarehouse::with_fleet_full(
+            DeviceFleet::single(device.clone()),
+            true,
+            true,
+            true,
+            true,
+        );
+        for i in 0..3u32 {
+            dw.put_patch(VarLabel::DivQ, PatchId(i), field(8, i as f64)).unwrap();
+        }
+        while {
+            let mut st = dw.stores[0].state.lock();
+            GpuDataWarehouse::evict_one(&device, &mut st)
+        } {}
+        assert_eq!(dw.spill_entries(), 3);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let dw2 = std::sync::Arc::new(dw);
+        let dwc = std::sync::Arc::clone(&dw2);
+        std::thread::spawn(move || {
+            let n = dwc.prefetch_spill_reuploads();
+            tx.send(n).unwrap();
+        });
+        let n = rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .expect("prefetch_spill_reuploads deadlocked");
+        assert!(n <= 3);
+    }
+}
